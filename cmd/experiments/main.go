@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's complete evaluation: every
+// figure (4a, 4b, 5, 6a, 6b, 7, 8) from the performance simulator, plus
+// the paper-vs-measured scorecard of every quantitative claim in §IV.
+// This is the EXPERIMENTS.md generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rdmamr/internal/sim"
+)
+
+func main() {
+	var (
+		scoreOnly = flag.Bool("score", false, "print only the paper-vs-measured scorecard")
+		figsOnly  = flag.Bool("figures", false, "print only the regenerated figures")
+		markdown  = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+	)
+	flag.Parse()
+
+	if !*scoreOnly {
+		figures := sim.AllFigures()
+		figures = append(figures, sim.FigScaling())
+		for _, f := range figures {
+			if *markdown {
+				printMarkdown(f)
+			} else {
+				fmt.Println(f)
+			}
+		}
+	}
+	if !*figsOnly {
+		fmt.Println("Paper-vs-measured scorecard (§IV claims):")
+		fmt.Println(sim.ScoreReport(sim.DefaultCalibration()))
+	}
+}
+
+func printMarkdown(f sim.Figure) {
+	fmt.Printf("### %s\n\n", f.Name)
+	fmt.Printf("| %s |", f.XLabel)
+	for _, x := range f.XTicks {
+		fmt.Printf(" %s |", x)
+	}
+	fmt.Println()
+	fmt.Print("|---|")
+	for range f.XTicks {
+		fmt.Print("---|")
+	}
+	fmt.Println()
+	for _, s := range f.Series {
+		fmt.Printf("| %s |", s.Label)
+		for _, v := range s.Seconds {
+			fmt.Printf(" %.0f |", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,105 @@
+// Command mrsim runs the figure-scale cluster simulator. With no flags it
+// regenerates every evaluation figure; -figure selects one; -design,
+// -fabric, -storage, -nodes, -size run a single custom configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdmamr/internal/fabric"
+	"rdmamr/internal/sim"
+	"rdmamr/internal/storage"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "", "regenerate one figure: 4a, 4b, 5, 6a, 6b, 7, 8 (default: all)")
+		design   = flag.String("design", "", "single run: vanilla, hadoopa, osu")
+		fab      = flag.String("fabric", "ipoib", "single run: 1gige, 10gige, ipoib, verbs")
+		store    = flag.String("storage", "1disk", "single run: 1disk, 2disks, ssd")
+		workload = flag.String("workload", "terasort", "single run: terasort, sort")
+		nodes    = flag.Int("nodes", 8, "single run: cluster size")
+		sizeGB   = flag.Float64("size", 100, "single run: sort size in GB")
+		caching  = flag.Bool("caching", true, "single run: OSU PrefetchCache enabled")
+		timeline = flag.Bool("timeline", false, "print Figure 3's overlap timelines (vanilla vs OSU-IB)")
+	)
+	flag.Parse()
+
+	if *timeline {
+		out, err := sim.Fig3Timelines()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *design != "" {
+		runSingle(*design, *fab, *store, *workload, *nodes, *sizeGB, *caching)
+		return
+	}
+
+	figures := map[string]func() sim.Figure{
+		"4a": sim.Fig4a, "4b": sim.Fig4b, "5": sim.Fig5,
+		"6a": sim.Fig6a, "6b": sim.Fig6b, "7": sim.Fig7, "8": sim.Fig8,
+	}
+	if *figure != "" {
+		fn, ok := figures[strings.ToLower(*figure)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (want 4a, 4b, 5, 6a, 6b, 7, 8)\n", *figure)
+			os.Exit(2)
+		}
+		fmt.Println(fn())
+		return
+	}
+	for _, f := range sim.AllFigures() {
+		fmt.Println(f)
+	}
+}
+
+func runSingle(design, fab, store, workload string, nodes int, sizeGB float64, caching bool) {
+	designs := map[string]sim.Design{"vanilla": sim.Vanilla, "hadoopa": sim.HadoopA, "osu": sim.OSUIB}
+	fabrics := map[string]fabric.Kind{"1gige": fabric.GigE1, "10gige": fabric.TenGigE, "ipoib": fabric.IPoIB, "verbs": fabric.IBVerbs}
+	stores := map[string]storage.DeviceKind{"1disk": storage.HDD1, "2disks": storage.HDD2, "ssd": storage.SSD}
+	workloads := map[string]sim.Workload{"terasort": sim.TeraSort, "sort": sim.Sort}
+
+	d, ok := designs[strings.ToLower(design)]
+	if !ok {
+		fatalf("unknown design %q", design)
+	}
+	fk, ok := fabrics[strings.ToLower(fab)]
+	if !ok {
+		fatalf("unknown fabric %q", fab)
+	}
+	sk, ok := stores[strings.ToLower(store)]
+	if !ok {
+		fatalf("unknown storage %q", store)
+	}
+	w, ok := workloads[strings.ToLower(workload)]
+	if !ok {
+		fatalf("unknown workload %q", workload)
+	}
+	p := sim.DefaultParams(d, fk, sk, w, nodes, sizeGB*1e9)
+	p.Caching = caching && d == sim.OSUIB
+	res, err := sim.Run(p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("%s %s on %v/%v, %d nodes, %.0f GB:\n", d, w, fk, sk, nodes, sizeGB)
+	fmt.Printf("  job time      %8.1f s\n", res.JobSeconds)
+	fmt.Printf("  map phase end %8.1f s\n", res.MapPhaseEnd)
+	fmt.Printf("  shuffle end   %8.1f s\n", res.ShuffleEnd)
+	fmt.Printf("  disk read     %8.1f GB\n", res.DiskBytesRead/1e9)
+	fmt.Printf("  disk write    %8.1f GB\n", res.DiskBytesWrite/1e9)
+	fmt.Printf("  network       %8.1f GB\n", res.NetBytes/1e9)
+	if d == sim.OSUIB && caching {
+		fmt.Printf("  cache         %d hits / %d misses\n", res.CacheHits, res.CacheMisses)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,72 @@
+// Quickstart: a word-count job on a 2-node cluster with the OSU-IB RDMA
+// shuffle engine, using only the public rdmamr API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/workload"
+	"rdmamr/pkg/rdmamr"
+)
+
+func main() {
+	conf := rdmamr.NewConfig()
+	conf.SetBool(rdmamr.KeyRDMAEnabled, true) // mapred.rdma.enabled=true → OSU-IB engine
+	conf.SetInt(rdmamr.KeyBlockSize, 64<<10)
+
+	cluster, err := rdmamr.NewCluster(2, conf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster up: engine=%s nodes=%v\n", cluster.Engine().Name(), cluster.FS().DataNodes())
+
+	// Load a small corpus.
+	words := []string{"rdma", "shuffle", "merge", "rdma", "infiniband", "rdma", "shuffle"}
+	if err := workload.WordGen(cluster.FS(), "/wc/in", words, 100); err != nil {
+		log.Fatal(err)
+	}
+
+	job := &rdmamr.Job{
+		Name:   "wordcount",
+		Input:  []string{"/wc/in"},
+		Output: "/wc/out",
+		Mapper: func(_, value []byte, emit func(k, v []byte)) error {
+			if len(value) > 0 {
+				emit(value, []byte("1"))
+			}
+			return nil
+		},
+		Reducer: func(key []byte, values [][]byte, emit func(k, v []byte)) error {
+			emit(key, []byte(strconv.Itoa(len(values))))
+			return nil
+		},
+		InputFormat: mapred.LineInput{},
+		NumReduces:  2,
+	}
+	res, err := cluster.RunJob(context.Background(), job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %d maps, %d reduces, %v\n", res.JobID, res.NumMaps, res.NumReduces, res.Duration)
+
+	for _, p := range res.OutputFiles {
+		data, err := cluster.FS().ReadFile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := kv.NewRunReader(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for rr.Next() {
+			fmt.Printf("  %-12s %s\n", rr.Record().Key, rr.Record().Value)
+		}
+	}
+	fmt.Printf("RDMA shuffle bytes: %d\n", res.Counters["shuffle.rdma.bytes"])
+}

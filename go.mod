@@ -1,0 +1,3 @@
+module rdmamr
+
+go 1.24

@@ -1,0 +1,215 @@
+// Package config provides a Hadoop-style string-keyed configuration with
+// typed accessors, defaults, and the tunables the paper exposes
+// (§III-C.3): mapred.rdma.enabled, mapred.local.caching.enabled, RDMA
+// packet size, key-value pairs per packet, HDFS block size, and slot
+// counts.
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Well-known keys. Names follow the paper / Hadoop 0.20 conventions.
+const (
+	KeyRDMAEnabled       = "mapred.rdma.enabled"
+	KeyCachingEnabled    = "mapred.local.caching.enabled"
+	KeyRDMAPacketBytes   = "mapred.rdma.packet.size"
+	KeyKVPairsPerPacket  = "mapred.rdma.kvpairs.per.packet"
+	KeySizeAwarePacking  = "mapred.rdma.sizeaware.packing"
+	KeyResponderThreads  = "mapred.rdma.responder.threads"
+	KeyPrefetchThreads   = "mapred.rdma.prefetch.threads"
+	KeyPrefetchCacheCap  = "mapred.rdma.prefetch.cache.bytes"
+	KeyBlockSize         = "dfs.block.size"
+	KeyReplication       = "dfs.replication"
+	KeyMapSlots          = "mapred.tasktracker.map.tasks.maximum"
+	KeyReduceSlots       = "mapred.tasktracker.reduce.tasks.maximum"
+	KeyIOSortFactor      = "io.sort.factor"
+	KeyIOSortMB          = "io.sort.mb"
+	KeyShuffleMemLimit   = "mapred.job.shuffle.input.buffer.bytes"
+	KeyParallelCopies    = "mapred.reduce.parallel.copies"
+	KeyOverlapReduce     = "mapred.rdma.overlap.reduce"
+	KeyHTTPPacketBytes   = "mapred.shuffle.http.packet.size"
+	KeyReduceTasks       = "mapred.reduce.tasks"
+	KeyCachePriorityMode = "mapred.rdma.prefetch.cache.policy"
+	KeySpeculativeMaps   = "mapred.map.tasks.speculative.execution"
+)
+
+// Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
+// TaskTracker (§IV), 64 KB default HTTP packet (§III-B.2), 256 MB blocks
+// for TeraSort on OSU-IB (§IV-B), io.sort.factor 10 (Hadoop 0.20 default).
+var defaults = map[string]string{
+	KeyRDMAEnabled:       "false",
+	KeyCachingEnabled:    "true",
+	KeyRDMAPacketBytes:   "131072", // 128 KB RDMA packet
+	KeyKVPairsPerPacket:  "1024",
+	KeySizeAwarePacking:  "true",
+	KeyResponderThreads:  "8",
+	KeyPrefetchThreads:   "4",
+	KeyPrefetchCacheCap:  strconv.Itoa(256 << 20),
+	KeyBlockSize:         strconv.Itoa(256 << 20),
+	KeyReplication:       "1",
+	KeyMapSlots:          "4",
+	KeyReduceSlots:       "4",
+	KeyIOSortFactor:      "10",
+	KeyIOSortMB:          strconv.Itoa(100 << 20),
+	KeyShuffleMemLimit:   strconv.Itoa(140 << 20),
+	KeyParallelCopies:    "5",
+	KeyOverlapReduce:     "true",
+	KeyHTTPPacketBytes:   "65536", // 64 KB, the default packet the paper cites
+	KeyReduceTasks:       "0",     // 0 = framework picks nodes*reduceSlots
+	KeyCachePriorityMode: "priority",
+	KeySpeculativeMaps:   "false",
+}
+
+// Config is a concurrency-safe key/value configuration. The zero value is
+// valid and serves defaults only.
+type Config struct {
+	mu   sync.RWMutex
+	vals map[string]string
+}
+
+// New returns an empty Config (all keys at defaults).
+func New() *Config { return &Config{vals: make(map[string]string)} }
+
+// Clone returns an independent copy of c.
+func (c *Config) Clone() *Config {
+	out := New()
+	if c == nil {
+		return out
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k, v := range c.vals {
+		out.vals[k] = v
+	}
+	return out
+}
+
+// Set assigns key = value.
+func (c *Config) Set(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.vals == nil {
+		c.vals = make(map[string]string)
+	}
+	c.vals[key] = value
+}
+
+// SetInt assigns an integer value.
+func (c *Config) SetInt(key string, v int64) { c.Set(key, strconv.FormatInt(v, 10)) }
+
+// SetBool assigns a boolean value.
+func (c *Config) SetBool(key string, v bool) { c.Set(key, strconv.FormatBool(v)) }
+
+// Get returns the raw value for key, falling back to the registered
+// default, then to "".
+func (c *Config) Get(key string) string {
+	if c != nil {
+		c.mu.RLock()
+		v, ok := c.vals[key]
+		c.mu.RUnlock()
+		if ok {
+			return v
+		}
+	}
+	return defaults[key]
+}
+
+// Int returns the integer value of key. Malformed values fall back to the
+// default; a malformed default panics (it is a programming error in this
+// package).
+func (c *Config) Int(key string) int64 {
+	raw := c.Get(key)
+	v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 64)
+	if err == nil {
+		return v
+	}
+	d, ok := defaults[key]
+	if !ok {
+		return 0
+	}
+	v, err = strconv.ParseInt(d, 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("config: malformed default for %s: %q", key, d))
+	}
+	return v
+}
+
+// Bool returns the boolean value of key with the same fallback rules as Int.
+func (c *Config) Bool(key string) bool {
+	raw := strings.TrimSpace(c.Get(key))
+	v, err := strconv.ParseBool(raw)
+	if err == nil {
+		return v
+	}
+	d, ok := defaults[key]
+	if !ok {
+		return false
+	}
+	v, err = strconv.ParseBool(d)
+	if err != nil {
+		panic(fmt.Sprintf("config: malformed default for %s: %q", key, d))
+	}
+	return v
+}
+
+// Keys returns every explicitly-set key, sorted.
+func (c *Config) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DefaultFor exposes a registered default (used by docs and validation).
+func DefaultFor(key string) (string, bool) {
+	v, ok := defaults[key]
+	return v, ok
+}
+
+// Validate checks cross-key consistency and value sanity for the keys this
+// package knows about, returning a descriptive error for the first
+// violation found.
+func (c *Config) Validate() error {
+	type check struct {
+		key string
+		min int64
+	}
+	for _, ck := range []check{
+		{KeyRDMAPacketBytes, 1024},
+		{KeyKVPairsPerPacket, 1},
+		{KeyResponderThreads, 1},
+		{KeyPrefetchThreads, 1},
+		{KeyBlockSize, 4096},
+		{KeyReplication, 1},
+		{KeyMapSlots, 1},
+		{KeyReduceSlots, 1},
+		{KeyIOSortFactor, 2},
+		{KeyParallelCopies, 1},
+		{KeyHTTPPacketBytes, 1024},
+	} {
+		if v := c.Int(ck.key); v < ck.min {
+			return fmt.Errorf("config: %s = %d below minimum %d", ck.key, v, ck.min)
+		}
+	}
+	if mode := c.Get(KeyCachePriorityMode); mode != "priority" && mode != "fifo" {
+		return fmt.Errorf("config: %s must be priority or fifo, got %q", KeyCachePriorityMode, mode)
+	}
+	if c.Bool(KeyCachingEnabled) && !c.Bool(KeyRDMAEnabled) {
+		// Caching is part of the RDMA design; allowed but meaningless
+		// without it. Not an error (paper's hybrid keeps both paths), but
+		// cache capacity must still be sane when caching is on.
+		if c.Int(KeyPrefetchCacheCap) < 1<<20 {
+			return fmt.Errorf("config: %s too small", KeyPrefetchCacheCap)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package config
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	c := New()
+	if c.Bool(KeyRDMAEnabled) {
+		t.Fatal("RDMA enabled by default; paper's hybrid defaults to vanilla")
+	}
+	if !c.Bool(KeyCachingEnabled) {
+		t.Fatal("caching should default on")
+	}
+	if c.Int(KeyMapSlots) != 4 || c.Int(KeyReduceSlots) != 4 {
+		t.Fatal("paper's tuned slot counts are 4/4")
+	}
+	if c.Int(KeyHTTPPacketBytes) != 65536 {
+		t.Fatal("default HTTP packet must be 64KB per paper §III-B.2")
+	}
+}
+
+func TestZeroValueConfigServesDefaults(t *testing.T) {
+	var c Config
+	if c.Int(KeyBlockSize) != 256<<20 {
+		t.Fatalf("zero-value config broken: %d", c.Int(KeyBlockSize))
+	}
+}
+
+func TestNilConfigServesDefaults(t *testing.T) {
+	var c *Config
+	if c.Get(KeyRDMAEnabled) != "false" {
+		t.Fatal("nil config should serve defaults")
+	}
+}
+
+func TestSetAndTypedGet(t *testing.T) {
+	c := New()
+	c.SetBool(KeyRDMAEnabled, true)
+	c.SetInt(KeyKVPairsPerPacket, 512)
+	c.Set("custom.key", "hello")
+	if !c.Bool(KeyRDMAEnabled) || c.Int(KeyKVPairsPerPacket) != 512 || c.Get("custom.key") != "hello" {
+		t.Fatal("set/get mismatch")
+	}
+}
+
+func TestMalformedFallsBackToDefault(t *testing.T) {
+	c := New()
+	c.Set(KeyMapSlots, "not a number")
+	if c.Int(KeyMapSlots) != 4 {
+		t.Fatalf("malformed int did not fall back: %d", c.Int(KeyMapSlots))
+	}
+	c.Set(KeyRDMAEnabled, "maybe")
+	if c.Bool(KeyRDMAEnabled) {
+		t.Fatal("malformed bool did not fall back")
+	}
+}
+
+func TestUnknownKeyZeroValues(t *testing.T) {
+	c := New()
+	if c.Int("no.such.key") != 0 || c.Bool("no.such.key") || c.Get("no.such.key") != "" {
+		t.Fatal("unknown keys must yield zero values")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := New()
+	c.Set("a", "1")
+	d := c.Clone()
+	d.Set("a", "2")
+	if c.Get("a") != "1" || d.Get("a") != "2" {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	c := New()
+	c.Set("zz", "1")
+	c.Set("aa", "2")
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "aa" || keys[1] != "zz" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaults must validate: %v", err)
+	}
+	c.SetInt(KeyIOSortFactor, 1)
+	if err := c.Validate(); err == nil {
+		t.Fatal("io.sort.factor=1 accepted")
+	}
+	c = New()
+	c.Set(KeyCachePriorityMode, "random")
+	if err := c.Validate(); err == nil {
+		t.Fatal("bad cache policy accepted")
+	}
+}
+
+func TestDefaultFor(t *testing.T) {
+	if v, ok := DefaultFor(KeyIOSortFactor); !ok || v != "10" {
+		t.Fatalf("DefaultFor(io.sort.factor) = %q,%v", v, ok)
+	}
+	if _, ok := DefaultFor("nope"); ok {
+		t.Fatal("unknown default reported present")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.SetInt(KeyKVPairsPerPacket, int64(j))
+				_ = c.Int(KeyKVPairsPerPacket)
+				_ = c.Keys()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

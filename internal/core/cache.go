@@ -1,0 +1,255 @@
+// Package core implements the paper's primary contribution: the OSU-IB
+// RDMA-based MapReduce shuffle engine (§III-B). On the TaskTracker side it
+// provides the RDMAListener, RDMAReceiver, DataRequestQueue, and the
+// RDMAResponder pool, plus the MapOutputPrefetcher daemon pool feeding the
+// PrefetchCache (§III-B.3). On the ReduceTask side it provides the
+// RDMACopier, the chunked priority-queue merge over refillable segments
+// (§III-B.2), the DataToReduceQueue, and the shuffle/merge/reduce overlap
+// (§III-B.4). Bulk data moves by RDMA writes into the copier's registered
+// buffers over the emulated verbs fabric.
+package core
+
+import (
+	"container/heap"
+	"strings"
+	"sync"
+
+	"rdmamr/internal/stats"
+)
+
+// CacheKey identifies one cached map output partition.
+type CacheKey struct {
+	JobID     string
+	MapID     int
+	Partition int
+}
+
+// Cache priorities. Demand-missed partitions are re-cached with high
+// priority so "successive requests for this output file can be served
+// from the cache" (§III-B.3).
+const (
+	PriorityPrefetch = 0 // background prefetch after map completion
+	PriorityDemand   = 1 // re-cache after a demand miss
+)
+
+// PrefetchCache is the TaskTracker-side intermediate-data cache: a
+// byte-capacity-bounded store of map output partitions. Eviction policy
+// is configurable: "priority" (evict lowest priority, then least recently
+// demanded — the paper's adaptive mode) or "fifo" (insertion order, the
+// ablation baseline).
+type PrefetchCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	policy   string
+	entries  map[CacheKey]*cacheEntry
+	seq      uint64
+	counters *stats.Counters
+}
+
+type cacheEntry struct {
+	key      CacheKey
+	data     []byte
+	priority int
+	inserted uint64 // seq at insert (FIFO order)
+	lastUse  uint64 // seq at last hit (recency)
+	index    int    // heap index
+}
+
+// NewPrefetchCache returns a cache bounded to capacity bytes. policy is
+// "priority" or "fifo"; counters may be nil.
+func NewPrefetchCache(capacity int64, policy string, counters *stats.Counters) *PrefetchCache {
+	if counters == nil {
+		counters = &stats.Counters{}
+	}
+	if policy != "priority" && policy != "fifo" {
+		policy = "priority"
+	}
+	return &PrefetchCache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[CacheKey]*cacheEntry),
+		counters: counters,
+	}
+}
+
+// Get returns the cached partition and whether it was present, recording
+// a hit or miss. The returned slice must be treated as read-only.
+func (c *PrefetchCache) Get(key CacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.counters.Add("cache.misses", 1)
+		return nil, false
+	}
+	c.seq++
+	e.lastUse = c.seq
+	c.counters.Add("cache.hits", 1)
+	return e.data, true
+}
+
+// Contains reports presence without counting a hit or miss (used by the
+// prefetcher to skip redundant work).
+func (c *PrefetchCache) Contains(key CacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put inserts a partition at the given priority, evicting lower-value
+// entries as needed ("depending on heap size availability it can limit
+// the amount of data to be cached"). It reports whether the entry was
+// admitted: an entry larger than the whole cache, or one that would
+// require evicting strictly more valuable entries, is rejected.
+func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
+	size := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capacity {
+		c.counters.Add("cache.rejected", 1)
+		return false
+	}
+	if old, ok := c.entries[key]; ok {
+		// Refresh in place; keep the higher priority.
+		c.used += size - int64(len(old.data))
+		old.data = data
+		if priority > old.priority {
+			old.priority = priority
+		}
+		c.seq++
+		old.lastUse = c.seq
+		c.evictLocked(nil)
+		return true
+	}
+	c.seq++
+	e := &cacheEntry{key: key, data: data, priority: priority, inserted: c.seq, lastUse: c.seq}
+	// Evict until the new entry fits, but never evict entries more
+	// valuable than the incoming one.
+	for c.used+size > c.capacity {
+		victim := c.victimLocked()
+		if victim == nil || c.less(e, victim) {
+			c.counters.Add("cache.rejected", 1)
+			return false
+		}
+		c.removeLocked(victim)
+		c.counters.Add("cache.evictions", 1)
+	}
+	c.entries[key] = e
+	c.used += size
+	c.counters.Add("cache.inserted", 1)
+	return true
+}
+
+// Promote raises an entry's priority (after a demand miss on a sibling
+// partition, successive requests favor keeping this map's data).
+func (c *PrefetchCache) Promote(key CacheKey, priority int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && priority > e.priority {
+		e.priority = priority
+	}
+}
+
+// less orders entries by eviction value: true if a is less valuable
+// (evicted earlier) than b.
+func (c *PrefetchCache) less(a, b *cacheEntry) bool {
+	if c.policy == "fifo" {
+		return a.inserted < b.inserted
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.lastUse < b.lastUse
+}
+
+// victimLocked returns the least valuable entry (nil when empty).
+func (c *PrefetchCache) victimLocked() *cacheEntry {
+	var victim *cacheEntry
+	for _, e := range c.entries {
+		if victim == nil || c.less(e, victim) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+func (c *PrefetchCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.used -= int64(len(e.data))
+}
+
+// evictLocked trims to capacity (after in-place refresh growth). protect
+// is never evicted.
+func (c *PrefetchCache) evictLocked(protect *cacheEntry) {
+	for c.used > c.capacity {
+		victim := c.victimLocked()
+		if victim == nil || victim == protect {
+			return
+		}
+		c.removeLocked(victim)
+		c.counters.Add("cache.evictions", 1)
+	}
+}
+
+// RemoveJob drops every entry belonging to jobID (job completion).
+func (c *PrefetchCache) RemoveJob(jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, e := range c.entries {
+		if k.JobID == jobID {
+			c.removeLocked(e)
+		}
+	}
+}
+
+// Used returns the current cached byte total.
+func (c *PrefetchCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Len returns the number of cached entries.
+func (c *PrefetchCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// jobPrefix reports whether key belongs to the given job (helper for
+// tests; matches RemoveJob semantics).
+func (k CacheKey) jobPrefix(jobID string) bool { return strings.HasPrefix(k.JobID, jobID) }
+
+// taskHeap is a priority heap of prefetch tasks: higher priority first,
+// FIFO within a priority (demand-missed partitions jump the queue).
+type taskHeap []*prefetchTask
+
+type prefetchTask struct {
+	key      CacheKey
+	priority int
+	seq      uint64
+	// partitions is the partition count of the job, used when the task
+	// fans out (mapID-level tasks enqueue partition-level ones).
+}
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*prefetchTask)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+var _ heap.Interface = (*taskHeap)(nil)

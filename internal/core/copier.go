@@ -1,0 +1,495 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/shuffle/wire"
+	"rdmamr/internal/ucr"
+	"rdmamr/internal/verbs"
+)
+
+// chunk is one delivered shuffle packet for a segment.
+type chunk struct {
+	data []byte
+	eof  bool
+	next int64 // byte offset of the following chunk
+	off  int64 // the offset this chunk was requested at (for retries)
+	err  error
+}
+
+// segment is one map output partition being streamed chunk-by-chunk — the
+// refillable source the priority-queue merge draws from: "it needs to get
+// next set of key-value pairs from that particular map task to resume
+// extracting from Priority Queue" (§III-B.2).
+type segment struct {
+	mapID int
+	conn  *hostConn
+	ready chan chunk
+
+	// Merge-goroutine-private state.
+	it       *kv.BufferIterator
+	cur      kv.Record
+	eof      bool
+	attempts int // recovery attempts consumed
+	f        *fetcher
+}
+
+// request asks the host connection for the chunk at offset.
+func (seg *segment) request(ctx context.Context, offset int64) error {
+	select {
+	case seg.conn.reqCh <- chunkReq{mapID: seg.mapID, offset: offset, seg: seg}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// loadChunk blocks for the next chunk, installs its iterator, and
+// pipelines the request for the chunk after it. Returns false when the
+// segment is exhausted. A failed chunk triggers map re-execution (when
+// recovery is wired) and a re-request of the SAME offset from the host
+// now serving the regenerated output — deterministic map functions make
+// the bytes identical, so mid-stream offsets stay valid.
+func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
+	for {
+		var ck chunk
+		select {
+		case ck = <-seg.ready:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+		if ck.err != nil {
+			seg.attempts++
+			if seg.f == nil || seg.f.task.RecoverMap == nil || seg.attempts > mapred.MaxMapRecoveries {
+				return false, ck.err
+			}
+			seg.f.task.Local.Counters().Add("shuffle.fetch.failures", 1)
+			host, err := seg.f.task.RecoverMap(ctx, seg.mapID, seg.attempts)
+			if err != nil {
+				return false, fmt.Errorf("recovering map %d: %w (after %w)", seg.mapID, err, ck.err)
+			}
+			seg.f.mu.Lock()
+			hc := seg.f.conns[host]
+			seg.f.mu.Unlock()
+			if hc == nil {
+				return false, fmt.Errorf("core: recovered map %d on unknown host %s", seg.mapID, host)
+			}
+			seg.conn = hc
+			if err := seg.request(ctx, ck.off); err != nil {
+				return false, err
+			}
+			continue
+		}
+		seg.eof = ck.eof
+		if !ck.eof {
+			// Depth-1 lookahead: fetch the next chunk while the merge
+			// consumes this one (shuffle/merge overlap within a segment).
+			if err := seg.request(ctx, ck.next); err != nil {
+				return false, err
+			}
+		}
+		if len(ck.data) > 0 {
+			seg.it = kv.NewBufferIterator(ck.data)
+			return true, nil
+		}
+		if seg.eof {
+			return false, nil // empty partition
+		}
+	}
+}
+
+// next advances to the segment's next record, refilling across chunk
+// boundaries. Returns false at end of the partition.
+func (seg *segment) next(ctx context.Context) (bool, error) {
+	for {
+		if seg.it != nil {
+			if seg.it.Next() {
+				seg.cur = seg.it.Record()
+				return true, nil
+			}
+			if err := seg.it.Err(); err != nil {
+				return false, err
+			}
+			seg.it = nil
+		}
+		if seg.eof {
+			return false, nil
+		}
+		ok, err := seg.loadChunk(ctx)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+}
+
+type chunkReq struct {
+	mapID  int
+	offset int64
+	seg    *segment
+}
+
+// hostConn is the RDMACopier's connection to one TaskTracker: a UCR
+// end-point plus a registered bounce buffer the responder RDMA-writes
+// packets into. One request is outstanding per connection; chunk requests
+// from all segments on this host are serviced FIFO.
+type hostConn struct {
+	host  string
+	ep    *ucr.EndPoint
+	mr    *verbs.MemoryRegion
+	reqCh chan chunkReq
+}
+
+func (f *fetcher) dial(ctx context.Context, host string) (*hostConn, error) {
+	local := f.task.Local
+	ep, err := local.Fabric().Connect(ctx, local.Device(), host, ServiceName)
+	if err != nil {
+		return nil, fmt.Errorf("core: connecting to %s: %w", host, err)
+	}
+	mr, err := local.Device().RegisterMemory(make([]byte, f.bounceSize))
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	hc := &hostConn{
+		host: host, ep: ep, mr: mr,
+		reqCh: make(chan chunkReq, f.task.Job.NumMaps+4),
+	}
+	f.wg.Add(1)
+	go f.connWorker(ctx, hc)
+	return hc, nil
+}
+
+// connWorker services one connection: send a request, wait for the
+// response header (the payload has already been RDMA-written by then),
+// copy the payload out of the bounce buffer, and deliver it.
+func (f *fetcher) connWorker(ctx context.Context, hc *hostConn) {
+	defer f.wg.Done()
+	for {
+		var req chunkReq
+		select {
+		case req = <-hc.reqCh:
+		case <-ctx.Done():
+			return
+		}
+		ck := f.fetchChunk(ctx, hc, req)
+		select {
+		case req.seg.ready <- ck:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (f *fetcher) fetchChunk(ctx context.Context, hc *hostConn, req chunkReq) chunk {
+	wreq := wire.DataRequest{
+		JobID:      f.task.Job.ID,
+		MapID:      int32(req.mapID),
+		ReduceID:   int32(f.task.ReduceID),
+		Offset:     req.offset,
+		MaxBytes:   int32(hc.mr.Len()),
+		MaxRecords: int32(f.kvPerPacket),
+		RemoteAddr: hc.mr.Addr(),
+		RKey:       hc.mr.RKey(),
+	}
+	if err := hc.ep.Send(ctx, wreq.Encode()); err != nil {
+		return chunk{off: req.offset, err: fmt.Errorf("core: request to %s: %w", hc.host, err)}
+	}
+	msg, err := hc.ep.Recv(ctx)
+	if err != nil {
+		return chunk{off: req.offset, err: fmt.Errorf("core: response from %s: %w", hc.host, err)}
+	}
+	resp, err := wire.DecodeDataResponse(msg)
+	if err != nil {
+		return chunk{off: req.offset, err: err}
+	}
+	if resp.Err != "" {
+		return chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", hc.host, resp.Err)}
+	}
+	payload := make([]byte, resp.Bytes)
+	copy(payload, hc.mr.Bytes()[:resp.Bytes])
+	f.task.Local.Counters().Add("shuffle.rdma.recv.bytes", int64(resp.Bytes))
+	return chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
+}
+
+// batch is one DataToReduceQueue entry: a slice of merged records in
+// sorted order, or a terminal error.
+type batch struct {
+	recs []kv.Record
+	err  error
+}
+
+const batchSize = 512
+
+// fetcher is the ReduceTask-side pipeline: RDMACopier connections, the
+// streaming priority-queue merge, and the DataToReduceQueue feeding the
+// reduce function.
+type fetcher struct {
+	task        mapred.ReduceTaskInfo
+	overlap     bool
+	kvPerPacket int
+	bounceSize  int
+
+	mu    sync.Mutex
+	conns map[string]*hostConn
+
+	out    chan batch
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+	fetched   bool
+}
+
+func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
+	conf := task.Job.Conf
+	packet := int(conf.Int(config.KeyRDMAPacketBytes))
+	return &fetcher{
+		task:        task,
+		overlap:     conf.Bool(config.KeyOverlapReduce),
+		kvPerPacket: int(conf.Int(config.KeyKVPairsPerPacket)),
+		bounceSize:  packet + 64<<10,
+		conns:       make(map[string]*hostConn),
+		out:         make(chan batch, 8),
+	}
+}
+
+// Fetch implements mapred.ReduceFetcher.
+func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
+	if f.fetched {
+		return nil, errors.New("core: Fetch called twice")
+	}
+	f.fetched = true
+	ctx, cancel := context.WithCancel(ctx)
+	f.cancel = cancel
+
+	// "Initially, RDMACopier sends end point information to RDMAListener
+	// in TaskTracker to establish the connection ... to all available
+	// TaskTrackers."
+	for _, host := range f.task.Hosts {
+		hc, err := f.dial(ctx, host)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		f.mu.Lock()
+		f.conns[host] = hc
+		f.mu.Unlock()
+	}
+
+	f.wg.Add(1)
+	go f.run(ctx)
+
+	if f.overlap {
+		// Streaming iterator: reduce overlaps shuffle+merge.
+		return &queueIterator{ctx: ctx, ch: f.out}, nil
+	}
+	// Ablation mode: barrier like the vanilla design — materialize the
+	// whole merged stream before the reduce function sees any of it.
+	var all []kv.Record
+	for b := range f.out {
+		if b.err != nil {
+			return nil, b.err
+		}
+		all = append(all, b.recs...)
+	}
+	return kv.NewSliceIterator(all), nil
+}
+
+// run is the merge engine: build segments as map-completion events
+// arrive (issuing first-chunk requests immediately, overlapping shuffle
+// with the map phase), then run the k-way priority-queue merge, emitting
+// sorted batches into the DataToReduceQueue.
+func (f *fetcher) run(ctx context.Context) {
+	defer f.wg.Done()
+	defer close(f.out)
+	emitErr := func(err error) {
+		select {
+		case f.out <- batch{err: err}:
+		case <-ctx.Done():
+		}
+	}
+
+	// Map Completion Fetcher: one segment per completed map.
+	var segments []*segment
+	for {
+		var (
+			ev mapred.MapEvent
+			ok bool
+		)
+		select {
+		case ev, ok = <-f.task.Events:
+		case <-ctx.Done():
+			emitErr(ctx.Err())
+			return
+		}
+		if !ok {
+			break
+		}
+		f.mu.Lock()
+		hc := f.conns[ev.Host]
+		f.mu.Unlock()
+		if hc == nil {
+			emitErr(fmt.Errorf("core: map event from unknown host %s", ev.Host))
+			return
+		}
+		seg := &segment{mapID: ev.MapID, conn: hc, ready: make(chan chunk, 1), f: f}
+		if err := seg.request(ctx, 0); err != nil {
+			emitErr(err)
+			return
+		}
+		segments = append(segments, seg)
+	}
+	if len(segments) != f.task.Job.NumMaps {
+		emitErr(fmt.Errorf("core: saw %d map events, want %d", len(segments), f.task.Job.NumMaps))
+		return
+	}
+
+	// Prime the priority queue: every live segment contributes its head
+	// record ("while receiving these key-value pairs from all map
+	// locations, a ReduceTask now merges all these data to build up a
+	// Priority Queue").
+	h := &segHeap{cmp: f.task.Job.Comparator}
+	for _, seg := range segments {
+		ok, err := seg.next(ctx)
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		if ok {
+			h.segs = append(h.segs, seg)
+		}
+	}
+	heap.Init(h)
+
+	// Extract in sorted order, refilling segments as their chunks drain.
+	recs := make([]kv.Record, 0, batchSize)
+	flush := func() bool {
+		if len(recs) == 0 {
+			return true
+		}
+		select {
+		case f.out <- batch{recs: recs}:
+			recs = make([]kv.Record, 0, batchSize)
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	for h.Len() > 0 {
+		seg := h.segs[0]
+		recs = append(recs, seg.cur)
+		if len(recs) >= batchSize {
+			if !flush() {
+				return
+			}
+		}
+		ok, err := seg.next(ctx)
+		if err != nil {
+			emitErr(err)
+			return
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	flush()
+}
+
+// Close implements mapred.ReduceFetcher.
+func (f *fetcher) Close() error {
+	f.closeOnce.Do(func() {
+		if f.cancel != nil {
+			f.cancel()
+		}
+		f.mu.Lock()
+		conns := f.conns
+		f.conns = map[string]*hostConn{}
+		f.mu.Unlock()
+		for _, hc := range conns {
+			hc.ep.Close()
+			_ = hc.mr.Deregister()
+		}
+		f.wg.Wait()
+		// Drain any parked batch so the merge goroutine never leaks.
+		for range f.out {
+		}
+	})
+	return nil
+}
+
+// segHeap orders segments by their current record's key.
+type segHeap struct {
+	segs []*segment
+	cmp  kv.Comparator
+}
+
+func (h *segHeap) Len() int           { return len(h.segs) }
+func (h *segHeap) Less(i, j int) bool { return h.cmp(h.segs[i].cur.Key, h.segs[j].cur.Key) < 0 }
+func (h *segHeap) Swap(i, j int)      { h.segs[i], h.segs[j] = h.segs[j], h.segs[i] }
+func (h *segHeap) Push(x any)         { h.segs = append(h.segs, x.(*segment)) }
+func (h *segHeap) Pop() any {
+	old := h.segs
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	h.segs = old[:n-1]
+	return s
+}
+
+// queueIterator adapts the DataToReduceQueue to kv.Iterator: "it then
+// keeps extracting the key-value pairs from the Priority Queue in sorted
+// order and puts these data in a first in first out structure, named as
+// DataToReduceQueue" — this is the consumer end the reduce function pulls.
+type queueIterator struct {
+	ctx context.Context
+	ch  <-chan batch
+	cur []kv.Record
+	idx int
+	err error
+	eos bool
+}
+
+// Next implements kv.Iterator, blocking until merged data is available.
+func (it *queueIterator) Next() bool {
+	if it.err != nil || it.eos {
+		return false
+	}
+	it.idx++
+	for it.idx >= len(it.cur) {
+		select {
+		case b, ok := <-it.ch:
+			if !ok {
+				it.eos = true
+				return false
+			}
+			if b.err != nil {
+				it.err = b.err
+				return false
+			}
+			it.cur = b.recs
+			it.idx = 0
+		case <-it.ctx.Done():
+			it.err = it.ctx.Err()
+			return false
+		}
+	}
+	return true
+}
+
+// Record implements kv.Iterator.
+func (it *queueIterator) Record() kv.Record { return it.cur[it.idx] }
+
+// Err implements kv.Iterator.
+func (it *queueIterator) Err() error { return it.err }

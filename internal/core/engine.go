@@ -1,0 +1,36 @@
+package core
+
+import (
+	"rdmamr/internal/mapred"
+)
+
+// Engine is the OSU-IB RDMA shuffle engine (the design the paper's
+// figures label "OSU-IB (32Gbps)"). Its behaviour follows the
+// configuration keys the paper exposes (§III-C.3):
+//
+//   - mapred.local.caching.enabled — PrefetchCache on/off (Figure 8)
+//   - mapred.rdma.packet.size — RDMA packet size
+//   - mapred.rdma.kvpairs.per.packet — records per packet
+//   - mapred.rdma.sizeaware.packing — size-aware packet fill (D4)
+//   - mapred.rdma.overlap.reduce — streaming vs barrier hand-off (D3)
+//   - mapred.rdma.responder.threads / prefetch.threads — pool sizes
+type Engine struct{}
+
+// New returns the OSU-IB engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements mapred.ShuffleEngine.
+func (e *Engine) Name() string { return "osu-ib-rdma" }
+
+// StartTracker implements mapred.ShuffleEngine: it brings up the
+// RDMAListener, RDMAReceiver/Responder pools, and the MapOutputPrefetcher
+// on one TaskTracker.
+func (e *Engine) StartTracker(tt *mapred.TaskTracker) (mapred.TrackerServer, error) {
+	return startTrackerServer(tt)
+}
+
+// NewReduceFetcher implements mapred.ShuffleEngine: it creates the
+// RDMACopier + streaming merge pipeline for one reduce task.
+func (e *Engine) NewReduceFetcher(task mapred.ReduceTaskInfo) (mapred.ReduceFetcher, error) {
+	return newFetcher(task), nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmamr/internal/kv"
+)
+
+// PackResult describes one packed shuffle chunk.
+type PackResult struct {
+	Bytes   int  // payload length starting at the requested offset
+	Records int  // whole records included
+	EOF     bool // no records remain after this chunk
+}
+
+// Pack selects whole records from body[offset:] for one shuffle packet.
+//
+// sizeAware is design decision D4 (§III-C.3, §IV-C): the OSU design
+// "considers the size of the key-value pair before the transfer", filling
+// up to softLimit bytes; Hadoop-A packs a fixed number of pairs
+// (maxRecords) regardless of size, which with Sort's ≤20,000-byte records
+// yields wildly oversized packets and poor pipeline overlap.
+//
+// hardLimit is the copier's registered buffer capacity: the packet may
+// never exceed it. A single record larger than hardLimit is an error (the
+// copier sizes its buffer above the workload's maximum record). At least
+// one record is always packed when any remain, so progress is guaranteed
+// even when the first record exceeds softLimit.
+func Pack(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeAware bool) (PackResult, error) {
+	if offset < 0 || offset > int64(len(body)) {
+		return PackResult{}, fmt.Errorf("core: pack offset %d outside body of %d", offset, len(body))
+	}
+	if softLimit > hardLimit {
+		softLimit = hardLimit
+	}
+	if maxRecords < 1 {
+		maxRecords = 1
+	}
+	rest := body[offset:]
+	if len(rest) == 0 {
+		return PackResult{EOF: true}, nil
+	}
+	var res PackResult
+	for res.Records < maxRecords && res.Bytes < len(rest) {
+		n, err := kv.NextRecordSize(rest[res.Bytes:])
+		if err != nil {
+			return PackResult{}, fmt.Errorf("core: corrupt record at offset %d: %w", offset+int64(res.Bytes), err)
+		}
+		if res.Records > 0 {
+			// Stop before exceeding the budget that applies to this mode.
+			limit := hardLimit
+			if sizeAware {
+				limit = softLimit
+			}
+			if res.Bytes+n > limit {
+				break
+			}
+		} else if n > hardLimit {
+			return PackResult{}, fmt.Errorf("core: record of %d bytes exceeds copier buffer of %d", n, hardLimit)
+		}
+		res.Bytes += n
+		res.Records++
+	}
+	res.EOF = int(offset)+res.Bytes == len(body)
+	return res, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/shuffle/wire"
+	"rdmamr/internal/ucr"
+	"rdmamr/internal/verbs"
+)
+
+// ServiceName is the UCR service the RDMAListener registers on each
+// TaskTracker's device.
+const ServiceName = "mr-shuffle"
+
+// trackerServer is the TaskTracker-side assembly of Figure 2's new
+// components: RDMAListener (accept loop) → RDMAReceiver (per-connection
+// request pump) → DataRequestQueue → RDMAResponder pool, backed by the
+// MapOutputPrefetcher + PrefetchCache.
+type trackerServer struct {
+	tt         *mapred.TaskTracker
+	listener   *ucr.Listener
+	cache      *PrefetchCache
+	prefetcher *MapOutputPrefetcher
+	cacheOn    bool
+	sizeAware  bool
+	packetSize int
+
+	// reqQ is the DataRequestQueue: "used to hold all the requests from
+	// ReduceTasks ... until one of the RDMAResponders take it".
+	reqQ chan *pendingRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	endpoints []*ucr.EndPoint
+	closed    bool
+}
+
+// pendingRequest pairs a decoded request with the end-point to respond
+// on. Per-endpoint mutexes serialize the RDMA-write + header-send pair so
+// a response never lands in a peer buffer another response still owns.
+type pendingRequest struct {
+	req *wire.DataRequest
+	ep  *ucr.EndPoint
+	mu  *sync.Mutex
+}
+
+func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
+	conf := tt.Conf()
+	l, err := tt.Fabric().Listen(tt.Device(), ServiceName)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &trackerServer{
+		tt:         tt,
+		listener:   l,
+		cache:      NewPrefetchCache(conf.Int(config.KeyPrefetchCacheCap), conf.Get(config.KeyCachePriorityMode), tt.Counters()),
+		cacheOn:    conf.Bool(config.KeyCachingEnabled),
+		sizeAware:  conf.Bool(config.KeySizeAwarePacking),
+		packetSize: int(conf.Int(config.KeyRDMAPacketBytes)),
+		reqQ:       make(chan *pendingRequest, 1024),
+		ctx:        ctx,
+		cancel:     cancel,
+	}
+	s.prefetcher = NewMapOutputPrefetcher(tt, s.cache, int(conf.Int(config.KeyPrefetchThreads)))
+
+	// RDMAListener: accept incoming copier connections, "adds the
+	// connection to a pre-established queue, and starts an RDMAReceiver".
+	s.wg.Add(1)
+	go s.acceptLoop()
+
+	// RDMAResponder pool: "a pool of threads that wait on
+	// DataRequestQueue for incoming requests".
+	responders := int(conf.Int(config.KeyResponderThreads))
+	for i := 0; i < responders; i++ {
+		s.wg.Add(1)
+		go s.responder()
+	}
+	return s, nil
+}
+
+func (s *trackerServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		ep, err := s.listener.Accept(s.ctx)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			ep.Close()
+			return
+		}
+		s.endpoints = append(s.endpoints, ep)
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.receiver(ep)
+	}
+}
+
+// receiver is one RDMAReceiver: it pulls requests off its end-point and
+// places them in the DataRequestQueue.
+func (s *trackerServer) receiver(ep *ucr.EndPoint) {
+	defer s.wg.Done()
+	epMu := &sync.Mutex{}
+	for {
+		msg, err := ep.Recv(s.ctx)
+		if err != nil {
+			return // connection closed by copier or server shutdown
+		}
+		req, err := wire.DecodeDataRequest(msg)
+		if err != nil {
+			s.tt.Counters().Add("shuffle.rdma.bad.requests", 1)
+			continue
+		}
+		select {
+		case s.reqQ <- &pendingRequest{req: req, ep: ep, mu: epMu}:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// responder is one RDMAResponder: take a request, locate the data
+// (PrefetchCache first), pack a chunk, RDMA-write it into the copier's
+// buffer, and send the response header. "It is a very light-weight thread
+// and after sending the response, it immediately goes to wait state."
+func (s *trackerServer) responder() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case p := <-s.reqQ:
+			s.serve(p)
+		}
+	}
+}
+
+func (s *trackerServer) serve(p *pendingRequest) {
+	resp := s.buildResponse(p)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if resp.payload != nil {
+		if err := p.ep.RDMAWrite(s.ctx, resp.payload.sge(), p.req.RemoteAddr, p.req.RKey); err != nil {
+			resp.header.Err = fmt.Sprintf("rdma write: %v", err)
+			resp.header.Bytes, resp.header.Records = 0, 0
+		} else {
+			c := s.tt.Counters()
+			c.Add("shuffle.rdma.bytes", int64(resp.header.Bytes))
+			c.Add("shuffle.rdma.packets", 1)
+		}
+	}
+	_ = p.ep.Send(s.ctx, resp.header.Encode())
+	if resp.payload != nil {
+		resp.payload.release()
+	}
+}
+
+type builtResponse struct {
+	header  wire.DataResponse
+	payload *stagedPayload
+}
+
+// stagedPayload is a registered staging buffer holding the packed chunk.
+// Responders copy the chunk from the (unregistered) cache entry into a
+// pooled registered region and RDMA-write from there — the staging-buffer
+// scheme RDMA middlewares use for data that is not pinned.
+type stagedPayload struct {
+	mr  *verbs.MemoryRegion
+	n   int
+	srv *trackerServer
+}
+
+func (sp *stagedPayload) sge() verbs.SGE { return verbs.SGE{MR: sp.mr, Length: sp.n} }
+
+var stagePool = sync.Pool{} // of *verbs.MemoryRegion, per-device via wrapper
+
+type stagedMR struct {
+	mr  *verbs.MemoryRegion
+	dev string
+}
+
+func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
+	// Pools are device-scoped; a simple per-call registration would churn
+	// MRs, so reuse staged regions big enough for the request.
+	if v := stagePool.Get(); v != nil {
+		if sm, ok := v.(*stagedMR); ok && sm.dev == s.tt.Device().Name() && sm.mr.Len() >= len(data) {
+			copy(sm.mr.Bytes(), data)
+			return &stagedPayload{mr: sm.mr, n: len(data), srv: s}, nil
+		}
+		// Wrong device or too small: drop it (deregister) and allocate.
+		if sm, ok := v.(*stagedMR); ok {
+			_ = sm.mr.Deregister()
+		}
+	}
+	size := len(data)
+	if size < s.packetSize+64<<10 {
+		size = s.packetSize + 64<<10
+	}
+	mr, err := s.tt.Device().RegisterMemory(make([]byte, size))
+	if err != nil {
+		return nil, err
+	}
+	copy(mr.Bytes(), data)
+	return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
+}
+
+func (sp *stagedPayload) release() {
+	stagePool.Put(&stagedMR{mr: sp.mr, dev: sp.srv.tt.Device().Name()})
+}
+
+func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
+	req := p.req
+	header := wire.DataResponse{
+		MapID: req.MapID, ReduceID: req.ReduceID, Offset: req.Offset,
+	}
+	fail := func(err error) builtResponse {
+		header.Err = err.Error()
+		return builtResponse{header: header}
+	}
+
+	run, err := s.lookup(CacheKey{JobID: req.JobID, MapID: int(req.MapID), Partition: int(req.ReduceID)})
+	if err != nil {
+		return fail(err)
+	}
+	body, _, err := kv.RunBody(run)
+	if err != nil {
+		return fail(err)
+	}
+	res, err := Pack(body, req.Offset, s.packetSize, int(req.MaxBytes), int(req.MaxRecords), s.sizeAware)
+	if err != nil {
+		return fail(err)
+	}
+	header.Bytes = int32(res.Bytes)
+	header.Records = int32(res.Records)
+	header.EOF = res.EOF
+	if res.Bytes == 0 {
+		return builtResponse{header: header}
+	}
+	payload, err := s.stage(body[req.Offset : req.Offset+int64(res.Bytes)])
+	if err != nil {
+		return fail(err)
+	}
+	return builtResponse{header: header, payload: payload}
+}
+
+// lookup resolves a partition: PrefetchCache when enabled (demand-missing
+// partitions are fetched from disk and queued for priority re-caching),
+// or directly from disk.
+func (s *trackerServer) lookup(key CacheKey) ([]byte, error) {
+	if s.cacheOn {
+		if data, ok := s.cache.Get(key); ok {
+			return data, nil
+		}
+		// Miss: "TaskTracker fetches data directly from disk itself
+		// without waiting for caching", then re-caches with priority.
+		data, err := s.tt.MapOutput(key.JobID, key.MapID, key.Partition)
+		if err != nil {
+			return nil, err
+		}
+		s.prefetcher.Demand(key)
+		return data, nil
+	}
+	return s.tt.MapOutput(key.JobID, key.MapID, key.Partition)
+}
+
+// MapOutputReady implements mapred.TrackerServer: kick the prefetcher.
+func (s *trackerServer) MapOutputReady(job mapred.JobInfo, mapID int) {
+	if s.cacheOn {
+		s.prefetcher.MapCompleted(job, mapID)
+	}
+}
+
+// JobComplete implements mapred.TrackerServer: release cached data and
+// queued prefetches for the job.
+func (s *trackerServer) JobComplete(job mapred.JobInfo) {
+	s.prefetcher.CancelJob(job.ID)
+	s.cache.RemoveJob(job.ID)
+}
+
+// Close implements mapred.TrackerServer.
+func (s *trackerServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	eps := s.endpoints
+	s.mu.Unlock()
+	s.cancel()
+	s.listener.Close()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	s.prefetcher.Close()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,90 @@
+// Package faultinject provides a shuffle-engine wrapper that simulates
+// intermediate-data loss: chosen maps' output files vanish from the
+// TaskTracker's local disk immediately after the map completes, before
+// any reducer can fetch them. It drives the fault-tolerance tests for
+// the map re-execution path (the paper's §VI future work).
+package faultinject
+
+import (
+	"sync"
+
+	"rdmamr/internal/mapred"
+)
+
+// Engine wraps an inner shuffle engine, injecting output loss.
+type Engine struct {
+	inner mapred.ShuffleEngine
+
+	mu   sync.Mutex
+	lose map[int]bool // mapIDs whose first output announcement is sabotaged
+	done map[int]bool // maps already sabotaged (recoveries are spared)
+
+	// LostCount reports how many injections actually fired.
+	lost int
+}
+
+// Wrap returns a fault-injecting wrapper around inner that destroys the
+// output of each listed mapID exactly once (the first time it is
+// announced; the re-executed output survives).
+func Wrap(inner mapred.ShuffleEngine, loseMapIDs ...int) *Engine {
+	lose := make(map[int]bool, len(loseMapIDs))
+	for _, id := range loseMapIDs {
+		lose[id] = true
+	}
+	return &Engine{inner: inner, lose: lose, done: make(map[int]bool)}
+}
+
+// Name implements mapred.ShuffleEngine.
+func (e *Engine) Name() string { return e.inner.Name() + "+faultinject" }
+
+// LostCount returns the number of injections that fired.
+func (e *Engine) LostCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lost
+}
+
+// StartTracker implements mapred.ShuffleEngine.
+func (e *Engine) StartTracker(tt *mapred.TaskTracker) (mapred.TrackerServer, error) {
+	inner, err := e.inner.StartTracker(tt)
+	if err != nil {
+		return nil, err
+	}
+	return &server{engine: e, tt: tt, inner: inner}, nil
+}
+
+// NewReduceFetcher implements mapred.ShuffleEngine.
+func (e *Engine) NewReduceFetcher(task mapred.ReduceTaskInfo) (mapred.ReduceFetcher, error) {
+	return e.inner.NewReduceFetcher(task)
+}
+
+type server struct {
+	engine *Engine
+	tt     *mapred.TaskTracker
+	inner  mapred.TrackerServer
+}
+
+// MapOutputReady implements mapred.TrackerServer: sabotage first, then
+// let the inner engine (and its prefetcher) discover the loss.
+func (s *server) MapOutputReady(job mapred.JobInfo, mapID int) {
+	s.engine.mu.Lock()
+	sabotage := s.engine.lose[mapID] && !s.engine.done[mapID]
+	if sabotage {
+		s.engine.done[mapID] = true
+		s.engine.lost++
+	}
+	s.engine.mu.Unlock()
+	if sabotage {
+		for r := 0; r < job.NumReduces; r++ {
+			_ = s.tt.Store().Delete(mapred.MapOutputKey(job.ID, mapID, r))
+		}
+		s.tt.Counters().Add("faultinject.outputs.lost", 1)
+	}
+	s.inner.MapOutputReady(job, mapID)
+}
+
+// JobComplete implements mapred.TrackerServer.
+func (s *server) JobComplete(job mapred.JobInfo) { s.inner.JobComplete(job) }
+
+// Close implements mapred.TrackerServer.
+func (s *server) Close() error { return s.inner.Close() }

@@ -1,0 +1,348 @@
+package hdfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rdmamr/internal/storage"
+)
+
+func cluster(t *testing.T, nodes int, blockSize int64, repl int) *FileSystem {
+	t.Helper()
+	fs := New(blockSize, repl)
+	for i := 0; i < nodes; i++ {
+		if err := fs.AddDataNode(NewDataNode(fmt.Sprintf("node%d", i), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := cluster(t, 3, 64, 1)
+	data := make([]byte, 300) // 4 full blocks + 1 partial
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := fs.WriteFile("/input/part-0", "node0", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/input/part-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	fs := cluster(t, 2, 100, 1)
+	data := make([]byte, 250)
+	_ = fs.WriteFile("/f", "", data)
+	info, err := fs.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(info.Blocks))
+	}
+	if info.Blocks[0].Size != 100 || info.Blocks[2].Size != 50 {
+		t.Fatalf("block sizes: %+v", info.Blocks)
+	}
+	if info.Size != 250 {
+		t.Fatalf("size = %d", info.Size)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	if err := fs.WriteFile("/empty", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/empty")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("read empty: %v %v", got, err)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	_ = fs.WriteFile("/f", "", []byte("x"))
+	if _, err := fs.Create("/f", ""); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCreateWithoutDataNodes(t *testing.T) {
+	fs := New(64, 1)
+	if _, err := fs.Create("/f", ""); !errors.Is(err, ErrNoDataNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	if _, err := fs.Open("/ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplicationPlacement(t *testing.T) {
+	fs := cluster(t, 4, 64, 3)
+	_ = fs.WriteFile("/f", "node2", make([]byte, 64))
+	info, _ := fs.Stat("/f")
+	bl := info.Blocks[0]
+	if len(bl.Hosts) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(bl.Hosts))
+	}
+	if bl.Hosts[0] != "node2" {
+		t.Fatalf("first replica %q, want local node2", bl.Hosts[0])
+	}
+	seen := map[string]bool{}
+	for _, h := range bl.Hosts {
+		if seen[h] {
+			t.Fatalf("duplicate replica host %s", h)
+		}
+		seen[h] = true
+	}
+}
+
+func TestReplicationClampedToClusterSize(t *testing.T) {
+	fs := cluster(t, 2, 64, 3)
+	_ = fs.WriteFile("/f", "", make([]byte, 10))
+	info, _ := fs.Stat("/f")
+	if got := len(info.Blocks[0].Hosts); got != 2 {
+		t.Fatalf("replicas = %d, want 2 (cluster size)", got)
+	}
+}
+
+func TestPlacementSpreadsBlocks(t *testing.T) {
+	fs := cluster(t, 4, 10, 1)
+	_ = fs.WriteFile("/f", "", make([]byte, 100)) // 10 blocks
+	info, _ := fs.Stat("/f")
+	hosts := map[string]int{}
+	for _, bl := range info.Blocks {
+		hosts[bl.Hosts[0]]++
+	}
+	if len(hosts) < 3 {
+		t.Fatalf("blocks concentrated on %d nodes: %v", len(hosts), hosts)
+	}
+}
+
+func TestReadBlockPrefersLocalReplica(t *testing.T) {
+	fs := cluster(t, 3, 64, 2)
+	_ = fs.WriteFile("/f", "node1", make([]byte, 64))
+	info, _ := fs.Stat("/f")
+	bl := info.Blocks[0]
+	if len(bl.Hosts) < 2 {
+		t.Skip("need 2 replicas")
+	}
+	other := bl.Hosts[1]
+	_, served, err := fs.ReadBlock(bl, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != other {
+		t.Fatalf("served from %s, want preferred %s", served, other)
+	}
+}
+
+func TestReadBlockFallsBackAcrossReplicas(t *testing.T) {
+	storeA := storage.NewLocalStore()
+	fs := New(64, 2)
+	_ = fs.AddDataNode(NewDataNode("a", storeA))
+	_ = fs.AddDataNode(NewDataNode("b", nil))
+	_ = fs.WriteFile("/f", "a", []byte("data!"))
+	info, _ := fs.Stat("/f")
+	// Simulate disk loss on node a.
+	for _, name := range storeA.List("blk_") {
+		_ = storeA.Delete(name)
+	}
+	got, served, err := fs.ReadBlock(info.Blocks[0], "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != "b" || string(got) != "data!" {
+		t.Fatalf("served=%s data=%q", served, got)
+	}
+}
+
+func TestReadBlockAllReplicasLost(t *testing.T) {
+	store := storage.NewLocalStore()
+	fs := New(64, 1)
+	_ = fs.AddDataNode(NewDataNode("a", store))
+	_ = fs.WriteFile("/f", "a", []byte("data"))
+	info, _ := fs.Stat("/f")
+	for _, name := range store.List("blk_") {
+		_ = store.Delete(name)
+	}
+	if _, _, err := fs.ReadBlock(info.Blocks[0], "a"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := cluster(t, 2, 64, 2)
+	_ = fs.WriteFile("/f", "", make([]byte, 128))
+	if err := fs.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("file still visible")
+	}
+	if err := fs.Delete("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	// Blocks must be reclaimed from datanode stores.
+	for _, name := range fs.DataNodes() {
+		dn := fs.byName[name]
+		if got := dn.Store().List("blk_"); len(got) != 0 {
+			t.Fatalf("%s still holds blocks: %v", name, got)
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	_ = fs.WriteFile("/out/part-1", "", nil)
+	_ = fs.WriteFile("/out/part-0", "", nil)
+	_ = fs.WriteFile("/in/x", "", nil)
+	got := fs.List("/out/")
+	if len(got) != 2 || got[0] != "/out/part-0" || got[1] != "/out/part-1" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	w, _ := fs.Create("/f", "")
+	_ = w.Close()
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReaderIsIOReader(t *testing.T) {
+	fs := cluster(t, 2, 7, 1) // awkward block size to cross boundaries
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	_ = fs.WriteFile("/f", "", data)
+	r, _ := fs.Open("/f")
+	var got bytes.Buffer
+	if _, err := io.CopyBuffer(&got, r, make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(data) {
+		t.Fatalf("read %q", got.String())
+	}
+}
+
+func TestDuplicateDataNode(t *testing.T) {
+	fs := New(64, 1)
+	_ = fs.AddDataNode(NewDataNode("x", nil))
+	if err := fs.AddDataNode(NewDataNode("x", nil)); err == nil {
+		t.Fatal("duplicate datanode accepted")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	fs := cluster(t, 4, 128, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := fmt.Sprintf("/f%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 300)
+			if err := fs.WriteFile(path, "", data); err != nil {
+				t.Errorf("write %s: %v", path, err)
+				return
+			}
+			got, err := fs.ReadFile(path)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Errorf("read %s mismatch: %v", path, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDefaultsClamped(t *testing.T) {
+	fs := New(0, 0)
+	if fs.BlockSize() != 256<<20 {
+		t.Fatalf("default block size: %d", fs.BlockSize())
+	}
+	if fs.replication != 1 {
+		t.Fatalf("default replication: %d", fs.replication)
+	}
+}
+
+func TestChecksumDetectsBitRot(t *testing.T) {
+	store := storage.NewLocalStore()
+	fs := New(64, 2)
+	_ = fs.AddDataNode(NewDataNode("a", store))
+	_ = fs.AddDataNode(NewDataNode("b", nil))
+	_ = fs.WriteFile("/f", "a", []byte("precious data"))
+	info, _ := fs.Stat("/f")
+	// Flip a bit in node a's replica behind HDFS's back.
+	key := info.Blocks[0].ID.storeKey()
+	data, _ := store.Get(key)
+	data[0] ^= 0x01
+	store.Overwrite(key, data)
+	// Reads must skip the rotten replica and serve from b.
+	got, served, err := fs.ReadBlock(info.Blocks[0], "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != "b" || string(got) != "precious data" {
+		t.Fatalf("served=%s got=%q", served, got)
+	}
+}
+
+func TestFsckHealthy(t *testing.T) {
+	fs := cluster(t, 3, 64, 2)
+	_ = fs.WriteFile("/a", "", make([]byte, 150))
+	_ = fs.WriteFile("/b", "", make([]byte, 10))
+	rep := fs.Fsck()
+	if !rep.Healthy() || rep.Files != 2 || rep.Blocks != 4 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.CorruptReplicas != 0 || rep.MissingReplicas != 0 {
+		t.Fatalf("phantom damage: %+v", rep)
+	}
+}
+
+func TestFsckFindsCorruptionAndLoss(t *testing.T) {
+	storeA := storage.NewLocalStore()
+	fs := New(64, 2)
+	_ = fs.AddDataNode(NewDataNode("a", storeA))
+	_ = fs.AddDataNode(NewDataNode("b", nil))
+	_ = fs.WriteFile("/f", "a", []byte("block zero data"))
+	info, _ := fs.Stat("/f")
+	key := info.Blocks[0].ID.storeKey()
+	data, _ := storeA.Get(key)
+	data[3] ^= 0xFF
+	storeA.Overwrite(key, data)
+	rep := fs.Fsck()
+	if rep.CorruptReplicas != 1 {
+		t.Fatalf("corrupt = %d: %+v", rep.CorruptReplicas, rep)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("one good replica remains, but: %+v", rep)
+	}
+	// Now destroy the healthy replica too.
+	fs.mu.RLock()
+	dnB := fs.byName["b"]
+	fs.mu.RUnlock()
+	dnB.deleteBlock(info.Blocks[0].ID)
+	rep = fs.Fsck()
+	if rep.Healthy() || len(rep.LostBlocks) != 1 {
+		t.Fatalf("lost block not detected: %+v", rep)
+	}
+}

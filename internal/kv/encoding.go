@@ -1,0 +1,325 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Encoding errors.
+var (
+	ErrCorrupt     = errors.New("kv: corrupt record stream")
+	ErrBadChecksum = errors.New("kv: run checksum mismatch")
+)
+
+// MaxRecordLen bounds a single key or value length to guard decoders
+// against corrupt length prefixes. Sort's combined kv length is at most
+// 20,000 bytes (paper §IV-C); we leave generous headroom.
+const MaxRecordLen = 64 << 20
+
+// AppendRecord appends the wire encoding of r to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// DecodeRecord decodes one record from b, returning the record and the
+// number of bytes consumed. The record aliases b.
+func DecodeRecord(b []byte) (Record, int, error) {
+	kl, n1 := binary.Uvarint(b)
+	if n1 <= 0 || kl > MaxRecordLen {
+		return Record{}, 0, ErrCorrupt
+	}
+	vl, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 || vl > MaxRecordLen {
+		return Record{}, 0, ErrCorrupt
+	}
+	off := n1 + n2
+	if uint64(len(b)-off) < kl+vl {
+		return Record{}, 0, ErrCorrupt
+	}
+	r := Record{Key: b[off : off+int(kl)], Value: b[off+int(kl) : off+int(kl)+int(vl)]}
+	return r, off + int(kl) + int(vl), nil
+}
+
+// EncodeAll encodes recs back to back into a fresh buffer.
+func EncodeAll(recs []Record) []byte {
+	n := 0
+	for _, r := range recs {
+		n += r.EncodedLen()
+	}
+	buf := make([]byte, 0, n)
+	for _, r := range recs {
+		buf = AppendRecord(buf, r)
+	}
+	return buf
+}
+
+// DecodeAll decodes every record in b. Records alias b.
+func DecodeAll(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		r, n, err := DecodeRecord(b)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	return recs, nil
+}
+
+// BufferIterator iterates over records encoded back to back in a byte
+// buffer, e.g. one shuffle packet. Records alias the buffer.
+type BufferIterator struct {
+	buf []byte
+	cur Record
+	err error
+}
+
+// NewBufferIterator returns an iterator over the records encoded in buf.
+func NewBufferIterator(buf []byte) *BufferIterator { return &BufferIterator{buf: buf} }
+
+// Next decodes the next record.
+func (it *BufferIterator) Next() bool {
+	if it.err != nil || len(it.buf) == 0 {
+		return false
+	}
+	r, n, err := DecodeRecord(it.buf)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.cur = r
+	it.buf = it.buf[n:]
+	return true
+}
+
+// Record returns the current record.
+func (it *BufferIterator) Record() Record { return it.cur }
+
+// Err returns the first decode error, if any.
+func (it *BufferIterator) Err() error { return it.err }
+
+// Sorted-run file format (IFile equivalent):
+//
+//	magic "RMR1" | uvarint(recordCount) | records... | crc32c(le uint32)
+//
+// The CRC covers the record bytes only, so a writer can stream records and
+// emit the checksum at Close.
+
+var runMagic = [4]byte{'R', 'M', 'R', '1'}
+
+// RunWriter writes a sorted run. The caller is responsible for feeding
+// records in sorted order; Write verifies ordering when a comparator is
+// installed via CheckOrder.
+type RunWriter struct {
+	w       *bufio.Writer
+	crc     uint32
+	count   uint64
+	bytes   uint64
+	cmp     Comparator
+	prevKey []byte
+	scratch []byte
+	started bool
+	closed  bool
+}
+
+// NewRunWriter returns a RunWriter emitting to w. Records are buffered;
+// Close flushes the header rewrite-free format (count is written as a
+// trailer alongside the CRC, so the header needs no backpatching).
+func NewRunWriter(w io.Writer) *RunWriter {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &RunWriter{w: bw}
+}
+
+// CheckOrder makes subsequent Writes verify non-decreasing key order under
+// cmp, returning ErrCorrupt on violation. This catches sorter bugs at the
+// spill boundary instead of deep inside a merge.
+func (rw *RunWriter) CheckOrder(cmp Comparator) { rw.cmp = cmp }
+
+// Write appends one record to the run.
+func (rw *RunWriter) Write(r Record) error {
+	if rw.closed {
+		return errors.New("kv: write to closed RunWriter")
+	}
+	if !rw.started {
+		if _, err := rw.w.Write(runMagic[:]); err != nil {
+			return err
+		}
+		rw.started = true
+	}
+	if rw.cmp != nil {
+		if rw.count > 0 && rw.cmp(rw.prevKey, r.Key) > 0 {
+			return fmt.Errorf("%w: unsorted write (%q after %q)", ErrCorrupt, r.Key, rw.prevKey)
+		}
+		rw.prevKey = append(rw.prevKey[:0], r.Key...)
+	}
+	rw.scratch = AppendRecord(rw.scratch[:0], r)
+	rw.crc = crc32.Update(rw.crc, crc32.IEEETable, rw.scratch)
+	if _, err := rw.w.Write(rw.scratch); err != nil {
+		return err
+	}
+	rw.count++
+	rw.bytes += uint64(len(rw.scratch))
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (rw *RunWriter) Count() uint64 { return rw.count }
+
+// Bytes returns the number of record payload bytes written so far.
+func (rw *RunWriter) Bytes() uint64 { return rw.bytes }
+
+// Close writes the trailer (record count + CRC) and flushes.
+func (rw *RunWriter) Close() error {
+	if rw.closed {
+		return nil
+	}
+	rw.closed = true
+	if !rw.started {
+		if _, err := rw.w.Write(runMagic[:]); err != nil {
+			return err
+		}
+	}
+	var trailer [12]byte
+	binary.LittleEndian.PutUint64(trailer[0:8], rw.count)
+	binary.LittleEndian.PutUint32(trailer[8:12], rw.crc)
+	if _, err := rw.w.Write(trailer[:]); err != nil {
+		return err
+	}
+	return rw.w.Flush()
+}
+
+// RunReader reads a sorted run produced by RunWriter from an in-memory
+// buffer (runs are shuffled and cached as byte slices throughout rdmamr).
+type RunReader struct {
+	body    []byte // record bytes
+	count   uint64
+	read    uint64
+	cur     Record
+	err     error
+	checked bool
+	crcWant uint32
+}
+
+// NewRunReader validates the framing of buf and returns a reader. The CRC
+// is verified lazily when the final record has been consumed, so large runs
+// do not pay two passes.
+func NewRunReader(buf []byte) (*RunReader, error) {
+	if len(buf) < len(runMagic)+12 {
+		return nil, ErrCorrupt
+	}
+	if !equal4(buf[:4], runMagic) {
+		return nil, ErrCorrupt
+	}
+	trailer := buf[len(buf)-12:]
+	count := binary.LittleEndian.Uint64(trailer[0:8])
+	crc := binary.LittleEndian.Uint32(trailer[8:12])
+	return &RunReader{
+		body:    buf[4 : len(buf)-12],
+		count:   count,
+		crcWant: crc,
+	}, nil
+}
+
+func equal4(b []byte, m [4]byte) bool {
+	return b[0] == m[0] && b[1] == m[1] && b[2] == m[2] && b[3] == m[3]
+}
+
+// Count returns the total number of records in the run.
+func (rr *RunReader) Count() uint64 { return rr.count }
+
+// Remaining returns how many records have not yet been consumed.
+func (rr *RunReader) Remaining() uint64 { return rr.count - rr.read }
+
+// Next decodes the next record. Records alias the run buffer.
+func (rr *RunReader) Next() bool {
+	if rr.err != nil || rr.read >= rr.count {
+		return false
+	}
+	r, n, err := DecodeRecord(rr.body)
+	if err != nil {
+		rr.err = err
+		return false
+	}
+	rr.cur = r
+	rr.body = rr.body[n:]
+	rr.read++
+	if rr.read == rr.count && !rr.checked {
+		rr.checked = true
+		if len(rr.body) != 0 {
+			rr.err = ErrCorrupt
+			return false
+		}
+	}
+	return true
+}
+
+// Record returns the current record.
+func (rr *RunReader) Record() Record { return rr.cur }
+
+// Err returns the first error encountered.
+func (rr *RunReader) Err() error { return rr.err }
+
+// VerifyChecksum re-walks the full run and checks the trailer CRC. It is
+// independent of iteration state and used by tests and by the DataNode
+// block scanner.
+func VerifyChecksum(buf []byte) error {
+	rr, err := NewRunReader(buf)
+	if err != nil {
+		return err
+	}
+	body := buf[4 : len(buf)-12]
+	crc := crc32.ChecksumIEEE(body)
+	if crc != rr.crcWant {
+		return ErrBadChecksum
+	}
+	return nil
+}
+
+// WriteRun encodes recs (which must already be sorted if order matters
+// downstream) as a complete run and returns the buffer.
+func WriteRun(recs []Record) []byte {
+	var buf writerBuffer
+	rw := NewRunWriter(&buf)
+	for _, r := range recs {
+		// writes to an in-memory buffer cannot fail
+		_ = rw.Write(r)
+	}
+	_ = rw.Close()
+	return buf.b
+}
+
+type writerBuffer struct{ b []byte }
+
+func (wb *writerBuffer) Write(p []byte) (int, error) {
+	wb.b = append(wb.b, p...)
+	return len(p), nil
+}
+
+// RunBody returns the record-body region and record count of an encoded
+// run, without copying. Shuffle responders use this to slice whole
+// records out of a cached run at arbitrary record boundaries.
+func RunBody(run []byte) (body []byte, count uint64, err error) {
+	rr, err := NewRunReader(run)
+	if err != nil {
+		return nil, 0, err
+	}
+	return run[4 : len(run)-12], rr.count, nil
+}
+
+// NextRecordSize returns the encoded size of the record starting at the
+// beginning of body, so packers can make size-aware fill decisions
+// without materializing the record.
+func NextRecordSize(body []byte) (int, error) {
+	_, n, err := DecodeRecord(body)
+	return n, err
+}

@@ -1,0 +1,127 @@
+package kv
+
+import "container/heap"
+
+// Merger performs a streaming k-way merge of sorted iterators using a
+// priority queue (container/heap), yielding records in global sorted order.
+// This is the same algorithm the ReduceTask merge stages use; the
+// RDMA-specific refillable variant lives in internal/core.
+type Merger struct {
+	h   mergeHeap
+	cur Record
+	err error
+	// init defers heap construction until the first Next so that a Merger
+	// over zero iterators is valid and empty.
+	init bool
+}
+
+// NewMerger returns a merger over its (each individually sorted under cmp).
+func NewMerger(cmp Comparator, its ...Iterator) *Merger {
+	m := &Merger{h: mergeHeap{cmp: cmp}}
+	for _, it := range its {
+		m.h.entries = append(m.h.entries, &mergeEntry{it: it})
+	}
+	return m
+}
+
+// Next advances to the next record in merged order.
+func (m *Merger) Next() bool {
+	if m.err != nil {
+		return false
+	}
+	if !m.init {
+		m.init = true
+		// Prime each source; drop exhausted ones.
+		live := m.h.entries[:0]
+		for _, e := range m.h.entries {
+			if e.it.Next() {
+				e.rec = e.it.Record()
+				live = append(live, e)
+			} else if err := e.it.Err(); err != nil {
+				m.err = err
+				return false
+			}
+		}
+		m.h.entries = live
+		heap.Init(&m.h)
+	} else if len(m.h.entries) > 0 {
+		// Advance the source we last emitted from.
+		e := m.h.entries[0]
+		if e.it.Next() {
+			e.rec = e.it.Record()
+			heap.Fix(&m.h, 0)
+		} else {
+			if err := e.it.Err(); err != nil {
+				m.err = err
+				return false
+			}
+			heap.Pop(&m.h)
+		}
+	}
+	if len(m.h.entries) == 0 {
+		return false
+	}
+	m.cur = m.h.entries[0].rec
+	return true
+}
+
+// Record returns the current record; it aliases the source iterator's
+// buffer and is invalidated by the following Next.
+func (m *Merger) Record() Record { return m.cur }
+
+// Err returns the first source error.
+func (m *Merger) Err() error { return m.err }
+
+type mergeEntry struct {
+	it  Iterator
+	rec Record
+}
+
+type mergeHeap struct {
+	entries []*mergeEntry
+	cmp     Comparator
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return h.cmp(h.entries[i].rec.Key, h.entries[j].rec.Key) < 0
+}
+func (h *mergeHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap) Push(x any)    { h.entries = append(h.entries, x.(*mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	h.entries = old[:n-1]
+	return e
+}
+
+// MergeRuns merges encoded sorted runs into a single encoded sorted run.
+// It is the unit the Local FS Merger iterates: repeatedly fold the smallest
+// runs together until at most maxRuns remain (Hadoop's io.sort.factor).
+func MergeRuns(cmp Comparator, runs ...[]byte) ([]byte, error) {
+	its := make([]Iterator, 0, len(runs))
+	for _, run := range runs {
+		rr, err := NewRunReader(run)
+		if err != nil {
+			return nil, err
+		}
+		its = append(its, rr)
+	}
+	m := NewMerger(cmp, its...)
+	var buf writerBuffer
+	rw := NewRunWriter(&buf)
+	for m.Next() {
+		if err := rw.Write(m.Record()); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	if err := rw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}

@@ -1,0 +1,101 @@
+package kv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Partitioner assigns a record key to one of n reduce partitions.
+type Partitioner interface {
+	// Partition returns the partition index in [0, n) for key.
+	Partition(key []byte, n int) int
+}
+
+// HashPartitioner is Hadoop's default partitioner: a stable hash of the key
+// modulo the number of reducers. The zero value is ready to use.
+type HashPartitioner struct{}
+
+// Partition implements Partitioner using FNV-1a.
+func (HashPartitioner) Partition(key []byte, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// TotalOrderPartitioner implements TeraSort's range partitioner: partition
+// boundaries are sampled split points such that partition i receives keys in
+// [split[i-1], split[i]). With this partitioner the concatenation of sorted
+// reduce outputs is globally sorted, which is what TeraValidate checks.
+type TotalOrderPartitioner struct {
+	splits [][]byte // len n-1, sorted ascending
+}
+
+// NewTotalOrderPartitioner builds a partitioner from sorted split points.
+// splits must be in ascending order; there are len(splits)+1 partitions.
+func NewTotalOrderPartitioner(splits [][]byte) (*TotalOrderPartitioner, error) {
+	for i := 1; i < len(splits); i++ {
+		if BytesComparator(splits[i-1], splits[i]) > 0 {
+			return nil, fmt.Errorf("kv: split points not sorted at %d", i)
+		}
+	}
+	return &TotalOrderPartitioner{splits: splits}, nil
+}
+
+// SampleSplits derives n-1 split points from a key sample, mirroring
+// TeraSort's input sampler. The sample is consumed (sorted in place).
+func SampleSplits(sample [][]byte, n int) [][]byte {
+	if n <= 1 || len(sample) == 0 {
+		return nil
+	}
+	sort.Slice(sample, func(i, j int) bool { return BytesComparator(sample[i], sample[j]) < 0 })
+	splits := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		idx := i * len(sample) / n
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		k := make([]byte, len(sample[idx]))
+		copy(k, sample[idx])
+		splits = append(splits, k)
+	}
+	return splits
+}
+
+// Partition implements Partitioner by binary search over the split points.
+// The n argument must equal len(splits)+1; it is accepted for interface
+// compatibility and validated in tests.
+func (p *TotalOrderPartitioner) Partition(key []byte, n int) int {
+	i := sort.Search(len(p.splits), func(i int) bool {
+		return BytesComparator(key, p.splits[i]) < 0
+	})
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Splits returns the partitioner's split points (not copied).
+func (p *TotalOrderPartitioner) Splits() [][]byte { return p.splits }
+
+// SortRecords sorts recs in place by key under cmp, with a stable order so
+// equal keys preserve input (map emission) order as Hadoop's sort does.
+func SortRecords(recs []Record, cmp Comparator) {
+	sort.SliceStable(recs, func(i, j int) bool { return cmp(recs[i].Key, recs[j].Key) < 0 })
+}
+
+// PartitionAndSort splits recs into n per-partition slices and sorts each by
+// key. This is the map-side "sort and spill" step: every partition of a map
+// output file is sorted before it is ever shuffled, which is the property
+// the reducer-side priority-queue merge in internal/core relies on.
+func PartitionAndSort(recs []Record, part Partitioner, n int, cmp Comparator) [][]Record {
+	out := make([][]Record, n)
+	for _, r := range recs {
+		p := part.Partition(r.Key, n)
+		out[p] = append(out[p], r)
+	}
+	for i := range out {
+		SortRecords(out[i], cmp)
+	}
+	return out
+}

@@ -1,0 +1,448 @@
+package mapred
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/hdfs"
+	"rdmamr/internal/stats"
+	"rdmamr/internal/storage"
+	"rdmamr/internal/ucr"
+)
+
+// Cluster is a functional MapReduce cluster: an HDFS instance whose
+// DataNodes share local disks with the TaskTrackers (as on real slave
+// nodes), one verbs device per node on a shared UCR fabric, and a shuffle
+// engine started on every tracker.
+type Cluster struct {
+	fs       *hdfs.FileSystem
+	conf     *config.Config
+	engine   ShuffleEngine
+	fabric   *ucr.Fabric
+	trackers []*TaskTracker
+	servers  []TrackerServer
+	counters *stats.Counters
+	phases   *stats.Phases
+
+	mu     sync.Mutex
+	jobSeq int
+	jobIDs map[string]bool
+	closed bool
+}
+
+// NewCluster builds a cluster of n nodes named node0..node{n-1} running
+// the given shuffle engine. conf may be nil for defaults.
+func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mapred: cluster size %d", n)
+	}
+	if engine == nil {
+		return nil, errors.New("mapred: cluster needs a shuffle engine")
+	}
+	if conf == nil {
+		conf = config.New()
+	}
+	if err := conf.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		fs:       hdfs.New(conf.Int(config.KeyBlockSize), int(conf.Int(config.KeyReplication))),
+		conf:     conf,
+		engine:   engine,
+		fabric:   ucr.NewFabric(),
+		counters: &stats.Counters{},
+		phases:   &stats.Phases{},
+		jobIDs:   make(map[string]bool),
+	}
+	for i := 0; i < n; i++ {
+		host := fmt.Sprintf("node%d", i)
+		dev, err := c.fabric.NewDevice(host)
+		if err != nil {
+			return nil, err
+		}
+		store := storage.NewLocalStore()
+		if err := c.fs.AddDataNode(hdfs.NewDataNode(host, store)); err != nil {
+			return nil, err
+		}
+		tt := &TaskTracker{
+			host: host, store: store, fab: c.fabric, dev: dev,
+			conf: conf, counters: c.counters,
+		}
+		c.trackers = append(c.trackers, tt)
+		srv, err := engine.StartTracker(tt)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("mapred: starting %s on %s: %w", engine.Name(), host, err)
+		}
+		c.servers = append(c.servers, srv)
+	}
+	return c, nil
+}
+
+// FS returns the cluster's HDFS (for loading inputs and reading outputs).
+func (c *Cluster) FS() *hdfs.FileSystem { return c.fs }
+
+// Conf returns the cluster configuration.
+func (c *Cluster) Conf() *config.Config { return c.conf }
+
+// Engine returns the shuffle engine.
+func (c *Cluster) Engine() ShuffleEngine { return c.engine }
+
+// Counters returns the cluster-wide counters.
+func (c *Cluster) Counters() *stats.Counters { return c.counters }
+
+// Trackers returns the TaskTrackers (for tests and diagnostics).
+func (c *Cluster) Trackers() []*TaskTracker { return c.trackers }
+
+// Servers returns the per-tracker shuffle servers, index-aligned with
+// Trackers (for tests and diagnostics).
+func (c *Cluster) Servers() []TrackerServer { return c.servers }
+
+// Close shuts down the shuffle servers.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+}
+
+// JobResult summarizes a completed job.
+type JobResult struct {
+	JobID       string
+	Duration    time.Duration
+	NumMaps     int
+	NumReduces  int
+	OutputFiles []string
+	// Counters holds the per-job delta of cluster counters.
+	Counters map[string]int64
+	// Phases holds the per-job delta of accumulated task-phase wall time
+	// (map.task, reduce.shuffle, reduce.apply) summed across tasks.
+	Phases map[string]time.Duration
+}
+
+// split is one map task's input: one block of a splittable file or a
+// whole non-splittable file.
+type split struct {
+	id     int
+	path   string
+	blocks []hdfs.BlockLocation
+	hosts  []string // candidate local hosts
+}
+
+type splitQueue struct {
+	mu     sync.Mutex
+	splits []*split
+
+	// Straggler speculation state: splits currently running, splits
+	// already completed, and splits that have been handed out as a
+	// backup already (at most one backup per split).
+	inFlight map[int]*split
+	done     map[int]bool
+	backed   map[int]bool
+}
+
+func newSplitQueue(splits []*split) *splitQueue {
+	return &splitQueue{
+		splits:   append([]*split(nil), splits...),
+		inFlight: make(map[int]*split),
+		done:     make(map[int]bool),
+		backed:   make(map[int]bool),
+	}
+}
+
+// take pops a split, preferring one with a replica on host (Hadoop's
+// data-local scheduling). With speculation enabled, an idle worker that
+// finds the queue empty may claim a backup copy of an in-flight split —
+// the first attempt to complete wins.
+func (q *splitQueue) take(host string, speculate bool) (*split, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, sp := range q.splits {
+		for _, h := range sp.hosts {
+			if h == host {
+				q.splits = append(q.splits[:i], q.splits[i+1:]...)
+				q.inFlight[sp.id] = sp
+				return sp, false
+			}
+		}
+	}
+	if len(q.splits) > 0 {
+		sp := q.splits[0]
+		q.splits = q.splits[1:]
+		q.inFlight[sp.id] = sp
+		return sp, false
+	}
+	if speculate {
+		for id, sp := range q.inFlight {
+			if !q.done[id] && !q.backed[id] {
+				q.backed[id] = true
+				return sp, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// complete records a finished attempt; it returns true for the FIRST
+// completion of the split (later attempts are discarded duplicates).
+func (q *splitQueue) complete(id int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done[id] {
+		return false
+	}
+	q.done[id] = true
+	delete(q.inFlight, id)
+	return true
+}
+
+func (c *Cluster) planSplits(job *Job) ([]*split, error) {
+	var splits []*split
+	for _, path := range job.Input {
+		info, err := c.fs.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("mapred: input %s: %w", path, err)
+		}
+		if job.InputFormat.Splittable(c.fs.BlockSize()) {
+			for _, bl := range info.Blocks {
+				splits = append(splits, &split{
+					id: len(splits), path: path,
+					blocks: []hdfs.BlockLocation{bl}, hosts: bl.Hosts,
+				})
+			}
+		} else {
+			sp := &split{id: len(splits), path: path, blocks: info.Blocks}
+			if len(info.Blocks) > 0 {
+				sp.hosts = info.Blocks[0].Hosts
+			}
+			splits = append(splits, sp)
+		}
+	}
+	if len(splits) == 0 {
+		return nil, errors.New("mapred: no input splits")
+	}
+	return splits, nil
+}
+
+// RunJob executes a job to completion, returning its result.
+func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
+	job, err := spec.withDefaults(c.conf)
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Conf.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("mapred: cluster closed")
+	}
+	if c.jobIDs[job.Name] {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("mapred: job name %q already used", job.Name)
+	}
+	c.jobIDs[job.Name] = true
+	c.jobSeq++
+	jobID := fmt.Sprintf("job_%04d_%s", c.jobSeq, job.Name)
+	c.mu.Unlock()
+
+	if existing := c.fs.List(job.Output + "/"); len(existing) > 0 {
+		return nil, fmt.Errorf("mapred: output directory %s not empty", job.Output)
+	}
+
+	splits, err := c.planSplits(job)
+	if err != nil {
+		return nil, err
+	}
+	numReduces := job.NumReduces
+	if numReduces == 0 {
+		numReduces = len(c.trackers) * int(job.Conf.Int(config.KeyReduceSlots))
+	}
+	info := JobInfo{
+		ID: jobID, Conf: job.Conf, Comparator: job.Comparator,
+		NumMaps: len(splits), NumReduces: numReduces,
+	}
+
+	before := c.counters.Snapshot()
+	phasesBefore := c.phases.Snapshot()
+	start := time.Now()
+	if err := c.execute(ctx, info, job, splits); err != nil {
+		return nil, err
+	}
+	dur := time.Since(start)
+
+	for i, tt := range c.trackers {
+		c.servers[i].JobComplete(info)
+		tt.CleanupJob(jobID)
+	}
+	after := c.counters.Snapshot()
+	delta := make(map[string]int64, len(after))
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			delta[k] = d
+		}
+	}
+	phasesAfter := c.phases.Snapshot()
+	phaseDelta := make(map[string]time.Duration, len(phasesAfter))
+	for k, v := range phasesAfter {
+		if d := v - phasesBefore[k]; d != 0 {
+			phaseDelta[k] = d
+		}
+	}
+	return &JobResult{
+		JobID: jobID, Duration: dur,
+		NumMaps: len(splits), NumReduces: numReduces,
+		OutputFiles: c.fs.List(job.Output + "/"),
+		Counters:    delta,
+		Phases:      phaseDelta,
+	}, nil
+}
+
+// execute runs the map and reduce phases concurrently (reduces start
+// immediately and their fetchers wait on map-completion events).
+func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []*split) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Per-reduce map-completion event channels, buffered so broadcasting
+	// never blocks the map path.
+	events := make([]chan MapEvent, info.NumReduces)
+	for i := range events {
+		events[i] = make(chan MapEvent, info.NumMaps+1)
+	}
+	var (
+		mapsLeft     = int64(len(splits))
+		mapsMu       sync.Mutex
+		eventsClosed bool
+	)
+	broadcast := func(ev MapEvent) {
+		mapsMu.Lock()
+		defer mapsMu.Unlock()
+		if eventsClosed {
+			return
+		}
+		for _, ch := range events {
+			ch <- ev
+		}
+		mapsLeft--
+		if mapsLeft == 0 {
+			for _, ch := range events {
+				close(ch)
+			}
+			eventsClosed = true
+		}
+	}
+	// On failure the event channels must still close so reduce fetchers
+	// unblock (they also watch ctx; this is belt and braces).
+	defer func() {
+		mapsMu.Lock()
+		if !eventsClosed {
+			for _, ch := range events {
+				close(ch)
+			}
+			eventsClosed = true
+		}
+		mapsMu.Unlock()
+	}()
+
+	recovery := newJobRecovery(ctx, c, info, job, splits)
+
+	var wg sync.WaitGroup
+
+	// Map phase: per-tracker slot workers pulling from the locality
+	// queue. With mapred.map.tasks.speculative.execution, idle workers
+	// launch backup attempts for stragglers; the first completion wins
+	// and later duplicates are discarded.
+	queue := newSplitQueue(splits)
+	speculate := info.Conf.Bool(config.KeySpeculativeMaps)
+	mapSlots := int(info.Conf.Int(config.KeyMapSlots))
+	for ti, tt := range c.trackers {
+		for s := 0; s < mapSlots; s++ {
+			wg.Add(1)
+			go func(ti int, tt *TaskTracker) {
+				defer wg.Done()
+				for {
+					if ctx.Err() != nil {
+						return
+					}
+					sp, backup := queue.take(tt.Host(), speculate)
+					if sp == nil {
+						return
+					}
+					if backup {
+						c.counters.Add("map.tasks.speculative", 1)
+					}
+					if err := c.runMapTask(ctx, tt, info, job, sp); err != nil {
+						if backup || ctx.Err() != nil {
+							// A failed backup is harmless; the original
+							// attempt is still running.
+							continue
+						}
+						fail(fmt.Errorf("map %d on %s: %w", sp.id, tt.Host(), err))
+						return
+					}
+					if !queue.complete(sp.id) {
+						c.counters.Add("map.tasks.duplicate.discarded", 1)
+						continue
+					}
+					c.servers[ti].MapOutputReady(info, sp.id)
+					broadcast(MapEvent{MapID: sp.id, Host: tt.Host()})
+				}
+			}(ti, tt)
+		}
+	}
+
+	// Reduce phase: round-robin placement, bounded by reduce slots.
+	reduceSlots := int(info.Conf.Int(config.KeyReduceSlots))
+	sem := make([]chan struct{}, len(c.trackers))
+	for i := range sem {
+		sem[i] = make(chan struct{}, reduceSlots)
+	}
+	for r := 0; r < info.NumReduces; r++ {
+		ti := r % len(c.trackers)
+		wg.Add(1)
+		go func(r, ti int) {
+			defer wg.Done()
+			select {
+			case sem[ti] <- struct{}{}:
+				defer func() { <-sem[ti] }()
+			case <-ctx.Done():
+				return
+			}
+			if err := c.runReduceTask(ctx, c.trackers[ti], info, job, r, events[r], recovery); err != nil {
+				fail(fmt.Errorf("reduce %d on %s: %w", r, c.trackers[ti].Host(), err))
+			}
+		}(r, ti)
+	}
+
+	wg.Wait()
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return firstErr
+}

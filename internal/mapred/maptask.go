@@ -1,0 +1,225 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+)
+
+// runMapTask executes one MapTask: read the split from HDFS (preferring
+// the local replica), apply the map function, partition and sort the
+// emitted records, and spill one sorted run per reduce partition to local
+// disk — the map output files the shuffle serves.
+func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, sp *split) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	start := time.Now()
+	defer func() { c.phases.Observe("map.task", time.Since(start)) }()
+	// Read the split's blocks.
+	var data []byte
+	for _, bl := range sp.blocks {
+		blk, served, err := c.fs.ReadBlock(bl, tt.Host())
+		if err != nil {
+			return fmt.Errorf("reading block %d of %s: %w", bl.ID, sp.path, err)
+		}
+		if served == tt.Host() {
+			c.counters.Add("map.input.blocks.local", 1)
+		} else {
+			c.counters.Add("map.input.blocks.remote", 1)
+		}
+		data = append(data, blk...)
+	}
+	c.counters.Add("map.input.bytes", int64(len(data)))
+
+	it, err := job.InputFormat.Records(data)
+	if err != nil {
+		return fmt.Errorf("parsing split %d: %w", sp.id, err)
+	}
+
+	// Apply the map function with an io.sort.mb-bounded collect buffer:
+	// when the buffer fills, the accumulated records are partitioned,
+	// sorted (with the combiner applied), and spilled as intermediate
+	// runs; task finish merges each partition's spill runs into the map
+	// output file — Hadoop's sort-and-spill pipeline.
+	spiller := &mapSpiller{c: c, tt: tt, info: info, job: job, mapID: sp.id,
+		bufLimit: job.Conf.Int(config.KeyIOSortMB)}
+	inRecords := int64(0)
+	outRecords := int64(0)
+	emit := func(k, v []byte) {
+		spiller.add(kv.Record{Key: k, Value: v}.Clone())
+		outRecords++
+	}
+	for it.Next() {
+		rec := it.Record()
+		if err := job.Mapper(rec.Key, rec.Value, emit); err != nil {
+			return fmt.Errorf("map function: %w", err)
+		}
+		if spiller.err != nil {
+			return spiller.err
+		}
+		inRecords++
+		if inRecords%4096 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("reading split %d: %w", sp.id, err)
+	}
+	c.counters.Add("map.records.in", inRecords)
+	c.counters.Add("map.records.out", outRecords)
+
+	if err := spiller.finish(); err != nil {
+		return err
+	}
+	c.counters.Add("map.tasks.completed", 1)
+	return nil
+}
+
+// mapSpiller implements the map-side sort-and-spill pipeline: records
+// accumulate until io.sort.mb, each overflow becomes one sorted spill of
+// per-partition runs, and finish merges the spills per partition into
+// the final map output file.
+type mapSpiller struct {
+	c     *Cluster
+	tt    *TaskTracker
+	info  JobInfo
+	job   *Job
+	mapID int
+
+	bufLimit int64
+	buffered int64
+	recs     []kv.Record
+	spills   int
+	err      error
+}
+
+func (ms *mapSpiller) spillKey(spill, partition int) string {
+	return fmt.Sprintf("spill/%s/m%05d/s%03d/p%05d", ms.info.ID, ms.mapID, spill, partition)
+}
+
+func (ms *mapSpiller) add(r kv.Record) {
+	if ms.err != nil {
+		return
+	}
+	ms.recs = append(ms.recs, r)
+	ms.buffered += int64(r.EncodedLen())
+	if ms.buffered >= ms.bufLimit {
+		ms.err = ms.spill()
+	}
+}
+
+// spill sorts and writes the buffered records as one spill (a run per
+// partition).
+func (ms *mapSpiller) spill() error {
+	parts, err := ms.sortedPartitions()
+	if err != nil {
+		return err
+	}
+	for r, recs := range parts {
+		ms.tt.Store().Overwrite(ms.spillKey(ms.spills, r), kv.WriteRun(recs))
+	}
+	ms.spills++
+	ms.c.counters.Add("map.spills", 1)
+	ms.recs = ms.recs[:0]
+	ms.buffered = 0
+	return nil
+}
+
+func (ms *mapSpiller) sortedPartitions() ([][]kv.Record, error) {
+	parts := kv.PartitionAndSort(ms.recs, ms.job.Partitioner, ms.info.NumReduces, ms.job.Comparator)
+	if ms.job.Combiner == nil {
+		return parts, nil
+	}
+	for r, recs := range parts {
+		combined, err := combine(recs, ms.job.Combiner, ms.job.Comparator)
+		if err != nil {
+			return nil, fmt.Errorf("combiner: %w", err)
+		}
+		ms.c.counters.Add("combine.records.in", int64(len(recs)))
+		ms.c.counters.Add("combine.records.out", int64(len(combined)))
+		parts[r] = combined
+	}
+	return parts, nil
+}
+
+// finish produces the final map output: the single-buffer fast path when
+// nothing spilled, otherwise a per-partition merge of all spill runs.
+func (ms *mapSpiller) finish() error {
+	if ms.err != nil {
+		return ms.err
+	}
+	if ms.spills == 0 {
+		// Fast path: everything fit in the collect buffer.
+		parts, err := ms.sortedPartitions()
+		if err != nil {
+			return err
+		}
+		for r, recs := range parts {
+			run := kv.WriteRun(recs)
+			if err := ms.tt.storeMapOutput(ms.info.ID, ms.mapID, r, run); err != nil {
+				return fmt.Errorf("spilling partition %d: %w", r, err)
+			}
+			ms.c.counters.Add("map.output.bytes", int64(len(run)))
+		}
+		return nil
+	}
+	// Final spill of the residue, then merge spills per partition.
+	if len(ms.recs) > 0 {
+		if err := ms.spill(); err != nil {
+			return err
+		}
+	}
+	store := ms.tt.Store()
+	for r := 0; r < ms.info.NumReduces; r++ {
+		runs := make([][]byte, 0, ms.spills)
+		for s := 0; s < ms.spills; s++ {
+			key := ms.spillKey(s, r)
+			data, err := store.Get(key)
+			if err != nil {
+				return fmt.Errorf("reading spill %d/%d: %w", s, r, err)
+			}
+			runs = append(runs, data)
+			_ = store.Delete(key)
+		}
+		merged, err := kv.MergeRuns(ms.job.Comparator, runs...)
+		if err != nil {
+			return fmt.Errorf("merging spills for partition %d: %w", r, err)
+		}
+		if err := ms.tt.storeMapOutput(ms.info.ID, ms.mapID, r, merged); err != nil {
+			return fmt.Errorf("storing partition %d: %w", r, err)
+		}
+		ms.c.counters.Add("map.output.bytes", int64(len(merged)))
+	}
+	return nil
+}
+
+// combine applies the combiner to one sorted partition, grouping equal
+// keys exactly as the reduce side will.
+func combine(recs []kv.Record, combiner Reducer, cmp kv.Comparator) ([]kv.Record, error) {
+	var out []kv.Record
+	emit := func(k, v []byte) {
+		out = append(out, kv.Record{Key: k, Value: v}.Clone())
+	}
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && cmp(recs[i].Key, recs[j].Key) == 0 {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for _, r := range recs[i:j] {
+			values = append(values, r.Value)
+		}
+		if err := combiner(recs[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	// The combiner may emit arbitrary keys; re-sort to preserve the
+	// sorted-partition invariant the shuffle merge relies on.
+	kv.SortRecords(out, cmp)
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// MaxMapRecoveries bounds re-execution attempts per map task, mirroring
+// Hadoop's mapred.map.max.attempts (4 = 1 original + 3 retries).
+const MaxMapRecoveries = 3
+
+// jobRecovery coordinates map re-execution when reduce-side fetchers
+// report lost map outputs — the "faster recovery in case of task
+// failures" the paper lists as future work (§VI). Concurrent reports for
+// the same (map, attempt) share one re-execution; each attempt is placed
+// on a different node.
+type jobRecovery struct {
+	c      *Cluster
+	ctx    context.Context
+	info   JobInfo
+	job    *Job
+	splits map[int]*split
+
+	mu      sync.Mutex
+	entries map[recoveryKey]*recoveryEntry
+}
+
+type recoveryKey struct {
+	mapID   int
+	attempt int
+}
+
+type recoveryEntry struct {
+	done chan struct{}
+	host string
+	err  error
+}
+
+func newJobRecovery(ctx context.Context, c *Cluster, info JobInfo, job *Job, splits []*split) *jobRecovery {
+	byID := make(map[int]*split, len(splits))
+	for _, sp := range splits {
+		byID[sp.id] = sp
+	}
+	return &jobRecovery{
+		c: c, ctx: ctx, info: info, job: job,
+		splits:  byID,
+		entries: make(map[recoveryKey]*recoveryEntry),
+	}
+}
+
+// Recover re-executes map mapID for the given fetcher-side attempt
+// number (1 for the first failure), returning the host now serving the
+// regenerated output. Map functions are assumed deterministic (Hadoop's
+// standing requirement), so the regenerated output is byte-identical and
+// in-flight fetch offsets remain valid.
+func (r *jobRecovery) Recover(ctx context.Context, mapID, attempt int) (string, error) {
+	if attempt > MaxMapRecoveries {
+		return "", fmt.Errorf("mapred: map %d failed after %d recovery attempts", mapID, MaxMapRecoveries)
+	}
+	sp, ok := r.splits[mapID]
+	if !ok {
+		return "", fmt.Errorf("mapred: recovery for unknown map %d", mapID)
+	}
+	key := recoveryKey{mapID: mapID, attempt: attempt}
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.host, e.err
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+	e := &recoveryEntry{done: make(chan struct{})}
+	r.entries[key] = e
+	r.mu.Unlock()
+
+	// Place each attempt on a different node so a sick node does not
+	// keep re-hosting the same output.
+	ti := (mapID + attempt) % len(r.c.trackers)
+	tt := r.c.trackers[ti]
+	e.err = r.c.runMapTask(r.ctx, tt, r.info, r.job, sp)
+	if e.err == nil {
+		e.host = tt.Host()
+		r.c.servers[ti].MapOutputReady(r.info, mapID)
+		r.c.counters.Add("map.tasks.recovered", 1)
+	}
+	close(e.done)
+	return e.host, e.err
+}

@@ -1,0 +1,114 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rdmamr/internal/kv"
+)
+
+// runReduceTask executes one ReduceTask: run the engine's shuffle+merge
+// pipeline, group the merged sorted stream by key, apply the reduce
+// function, and write part-r-NNNNN to HDFS.
+//
+// Because grouping pulls from the fetcher's iterator, a streaming engine
+// overlaps reduce with shuffle and merge for free (§III-B.4): the reduce
+// function runs as soon as the first merged key group is complete.
+func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, reduceID int, events <-chan MapEvent, recovery *jobRecovery) error {
+	hosts := make([]string, len(c.trackers))
+	for i, tr := range c.trackers {
+		hosts[i] = tr.Host()
+	}
+	taskStart := time.Now()
+	fetcher, err := c.engine.NewReduceFetcher(ReduceTaskInfo{
+		Job: info, ReduceID: reduceID, Events: events, Local: tt, Hosts: hosts,
+		RecoverMap: recovery.Recover,
+	})
+	if err != nil {
+		return fmt.Errorf("creating fetcher: %w", err)
+	}
+	defer fetcher.Close()
+
+	it, err := fetcher.Fetch(ctx)
+	if err != nil {
+		return fmt.Errorf("shuffle: %w", err)
+	}
+	// For a barrier engine Fetch returns only after shuffle+merge; for a
+	// streaming engine this span is near zero and the cost lands in the
+	// reduce span below (the overlap the design is about).
+	c.phases.Observe("reduce.shuffle", time.Since(taskStart))
+	reduceStart := time.Now()
+	defer func() { c.phases.Observe("reduce.apply", time.Since(reduceStart)) }()
+
+	path := fmt.Sprintf("%s/part-r-%05d", job.Output, reduceID)
+	w, err := c.fs.Create(path, tt.Host())
+	if err != nil {
+		return err
+	}
+	rw := kv.NewRunWriter(w)
+
+	var (
+		outRecords int64
+		inRecords  int64
+	)
+	emit := func(k, v []byte) {
+		// Errors surface at Close; RunWriter latches the first failure.
+		_ = rw.Write(kv.Record{Key: k, Value: v})
+		outRecords++
+	}
+
+	// Group consecutive equal keys from the merged sorted stream.
+	var (
+		curKey    []byte
+		curValues [][]byte
+		haveGroup bool
+	)
+	flush := func() error {
+		if !haveGroup {
+			return nil
+		}
+		if err := job.Reducer(curKey, curValues, emit); err != nil {
+			return fmt.Errorf("reduce function: %w", err)
+		}
+		curValues = curValues[:0]
+		haveGroup = false
+		return nil
+	}
+	for it.Next() {
+		rec := it.Record()
+		if haveGroup && job.GroupComparator(rec.Key, curKey) != 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		if !haveGroup {
+			curKey = append(curKey[:0], rec.Key...)
+			haveGroup = true
+		}
+		v := make([]byte, len(rec.Value))
+		copy(v, rec.Value)
+		curValues = append(curValues, v)
+		inRecords++
+		if inRecords%4096 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	if err := it.Err(); err != nil {
+		return fmt.Errorf("merged stream: %w", err)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if err := rw.Close(); err != nil {
+		return fmt.Errorf("finalizing output run: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	c.counters.Add("reduce.records.in", inRecords)
+	c.counters.Add("reduce.records.out", outRecords)
+	c.counters.Add("reduce.tasks.completed", 1)
+	return nil
+}

@@ -1,0 +1,74 @@
+package mapred
+
+import (
+	"fmt"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/stats"
+	"rdmamr/internal/storage"
+	"rdmamr/internal/ucr"
+	"rdmamr/internal/verbs"
+)
+
+// TaskTracker is one slave node's task runtime: it owns the node's local
+// disk (shared with its DataNode, as on a real slave), its HCA device,
+// and its map/reduce slots. Shuffle engines are handed TaskTrackers on
+// both the serving side (map outputs live in Store) and the reduce side
+// (the local endpoint for fetching).
+type TaskTracker struct {
+	host     string
+	store    *storage.LocalStore
+	fab      *ucr.Fabric
+	dev      *verbs.Device
+	conf     *config.Config
+	counters *stats.Counters
+}
+
+// Host returns the node name.
+func (tt *TaskTracker) Host() string { return tt.host }
+
+// Conf returns the cluster configuration.
+func (tt *TaskTracker) Conf() *config.Config { return tt.conf }
+
+// Fabric returns the cluster's UCR fabric.
+func (tt *TaskTracker) Fabric() *ucr.Fabric { return tt.fab }
+
+// Device returns this node's verbs device.
+func (tt *TaskTracker) Device() *verbs.Device { return tt.dev }
+
+// Counters returns the cluster-wide stat counters.
+func (tt *TaskTracker) Counters() *stats.Counters { return tt.counters }
+
+// Store exposes the node's local disk. Engines read map outputs from here
+// (every Get is accounted disk traffic — the PrefetchCache's reason to
+// exist) and spill reduce-side runs into it.
+func (tt *TaskTracker) Store() *storage.LocalStore { return tt.store }
+
+// MapOutput reads one map output partition from local disk. This is the
+// accounted disk-read path the HTTP servlet, the Hadoop-A responder, and
+// the OSU responder's cache-miss path all go through.
+func (tt *TaskTracker) MapOutput(jobID string, mapID, partition int) ([]byte, error) {
+	tt.counters.Add("tracker.mapoutput.disk.reads", 1)
+	return tt.store.Get(MapOutputKey(jobID, mapID, partition))
+}
+
+// MapOutputSize returns the stored size of a partition without a disk
+// read (namespace metadata, as a real TaskTracker has in memory).
+func (tt *TaskTracker) MapOutputSize(jobID string, mapID, partition int) (int64, error) {
+	return tt.store.Size(MapOutputKey(jobID, mapID, partition))
+}
+
+// storeMapOutput persists one sorted partition of a map's output.
+// Overwrite semantics allow recovery re-executions to replace a
+// partially lost output with the regenerated (identical) bytes.
+func (tt *TaskTracker) storeMapOutput(jobID string, mapID, partition int, run []byte) error {
+	tt.store.Overwrite(MapOutputKey(jobID, mapID, partition), run)
+	return nil
+}
+
+// CleanupJob removes a finished job's map outputs from local disk.
+func (tt *TaskTracker) CleanupJob(jobID string) {
+	for _, name := range tt.store.List(fmt.Sprintf("mapout/%s/", jobID)) {
+		_ = tt.store.Delete(name)
+	}
+}

@@ -1,0 +1,148 @@
+package hadoopa_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/shuffle/hadoopa"
+	"rdmamr/internal/workload"
+)
+
+func newCluster(t *testing.T, nodes int, conf *config.Config) *mapred.Cluster {
+	t.Helper()
+	if conf == nil {
+		conf = config.New()
+		conf.SetInt(config.KeyBlockSize, 64<<10)
+		conf.SetInt(config.KeyMapSlots, 2)
+		conf.SetInt(config.KeyReduceSlots, 2)
+	}
+	c, err := mapred.NewCluster(nodes, conf, hadoopa.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestHadoopATeraSort(t *testing.T) {
+	c := newCluster(t, 3, nil)
+	fs := c.FS()
+	paths, err := workload.TeraGen(fs, "/in", 1500, 16<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, _ := workload.SampleKeys(fs, paths, mapred.TeraInput, 100)
+	part, err := kv.NewTotalOrderPartitioner(kv.SampleSplits(sample, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := workload.ChecksumInput(fs, paths, mapred.TeraInput)
+	res, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: "ha-ts", Input: paths, Output: "/out",
+		InputFormat: mapred.TeraInput, Partitioner: part, NumReduces: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Validate(fs, "/out", kv.BytesComparator, want, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters["shuffle.hadoopa.bytes"] == 0 {
+		t.Fatal("no levitated-merge traffic")
+	}
+	// No cache, ever: every serve is a disk read.
+	if res.Counters["cache.hits"] != 0 || res.Counters["cache.prefetched"] != 0 {
+		t.Fatalf("Hadoop-A must not cache: %v", res.Counters)
+	}
+}
+
+func TestHadoopACountDrivenPacking(t *testing.T) {
+	// With kvpairs.per.packet = 8 and 100-byte records, packets carry
+	// ~8 records regardless of the RDMA packet size setting — the
+	// size-oblivious fill §III-C.3 contrasts with the OSU design.
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyKVPairsPerPacket, 8)
+	conf.SetInt(config.KeyRDMAPacketBytes, 1<<20)
+	c := newCluster(t, 2, conf)
+	fs := c.FS()
+	paths, err := workload.TeraGen(fs, "/in", 800, 16<<10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: "ha-pack", Input: paths, Output: "/out",
+		InputFormat: mapred.TeraInput, NumReduces: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := res.Counters["shuffle.hadoopa.packets"]
+	bytes := res.Counters["shuffle.hadoopa.bytes"]
+	if packets == 0 {
+		t.Fatal("no packets")
+	}
+	meanPacket := float64(bytes) / float64(packets)
+	// 8 records ≈ 8×103 encoded bytes; a size-aware packer would have
+	// filled toward the 1 MB limit instead.
+	if meanPacket > 2000 {
+		t.Fatalf("mean packet %.0f bytes; count-driven packing should cap near 8 records", meanPacket)
+	}
+	// Count-driven packing needs many more packets: at least one per 8
+	// records.
+	if packets < 800/8 {
+		t.Fatalf("packets = %d", packets)
+	}
+}
+
+func TestHadoopAPerChunkDiskReads(t *testing.T) {
+	// The defining deficiency (§III-C.1): every packet request reads the
+	// map output from disk — tracker disk reads scale with packet count,
+	// not partition count.
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyKVPairsPerPacket, 16)
+	c := newCluster(t, 2, conf)
+	fs := c.FS()
+	paths, err := workload.TeraGen(fs, "/in", 2000, 32<<10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: "ha-disk", Input: paths, Output: "/out",
+		InputFormat: mapred.TeraInput, NumReduces: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := res.Counters["tracker.mapoutput.disk.reads"]
+	partitions := int64(res.NumMaps * res.NumReduces)
+	if reads < partitions*3 {
+		t.Fatalf("disk reads %d for %d partitions; expected per-chunk disk access", reads, partitions)
+	}
+}
+
+func TestHadoopAEmptyPartitions(t *testing.T) {
+	c := newCluster(t, 2, nil)
+	fs := c.FS()
+	_ = fs.WriteFile("/e/in", "", kv.WriteRun([]kv.Record{{Key: []byte("k"), Value: []byte("v")}}))
+	if _, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: "ha-empty", Input: []string{"/e/in"}, Output: "/e/out", NumReduces: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

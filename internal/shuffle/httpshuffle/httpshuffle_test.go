@@ -1,0 +1,137 @@
+package httpshuffle_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/shuffle/httpshuffle"
+	"rdmamr/internal/workload"
+)
+
+func newCluster(t *testing.T, nodes int, conf *config.Config) *mapred.Cluster {
+	t.Helper()
+	if conf == nil {
+		conf = config.New()
+		conf.SetInt(config.KeyBlockSize, 64<<10)
+		conf.SetInt(config.KeyMapSlots, 2)
+		conf.SetInt(config.KeyReduceSlots, 2)
+	}
+	c, err := mapred.NewCluster(nodes, conf, httpshuffle.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func runSort(t *testing.T, c *mapred.Cluster, name string, kb int64, reduces int) *mapred.JobResult {
+	t.Helper()
+	fs := c.FS()
+	paths, err := workload.RandomWriter(fs, "/"+name+"/in", kb<<10, 32<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.ChecksumInput(fs, paths, mapred.RunInput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: name, Input: paths, Output: "/" + name + "/out", NumReduces: reduces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Validate(fs, "/"+name+"/out", kv.BytesComparator, want, false); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCopierSpillsWhenBufferTiny(t *testing.T) {
+	// A tiny shuffle buffer forces the Copier's "or in a local disk,
+	// otherwise" path plus Local FS Merger compaction.
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyShuffleMemLimit, 2<<10) // 2 KB: everything spills
+	conf.SetInt(config.KeyIOSortFactor, 3)
+	c := newCluster(t, 3, conf)
+	res := runSort(t, c, "spill", 256, 4)
+	if res.Counters["shuffle.copier.disk.spills"] == 0 {
+		t.Fatalf("no copier spills despite 2KB buffer: %v", res.Counters)
+	}
+	if res.Counters["shuffle.localfs.merges"] == 0 {
+		t.Fatalf("no Local FS merges despite factor 3: %v", res.Counters)
+	}
+}
+
+func TestInMemoryMergerTriggers(t *testing.T) {
+	// A buffer big enough to hold segments but small enough to pass the
+	// 2/3 threshold triggers the In-Memory Merger.
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 32<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyShuffleMemLimit, 48<<10)
+	c := newCluster(t, 2, conf)
+	res := runSort(t, c, "inmem", 512, 2)
+	if res.Counters["shuffle.inmem.merges"] == 0 {
+		t.Fatalf("in-memory merger never ran: %v", res.Counters)
+	}
+}
+
+func TestPacketAccounting(t *testing.T) {
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyHTTPPacketBytes, 1024)
+	c := newCluster(t, 2, conf)
+	res := runSort(t, c, "packets", 128, 2)
+	bytes := res.Counters["shuffle.http.bytes"]
+	packets := res.Counters["shuffle.http.packets"]
+	if packets < bytes/1024 {
+		t.Fatalf("packets %d < bytes/packetSize %d", packets, bytes/1024)
+	}
+	if res.Counters["shuffle.http.requests"] == 0 {
+		t.Fatal("no servlet requests recorded")
+	}
+}
+
+func TestReduceSpillsCleanedUp(t *testing.T) {
+	conf := config.New()
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyMapSlots, 2)
+	conf.SetInt(config.KeyReduceSlots, 2)
+	conf.SetInt(config.KeyShuffleMemLimit, 2<<10)
+	c := newCluster(t, 2, conf)
+	runSort(t, c, "cleanup", 256, 2)
+	for _, tt := range c.Trackers() {
+		if got := tt.Store().List("reduce/"); len(got) != 0 {
+			t.Fatalf("%s kept reduce spills: %v", tt.Host(), got)
+		}
+	}
+}
+
+func TestDuplicateTrackerRejected(t *testing.T) {
+	e := httpshuffle.New()
+	c, err := mapred.NewCluster(2, nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := e.StartTracker(c.Trackers()[0]); err == nil {
+		t.Fatal("duplicate servlet registration accepted")
+	}
+}

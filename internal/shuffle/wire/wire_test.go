@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDataRequestRoundTrip(t *testing.T) {
+	f := func(jobID string, mapID, reduceID int32, offset int64, maxBytes, maxRecords int32, addr uint64, rkey uint32) bool {
+		if len(jobID) > 65535 {
+			jobID = jobID[:65535]
+		}
+		in := &DataRequest{
+			JobID: jobID, MapID: mapID, ReduceID: reduceID, Offset: offset,
+			MaxBytes: maxBytes, MaxRecords: maxRecords, RemoteAddr: addr, RKey: rkey,
+		}
+		out, err := DecodeDataRequest(in.Encode())
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataResponseRoundTrip(t *testing.T) {
+	f := func(mapID, reduceID int32, offset int64, bytes, records int32, eof bool, errStr string, addr uint64, rkey uint32) bool {
+		if len(errStr) > 65535 {
+			errStr = errStr[:65535]
+		}
+		in := &DataResponse{
+			MapID: mapID, ReduceID: reduceID, Offset: offset,
+			Bytes: bytes, Records: records, EOF: eof, Err: errStr,
+			RemoteAddr: addr, RKey: rkey,
+		}
+		out, err := DecodeDataResponse(in.Encode())
+		return err == nil && *out == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	req := (&DataRequest{JobID: "j"}).Encode()
+	if _, err := DecodeDataResponse(req); err == nil {
+		t.Fatal("request decoded as response")
+	}
+	resp := (&DataResponse{}).Encode()
+	if _, err := DecodeDataRequest(resp); err == nil {
+		t.Fatal("response decoded as request")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	req := (&DataRequest{JobID: "jobjobjob"}).Encode()
+	for i := 0; i < len(req); i++ {
+		if _, err := DecodeDataRequest(req[:i]); err == nil {
+			t.Fatalf("truncated request of %d bytes accepted", i)
+		}
+	}
+	resp := (&DataResponse{Err: "some failure"}).Encode()
+	for i := 0; i < len(resp); i++ {
+		if _, err := DecodeDataResponse(resp[:i]); err == nil {
+			t.Fatalf("truncated response of %d bytes accepted", i)
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	if _, err := DecodeDataRequest(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecodeDataResponse(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}

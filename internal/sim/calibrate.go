@@ -1,0 +1,149 @@
+package sim
+
+// Calibration collects the service-time constants the mechanisms consume.
+// Values are calibrated so the simulated Westmere/QDR cluster reproduces
+// the paper's figure shapes; EXPERIMENTS.md records paper-vs-measured for
+// every figure. Device and fabric bandwidths live in internal/storage and
+// internal/fabric; everything engine-specific is here.
+type Calibration struct {
+	// Cores per node (dual quad-core Westmere).
+	Cores int
+
+	// TaskOverheadSec is the fixed per-map-task cost (JVM launch/reuse,
+	// scheduling, split setup) that makes very small HDFS blocks lose —
+	// the block-size tuning of §IV.
+	TaskOverheadSec float64
+
+	// The task CPU model is per-record + per-byte: framework cost
+	// (deserialization, comparator calls, collector) dominates for
+	// TeraSort's 100-byte records while streaming cost dominates for
+	// Sort's ~10 KB records. PerRecordMapCPUSec/PerRecordReduceCPUSec are
+	// seconds of one core per record; MapStreamBps/ReduceStreamBps are
+	// the per-core byte-streaming rates.
+	PerRecordMapCPUSec    float64
+	MapStreamBps          float64
+	PerRecordReduceCPUSec float64
+	ReduceStreamBps       float64
+
+	// MergeCPUBps is per-core merge throughput for reduce-side merge
+	// passes (vanilla's Local FS Merger and final merge).
+	MergeCPUBps float64
+
+	// ShuffleBufBytes is the reduce-side in-memory shuffle buffer
+	// (mapred.job.shuffle.input.buffer); fetched data beyond it spills.
+	ShuffleBufBytes float64
+
+	// IOSortFactor bounds the merge fan-in; segments beyond it force
+	// extra disk passes.
+	IOSortFactor float64
+
+	// CacheFraction of node RAM available to the PrefetchCache.
+	CacheFraction float64
+
+	// OSUPacketBytes is the OSU design's shuffle packet size
+	// (mapred.rdma.packet.size); socket designs use the fabric model's
+	// MaxPacket.
+	OSUPacketBytes float64
+
+	// KVPerPacket is Hadoop-A's fixed record count per packet (the
+	// size-oblivious fill, D4).
+	KVPerPacket float64
+
+	// CopierBufBytes is the reducer-side registered buffer; Hadoop-A
+	// packets exceeding it stall for re-buffering.
+	CopierBufBytes float64
+
+	// BigPacketStallSec is the stall per copier-buffer overflow of one
+	// oversized Hadoop-A packet (buffer re-negotiation + pipeline bubble).
+	BigPacketStallSec float64
+
+	// HDFSWriteFactor scales reduce-output disk traffic (checksums,
+	// metadata; replication is 1 in the sort benchmarks).
+	HDFSWriteFactor float64
+
+	// IncastAlpha/IncastFloor shape the socket receive-side incast
+	// penalty (many-to-one reduce fan-in degrades TCP goodput; RDMA flow
+	// control does not).
+	IncastAlpha float64
+	IncastFloor float64
+
+	// GigEIncastAlpha/Floor are the harsher incast parameters for 1GigE
+	// (shallow buffers, TCP throughput collapse under reduce fan-in).
+	GigEIncastAlpha float64
+	GigEIncastFloor float64
+
+	// EventNotifySec is the TaskTracker heartbeat delay before reducers
+	// learn of a map completion; the prefetch daemon is local and starts
+	// immediately, which is how it wins the race against requests.
+	EventNotifySec float64
+
+	// PageCacheCopyBps is the memory-copy rate the prefetch daemon sees
+	// when caching a just-written map output still resident in the page
+	// cache (no device read).
+	PageCacheCopyBps float64
+
+	// ChunkSeekFraction scales how much of a full request latency each
+	// per-packet disk request costs in head time (interleaved streams do
+	// not seek on every chunk thanks to readahead).
+	ChunkSeekFraction float64
+
+	// OnDemandStallFactor scales the per-chunk latency Hadoop-A's
+	// merge-driven, on-demand packet fetch exposes serially on the merge
+	// thread (disk queueing + round trip, in units of the device request
+	// latency). PipelinedStallFactor is the residual for the OSU design
+	// without caching, whose copier lookahead hides most of it.
+	OnDemandStallFactor  float64
+	PipelinedStallFactor float64
+
+	// ChunkQueueLatencySec is the storage-independent per-request service
+	// exposure (request queueing at a busy TaskTracker plus
+	// deserialization) paid by designs that fetch packets on demand from
+	// the TaskTracker's disk path instead of the PrefetchCache.
+	ChunkQueueLatencySec float64
+
+	// NoCacheQueueLatencySec is the same exposure for the OSU design with
+	// caching disabled (Figure 8): responder requests queue at the disk
+	// path per packet instead of being answered from memory.
+	NoCacheQueueLatencySec float64
+
+	// HDD1Floor/HDD2Floor override the storage model's interleave
+	// efficiency floor for the single- and dual-HDD configurations
+	// (0 keeps the device default). SSD keeps its device value.
+	HDD1Floor float64
+	HDD2Floor float64
+}
+
+// DefaultCalibration returns the calibrated constants for the paper's
+// testbed (Intel Westmere, 2.67 GHz dual quad-core, 12 GB RAM, QDR IB).
+func DefaultCalibration() Calibration {
+	return Calibration{
+		Cores:                  8,
+		TaskOverheadSec:        4.5,
+		PerRecordMapCPUSec:     35e-6,
+		MapStreamBps:           80e6,
+		PerRecordReduceCPUSec:  20e-6,
+		ReduceStreamBps:        150e6,
+		MergeCPUBps:            30e6,
+		ShuffleBufBytes:        700e6,
+		IOSortFactor:           25,
+		CacheFraction:          0.50,
+		OSUPacketBytes:         128 << 10,
+		KVPerPacket:            1024,
+		CopierBufBytes:         1 << 20,
+		BigPacketStallSec:      0.025,
+		HDFSWriteFactor:        1.6,
+		IncastAlpha:            0.05,
+		IncastFloor:            0.70,
+		GigEIncastAlpha:        0.30,
+		GigEIncastFloor:        0.25,
+		EventNotifySec:         1.0,
+		PageCacheCopyBps:       2e9,
+		ChunkSeekFraction:      0.1,
+		OnDemandStallFactor:    3.5,
+		PipelinedStallFactor:   0.5,
+		ChunkQueueLatencySec:   0.5e-3,
+		NoCacheQueueLatencySec: 14e-3,
+		HDD1Floor:              0.50,
+		HDD2Floor:              0.55,
+	}
+}

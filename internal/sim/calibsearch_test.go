@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCalibrationSearch runs a coordinate-descent search over the
+// calibration constants, minimizing mean absolute error against the
+// paper's §IV claims. It is a tool, not a test: enable with
+// RDMAMR_CALIB_SEARCH=1 and copy the winning constants into
+// DefaultCalibration.
+func TestCalibrationSearch(t *testing.T) {
+	if os.Getenv("RDMAMR_CALIB_SEARCH") == "" {
+		t.Skip("set RDMAMR_CALIB_SEARCH=1 to run the calibration search")
+	}
+	best := DefaultCalibration()
+	_, bestMAE := Score(best)
+	fmt.Printf("start MAE %.2f\n", bestMAE)
+
+	type knob struct {
+		name   string
+		get    func(*Calibration) *float64
+		values []float64
+	}
+	knobs := []knob{
+		{"PerRecordMapCPUSec", func(c *Calibration) *float64 { return &c.PerRecordMapCPUSec }, []float64{10e-6, 20e-6, 35e-6, 50e-6}},
+		{"PerRecordReduceCPUSec", func(c *Calibration) *float64 { return &c.PerRecordReduceCPUSec }, []float64{20e-6, 40e-6, 60e-6, 90e-6}},
+		{"MapStreamBps", func(c *Calibration) *float64 { return &c.MapStreamBps }, []float64{40e6, 80e6, 150e6}},
+		{"ReduceStreamBps", func(c *Calibration) *float64 { return &c.ReduceStreamBps }, []float64{40e6, 80e6, 150e6}},
+		{"HDD1Floor", func(c *Calibration) *float64 { return &c.HDD1Floor }, []float64{0.25, 0.33, 0.40, 0.50}},
+		{"HDD2Floor", func(c *Calibration) *float64 { return &c.HDD2Floor }, []float64{0.45, 0.55, 0.60, 0.70}},
+		{"OnDemandStallFactor", func(c *Calibration) *float64 { return &c.OnDemandStallFactor }, []float64{0.25, 0.5, 1, 2, 3.5}},
+		{"ChunkSeekFraction", func(c *Calibration) *float64 { return &c.ChunkSeekFraction }, []float64{0.05, 0.1, 0.2, 0.3, 0.45}},
+		{"ChunkQueueLatencySec", func(c *Calibration) *float64 { return &c.ChunkQueueLatencySec }, []float64{0.5e-3, 1e-3, 2e-3, 4e-3}},
+		{"BigPacketStallSec", func(c *Calibration) *float64 { return &c.BigPacketStallSec }, []float64{0.025, 0.05, 0.1, 0.2}},
+		{"NoCacheQueueLatencySec", func(c *Calibration) *float64 { return &c.NoCacheQueueLatencySec }, []float64{8e-3, 16e-3, 32e-3, 64e-3, 128e-3}},
+		{"HDFSWriteFactor", func(c *Calibration) *float64 { return &c.HDFSWriteFactor }, []float64{1.05, 1.3, 1.6}},
+		{"CacheFraction", func(c *Calibration) *float64 { return &c.CacheFraction }, []float64{0.3, 0.5, 0.7}},
+	}
+
+	for sweep := 0; sweep < 4; sweep++ {
+		improved := false
+		for _, k := range knobs {
+			cur := *k.get(&best)
+			for _, v := range k.values {
+				if v == cur {
+					continue
+				}
+				cand := best
+				*k.get(&cand) = v
+				_, mae := Score(cand)
+				if mae < bestMAE-0.01 {
+					bestMAE = mae
+					best = cand
+					improved = true
+					fmt.Printf("sweep %d: %s=%g → MAE %.2f\n", sweep, k.name, v, mae)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	fmt.Printf("\nfinal MAE %.2f\nbest: %+v\n\n%s", bestMAE, best, ScoreReport(best))
+}

@@ -1,0 +1,522 @@
+package sim
+
+import (
+	"math"
+
+	"rdmamr/internal/des"
+	"rdmamr/internal/fabric"
+	"rdmamr/internal/storage"
+)
+
+// node bundles one slave node's contended resources.
+type node struct {
+	disk       *des.FairLink // shared read+write bandwidth, seek-penalized
+	nicIn      *des.FairLink
+	nicOut     *des.FairLink
+	cpu        *des.Server
+	mapGate    *des.Gate
+	reduceGate *des.Gate
+
+	// OSU PrefetchCache occupancy accounting.
+	resident float64
+}
+
+// mapCPUSec / reduceCPUSec convert bytes to core-seconds under the
+// per-record + per-byte CPU model.
+func (js *jobSim) mapCPUSec(bytes float64) float64 {
+	cal := js.p.Calib
+	recs := bytes / js.p.Workload.AvgRecordBytes()
+	return cal.TaskOverheadSec + recs*cal.PerRecordMapCPUSec + bytes/cal.MapStreamBps
+}
+
+func (js *jobSim) reduceCPUSec(bytes float64) float64 {
+	cal := js.p.Calib
+	recs := bytes / js.p.Workload.AvgRecordBytes()
+	return recs*cal.PerRecordReduceCPUSec + bytes/cal.ReduceStreamBps
+}
+
+// jobSim carries one run's state.
+type jobSim struct {
+	p      Params
+	sim    *des.Sim
+	fm     fabric.Model
+	dm     storage.Model
+	nodes  []*node
+	result Result
+
+	numMaps    int
+	numReduces int
+	blockBytes float64
+	partBytes  float64
+	cacheCap   float64
+
+	prefetchDone []bool
+	prefetchSkip []bool
+	served       []int // fetches served per map (cache residency accounting)
+
+	reduces []*reduceState
+
+	mapsDone    int
+	reducesDone int
+}
+
+type reduceState struct {
+	id   int
+	node *node
+
+	queue    []int // map IDs ready to fetch
+	inFlight int
+	fetched  int
+	workDone int
+
+	memUsed      float64
+	spilledBytes float64
+	spilledRuns  int
+
+	// Serial reduce-work queue: a reduce task is single-threaded, so its
+	// per-partition reduce+write increments execute one at a time. Each
+	// entry carries extra serial stall seconds (merge-exposed on-demand
+	// fetch latency for Hadoop-A, §III-C).
+	workQueue   []float64
+	workRunning bool
+
+	done bool
+}
+
+// Run simulates one job and returns its result.
+func Run(p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	js := &jobSim{
+		p:   p,
+		sim: des.New(),
+		fm:  fabric.Models(p.Fabric),
+		dm:  storage.Device(p.Storage),
+	}
+	js.sim.SetEventLimit(200_000_000)
+	js.numMaps = int(math.Ceil(p.DataBytes / p.BlockSize))
+	js.blockBytes = p.DataBytes / float64(js.numMaps)
+	js.numReduces = p.ReducesPerNode * p.Nodes
+	js.partBytes = js.blockBytes / float64(js.numReduces)
+	js.cacheCap = p.Calib.CacheFraction * p.RAMBytes
+	js.prefetchDone = make([]bool, js.numMaps)
+	js.prefetchSkip = make([]bool, js.numMaps)
+	js.served = make([]int, js.numMaps)
+
+	diskCap := (js.dm.ReadBps + js.dm.WriteBps) / 2
+	floor := js.dm.MinEfficiency
+	switch {
+	case js.p.Storage == storage.HDD1 && p.Calib.HDD1Floor > 0:
+		floor = p.Calib.HDD1Floor
+	case js.p.Storage == storage.HDD2 && p.Calib.HDD2Floor > 0:
+		floor = p.Calib.HDD2Floor
+	}
+	diskPenalty := des.FloorPenalty(js.dm.SeekAlpha, floor)
+	// Socket fabrics suffer incast degradation on the receive side when a
+	// reduce wave fans in; RDMA flow control avoids it, and the effect is
+	// far harsher on 1GigE's shallow switch buffers than on 10GigE/IPoIB.
+	var nicPenalty des.PenaltyFunc
+	if !js.fm.OSBypass {
+		floor := p.Calib.IncastFloor
+		alpha := p.Calib.IncastAlpha
+		if p.Fabric == fabric.GigE1 {
+			floor, alpha = p.Calib.GigEIncastFloor, p.Calib.GigEIncastAlpha
+		}
+		nicPenalty = des.FloorPenalty(alpha, floor)
+	}
+	for i := 0; i < p.Nodes; i++ {
+		js.nodes = append(js.nodes, &node{
+			disk:       des.NewFairLink(js.sim, diskCap, diskPenalty),
+			nicIn:      des.NewFairLink(js.sim, js.fm.BandwidthBps, nicPenalty),
+			nicOut:     des.NewFairLink(js.sim, js.fm.BandwidthBps, nil),
+			cpu:        des.NewServer(js.sim, p.Calib.Cores),
+			mapGate:    des.NewGate(js.sim, p.MapSlots),
+			reduceGate: des.NewGate(js.sim, p.ReduceSlots),
+		})
+	}
+	for r := 0; r < js.numReduces; r++ {
+		js.reduces = append(js.reduces, &reduceState{id: r, node: js.nodes[r%p.Nodes]})
+	}
+	for m := 0; m < js.numMaps; m++ {
+		js.scheduleMap(m, js.nodes[m%p.Nodes])
+	}
+	end := js.sim.Run()
+	if js.reducesDone != js.numReduces {
+		panic("sim: job did not complete (model deadlock)")
+	}
+	js.result.JobSeconds = end
+	return js.result, nil
+}
+
+// diskRead/diskWrite wrap transfers with byte accounting.
+func (js *jobSim) diskRead(n *node, bytes float64, done func()) {
+	js.result.DiskBytesRead += bytes
+	n.disk.Transfer(bytes, done)
+}
+
+func (js *jobSim) diskWrite(n *node, bytes float64, done func()) {
+	js.result.DiskBytesWrite += bytes
+	n.disk.Transfer(bytes, done)
+}
+
+// jitter returns a deterministic per-task service multiplier in
+// [0.9, 1.1): real task durations vary (record skew, JIT, GC), which
+// desynchronizes slot waves; a metronomic model would complete whole
+// waves simultaneously and overstate burst pressure on the cache.
+func jitter(id int) float64 {
+	x := float64(id) * 0.6180339887498949
+	return 0.9 + 0.2*(x-math.Floor(x))
+}
+
+// scheduleMap runs one map task: slot → read block → map+sort CPU →
+// write map output → completion (prefetch kick + shuffle events).
+func (js *jobSim) scheduleMap(m int, n *node) {
+	n.mapGate.Acquire(func(release func()) {
+		js.diskRead(n, js.blockBytes, func() {
+			js.sim.After(js.dm.RequestLatency, func() {
+				n.cpu.Submit(jitter(m)*js.mapCPUSec(js.blockBytes), func() {
+					js.diskWrite(n, js.blockBytes, func() {
+						release()
+						js.mapCompleted(m, n)
+					})
+				})
+			})
+		})
+	})
+}
+
+func (js *jobSim) mapCompleted(m int, n *node) {
+	js.mapsDone++
+	if js.mapsDone == js.numMaps {
+		js.result.MapPhaseEnd = js.sim.Now()
+	}
+	// OSU prefetcher: cache the whole map output if the heap allows
+	// (§III-B.3 "depending on heap size availability it can limit the
+	// amount of data to be cached").
+	if js.p.Design == OSUIB && js.p.Caching {
+		if n.resident+js.blockBytes <= js.cacheCap {
+			n.resident += js.blockBytes
+			// The output was just written through the page cache, so the
+			// prefetch daemon copies it into the PrefetchCache without a
+			// device read — only a memory copy's worth of delay.
+			js.sim.After(js.blockBytes/js.p.Calib.PageCacheCopyBps, func() {
+				js.prefetchDone[m] = true
+			})
+		} else {
+			js.prefetchSkip[m] = true
+		}
+	}
+	// Map Completion Fetcher: reducers learn of the completion on the
+	// next TaskTracker heartbeat; the local prefetch daemon has already
+	// started, which is why requests usually hit the cache (§III-B.3).
+	js.sim.After(js.p.Calib.EventNotifySec, func() {
+		for _, r := range js.reduces {
+			r.queue = append(r.queue, m)
+			js.pumpFetches(r, r.node)
+		}
+	})
+}
+
+// pumpFetches issues fetches for reduce r up to the fetch window.
+func (js *jobSim) pumpFetches(r *reduceState, _ *node) {
+	for r.inFlight < js.p.FetchWindow && len(r.queue) > 0 {
+		m := r.queue[0]
+		r.queue = r.queue[1:]
+		r.inFlight++
+		js.fetch(m, r)
+	}
+}
+
+// fetch moves one partition (map m → reduce r): TaskTracker serve stage,
+// network stage, reduce-side arrival stage.
+func (js *jobSim) fetch(m int, r *reduceState) {
+	if js.result.FirstFetch == 0 {
+		js.result.FirstFetch = js.sim.Now()
+	}
+	src := js.nodes[m%js.p.Nodes]
+	js.serve(m, src, func() {
+		js.transfer(src, r.node, js.partBytes, func() {
+			js.arrived(m, r)
+		})
+	})
+}
+
+// serve models the TaskTracker side of one partition fetch.
+func (js *jobSim) serve(m int, src *node, done func()) {
+	cal := js.p.Calib
+	avgRec := js.p.Workload.AvgRecordBytes()
+	// seekBytes converts head-positioning time for per-request reads into
+	// an equivalent byte charge on the shared disk link.
+	// Head time lost to per-request positioning, charged as equivalent
+	// bytes at the per-spindle rate (a JBOD splits seek load across
+	// heads).
+	perSpindle := (js.dm.ReadBps + js.dm.WriteBps) / 2 / float64(js.dm.Spindles)
+	seekBytes := func(requests float64) float64 {
+		return requests * cal.ChunkSeekFraction * js.dm.RequestLatency * perSpindle
+	}
+	switch js.p.Design {
+	case Vanilla:
+		// HTTP servlet: read the map output file from local disk for
+		// every request (one seek, then a streamed read).
+		js.diskRead(src, js.partBytes+seekBytes(1), done)
+	case HadoopA:
+		// DataEngine: disk access per packet request, packets filled by
+		// record count (size-oblivious). Packets larger than the copier
+		// buffer additionally stall for re-buffering — Sort's large
+		// records make this path pathological (§IV-C).
+		packet := cal.KVPerPacket * avgRec
+		chunks := math.Ceil(js.partBytes / packet)
+		js.diskRead(src, js.partBytes+seekBytes(chunks), done)
+	case OSUIB:
+		if js.p.Caching {
+			admitted := !js.prefetchSkip[m]
+			if admitted {
+				// The cached copy is consumed (or superseded) either way.
+				js.served[m]++
+				src.resident -= js.partBytes
+				if src.resident < 0 {
+					src.resident = 0
+				}
+			}
+			if admitted && js.prefetchDone[m] {
+				// PrefetchCache hit: served from memory, no disk involved.
+				js.result.CacheHits++
+				js.sim.After(0, done)
+				return
+			}
+			// Demand miss: direct disk read, then priority re-cache
+			// (irrelevant here — each partition is fetched exactly once).
+			js.result.CacheMisses++
+			js.diskRead(src, js.partBytes+seekBytes(1), done)
+			return
+		}
+		// Caching disabled: the responder reads from disk per packet,
+		// size-aware, so packets are uniform but each is a disk request.
+		packet := cal.OSUPacketBytes
+		if !js.p.SizeAware {
+			packet = cal.KVPerPacket * avgRec
+		}
+		chunks := math.Ceil(js.partBytes / packet)
+		js.diskRead(src, js.partBytes+seekBytes(chunks), done)
+	}
+}
+
+// transfer moves bytes from src to dst: both NIC directions carry the
+// flow, socket fabrics additionally burn host CPU on both sides, and the
+// request/response round trip precedes the payload.
+func (js *jobSim) transfer(src, dst *node, bytes float64, done func()) {
+	js.result.NetBytes += bytes
+	legs := 2
+	socketCPU := 0.0
+	if !js.fm.OSBypass {
+		legs = 4
+		socketCPU = js.fm.HostCPUTime(int(bytes)).Seconds()
+	}
+	js.sim.After(2*js.fm.Latency.Seconds(), func() {
+		b := des.NewBarrier(js.sim, legs, done)
+		src.nicOut.Transfer(bytes, b.Signal)
+		dst.nicIn.Transfer(bytes, b.Signal)
+		if !js.fm.OSBypass {
+			src.cpu.Submit(socketCPU, b.Signal)
+			dst.cpu.Submit(socketCPU, b.Signal)
+		}
+	})
+}
+
+// arrived handles the reduce side of a completed fetch.
+func (js *jobSim) arrived(m int, r *reduceState) {
+	_ = m
+	cal := js.p.Calib
+	finish := func() {
+		r.fetched++
+		r.inFlight--
+		js.pumpFetches(r, r.node)
+		if r.fetched == js.numMaps {
+			js.result.ShuffleEnd = math.Max(js.result.ShuffleEnd, js.sim.Now())
+			js.shuffleComplete(r)
+		}
+	}
+	switch js.p.Design {
+	case Vanilla:
+		// Copier: keep in memory while the shuffle buffer has room,
+		// otherwise spill this segment to local disk.
+		if r.memUsed+js.partBytes <= cal.ShuffleBufBytes {
+			r.memUsed += js.partBytes
+			finish()
+		} else {
+			r.spilledBytes += js.partBytes
+			r.spilledRuns++
+			js.diskWrite(r.node, js.partBytes, finish)
+		}
+	default:
+		// RDMA designs merge in memory — unless Hadoop-A's size-oblivious
+		// packets exceed the copier's registered buffers (Sort's large
+		// records, D4): the overflow is staged through local disk, write
+		// now and read back on the merge path, which is why Hadoop-A
+		// loses to IPoIB on Sort (§IV-C) and why the gap narrows on SSD.
+		if js.hadoopAOverflow() {
+			js.diskWrite(r.node, js.partBytes, func() {
+				if js.p.Overlap {
+					js.reduceIncrement(r, js.mergeStallSec())
+				}
+				finish()
+			})
+			return
+		}
+		if js.p.Overlap {
+			js.reduceIncrement(r, js.mergeStallSec())
+		}
+		finish()
+	}
+}
+
+// mergeStallSec returns the serial merge-side stall for one partition's
+// worth of chunks. Hadoop-A's levitated merge pulls packets on demand —
+// each pull exposes a disk request (queueing + head time) plus a round
+// trip on the merge thread's critical path. The OSU design hides this
+// behind the PrefetchCache and the copier's lookahead (§III-B.2/3);
+// without caching a residual fraction of the per-chunk latency leaks
+// through the depth-1 pipeline.
+// hadoopAOverflow reports whether Hadoop-A's count-packed packets exceed
+// the copier's registered buffer for this workload.
+func (js *jobSim) hadoopAOverflow() bool {
+	cal := js.p.Calib
+	return js.p.Design == HadoopA && cal.KVPerPacket*js.p.Workload.AvgRecordBytes() > cal.CopierBufBytes
+}
+
+func (js *jobSim) mergeStallSec() float64 {
+	cal := js.p.Calib
+	avgRec := js.p.Workload.AvgRecordBytes()
+	switch {
+	case js.p.Design == HadoopA:
+		packet := cal.KVPerPacket * avgRec
+		chunks := math.Ceil(js.partBytes / packet)
+		stall := chunks * (cal.OnDemandStallFactor*js.dm.RequestLatency + cal.ChunkQueueLatencySec)
+		if packet > cal.CopierBufBytes {
+			// Re-buffering stall per copier-buffer refill of the
+			// oversized packet (the staged disk read-back is charged to
+			// the disk in pumpWork).
+			refills := math.Ceil(math.Min(packet, js.partBytes) / cal.CopierBufBytes)
+			stall += chunks * refills * cal.BigPacketStallSec
+		}
+		return stall
+	case js.p.Design == OSUIB && !js.p.Caching:
+		chunks := math.Ceil(js.partBytes / cal.OSUPacketBytes)
+		return chunks * (cal.PipelinedStallFactor*js.dm.RequestLatency + cal.NoCacheQueueLatencySec)
+	default:
+		return 0
+	}
+}
+
+// reduceIncrement queues the reduce work for one partition plus any
+// design-specific serial stall. A reduce task is single-threaded, so
+// increments run serially within one reduce: reduce CPU plus the HDFS
+// output write, in parallel with each other.
+func (js *jobSim) reduceIncrement(r *reduceState, stallSec float64) {
+	r.workQueue = append(r.workQueue, stallSec)
+	js.pumpWork(r)
+}
+
+func (js *jobSim) pumpWork(r *reduceState) {
+	if r.workRunning || len(r.workQueue) == 0 {
+		return
+	}
+	r.workRunning = true
+	if js.result.FirstReduce == 0 {
+		js.result.FirstReduce = js.sim.Now()
+	}
+	stall := r.workQueue[0]
+	r.workQueue = r.workQueue[1:]
+	cal := js.p.Calib
+	work := func() {
+		b := des.NewBarrier(js.sim, 2, func() {
+			r.workDone++
+			r.workRunning = false
+			js.pumpWork(r)
+			js.maybeFinishStreaming(r)
+		})
+		r.node.cpu.Submit(stall+js.reduceCPUSec(js.partBytes), b.Signal)
+		js.diskWrite(r.node, js.partBytes*cal.HDFSWriteFactor, b.Signal)
+	}
+	if js.hadoopAOverflow() {
+		// Read the disk-staged partition back on the merge path.
+		js.diskRead(r.node, js.partBytes, work)
+		return
+	}
+	work()
+}
+
+func (js *jobSim) maybeFinishStreaming(r *reduceState) {
+	if !r.done && r.fetched == js.numMaps && r.workDone == js.numMaps {
+		r.done = true
+		js.reduceFinished()
+	}
+}
+
+// shuffleComplete fires when reduce r has fetched every partition.
+func (js *jobSim) shuffleComplete(r *reduceState) {
+	switch js.p.Design {
+	case Vanilla:
+		js.vanillaMergeAndReduce(r)
+	default:
+		if js.p.Overlap {
+			js.maybeFinishStreaming(r)
+			return
+		}
+		// Overlap ablation: all reduce work deferred behind the barrier.
+		for i := 0; i < js.numMaps; i++ {
+			js.reduceIncrement(r, js.mergeStallSec())
+		}
+	}
+}
+
+// vanillaMergeAndReduce models the implicit barrier of §III-B.4: Local FS
+// merge passes over the spilled runs, then the final merge feeding the
+// reduce function and the HDFS output write.
+func (js *jobSim) vanillaMergeAndReduce(r *reduceState) {
+	cal := js.p.Calib
+	dataR := js.partBytes * float64(js.numMaps)
+
+	// The In-Memory Merger folds memory segments into buffer-sized disk
+	// runs, so the Local FS Merger sees ~spilled/buffer runs, not one per
+	// fetch.
+	runs := math.Ceil(r.spilledBytes / cal.ShuffleBufBytes)
+	passes := 0
+	if runs > cal.IOSortFactor {
+		passes = int(math.Ceil(math.Log(runs)/math.Log(cal.IOSortFactor))) - 1
+	}
+	var mergePass func(k int)
+	mergePass = func(k int) {
+		if k >= passes {
+			// Final merge + reduce: re-read spilled data, run the reduce
+			// function, write the output — read, then CPU ∥ write.
+			if js.result.FirstReduce == 0 || js.sim.Now() < js.result.FirstReduce {
+				js.result.FirstReduce = js.sim.Now()
+			}
+			js.diskRead(r.node, r.spilledBytes, func() {
+				b := des.NewBarrier(js.sim, 2, func() {
+					r.done = true
+					js.reduceFinished()
+				})
+				cpuSec := js.reduceCPUSec(dataR) + dataR/cal.MergeCPUBps
+				r.node.cpu.Submit(cpuSec, b.Signal)
+				js.diskWrite(r.node, dataR*cal.HDFSWriteFactor, b.Signal)
+			})
+			return
+		}
+		// One Local FS Merger pass: read + write the spilled volume.
+		js.diskRead(r.node, r.spilledBytes, func() {
+			r.node.cpu.Submit(r.spilledBytes/cal.MergeCPUBps, func() {
+				js.diskWrite(r.node, r.spilledBytes, func() {
+					mergePass(k + 1)
+				})
+			})
+		})
+	}
+	mergePass(0)
+}
+
+func (js *jobSim) reduceFinished() {
+	js.reducesDone++
+}

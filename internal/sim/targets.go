@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"rdmamr/internal/fabric"
+	"rdmamr/internal/storage"
+)
+
+// Target is one headline claim from the paper's §IV text: design a is
+// WantPct percent faster than design b under the given configuration.
+type Target struct {
+	Name    string
+	WantPct float64
+	// A and B are the compared runs; Pct = (B-A)/B × 100.
+	A, B Params
+}
+
+func params(d Design, fk fabric.Kind, sk storage.DeviceKind, w Workload, nodes int, gbs float64, ram float64, caching bool) Params {
+	p := DefaultParams(d, fk, sk, w, nodes, gbs*1e9)
+	if ram > 0 {
+		p.RAMBytes = ram
+	}
+	if d == OSUIB {
+		p.Caching = caching
+	}
+	return p
+}
+
+// PaperTargets returns every quantitative claim in §IV that the
+// reproduction scores itself against (EXPERIMENTS.md reports the
+// deltas).
+func PaperTargets() []Target {
+	osu := func(fk fabric.Kind, sk storage.DeviceKind, w Workload, n int, gb float64, ram float64) Params {
+		return params(OSUIB, fk, sk, w, n, gb, ram, true)
+	}
+	van := func(fk fabric.Kind, sk storage.DeviceKind, w Workload, n int, gb float64, ram float64) Params {
+		return params(Vanilla, fk, sk, w, n, gb, ram, false)
+	}
+	ha := func(sk storage.DeviceKind, w Workload, n int, gb float64, ram float64) Params {
+		return params(HadoopA, fabric.IBVerbs, sk, w, n, gb, ram, false)
+	}
+	vb := fabric.IBVerbs
+	return []Target{
+		// §IV-B, Figure 4(a): 4 nodes.
+		{"4a TeraSort 30GB 1disk: OSU vs HadoopA", 9, osu(vb, storage.HDD1, TeraSort, 4, 30, 0), ha(storage.HDD1, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 30GB 1disk: OSU vs IPoIB", 35, osu(vb, storage.HDD1, TeraSort, 4, 30, 0), van(fabric.IPoIB, storage.HDD1, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 30GB 1disk: OSU vs 10GigE", 38, osu(vb, storage.HDD1, TeraSort, 4, 30, 0), van(fabric.TenGigE, storage.HDD1, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 30GB 2disks: OSU vs HadoopA", 13, osu(vb, storage.HDD2, TeraSort, 4, 30, 0), ha(storage.HDD2, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 30GB 2disks: OSU vs IPoIB", 38, osu(vb, storage.HDD2, TeraSort, 4, 30, 0), van(fabric.IPoIB, storage.HDD2, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 30GB 2disks: OSU vs 10GigE", 43, osu(vb, storage.HDD2, TeraSort, 4, 30, 0), van(fabric.TenGigE, storage.HDD2, TeraSort, 4, 30, 0)},
+		{"4a TeraSort 40GB 2disks: OSU vs HadoopA", 17, osu(vb, storage.HDD2, TeraSort, 4, 40, 0), ha(storage.HDD2, TeraSort, 4, 40, 0)},
+		{"4a TeraSort 40GB 2disks: OSU vs IPoIB", 48, osu(vb, storage.HDD2, TeraSort, 4, 40, 0), van(fabric.IPoIB, storage.HDD2, TeraSort, 4, 40, 0)},
+		{"4a TeraSort 40GB 2disks: OSU vs 10GigE", 51, osu(vb, storage.HDD2, TeraSort, 4, 40, 0), van(fabric.TenGigE, storage.HDD2, TeraSort, 4, 40, 0)},
+		// §IV-B, Figure 4(b): 8 nodes, 100 GB.
+		{"4b TeraSort 100GB 1disk: OSU vs HadoopA", 21, osu(vb, storage.HDD1, TeraSort, 8, 100, 0), ha(storage.HDD1, TeraSort, 8, 100, 0)},
+		{"4b TeraSort 100GB 1disk: OSU vs IPoIB", 32, osu(vb, storage.HDD1, TeraSort, 8, 100, 0), van(fabric.IPoIB, storage.HDD1, TeraSort, 8, 100, 0)},
+		{"4b TeraSort 100GB 2disks: OSU vs HadoopA", 31, osu(vb, storage.HDD2, TeraSort, 8, 100, 0), ha(storage.HDD2, TeraSort, 8, 100, 0)},
+		{"4b TeraSort 100GB 2disks: OSU vs IPoIB", 39, osu(vb, storage.HDD2, TeraSort, 8, 100, 0), van(fabric.IPoIB, storage.HDD2, TeraSort, 8, 100, 0)},
+		// §IV-B, Figure 5: larger clusters, storage nodes (24 GB RAM).
+		{"5 TeraSort 100GB 12n: OSU vs IPoIB", 41, osu(vb, storage.HDD2, TeraSort, 12, 100, 24e9), van(fabric.IPoIB, storage.HDD2, TeraSort, 12, 100, 24e9)},
+		{"5 TeraSort 100GB 12n: OSU vs HadoopA", 7, osu(vb, storage.HDD2, TeraSort, 12, 100, 24e9), ha(storage.HDD2, TeraSort, 12, 100, 24e9)},
+		// §IV-C, Figure 6(a)/(b): Sort.
+		{"6a Sort 20GB 4n: OSU vs IPoIB", 26, osu(vb, storage.HDD1, Sort, 4, 20, 0), van(fabric.IPoIB, storage.HDD1, Sort, 4, 20, 0)},
+		{"6a Sort 20GB 4n: OSU vs HadoopA", 38, osu(vb, storage.HDD1, Sort, 4, 20, 0), ha(storage.HDD1, Sort, 4, 20, 0)},
+		{"6a Sort 20GB 4n: HadoopA worse than IPoIB", -12, ha(storage.HDD1, Sort, 4, 20, 0), van(fabric.IPoIB, storage.HDD1, Sort, 4, 20, 0)},
+		{"6b Sort 40GB 8n: OSU vs IPoIB", 27, osu(vb, storage.HDD1, Sort, 8, 40, 0), van(fabric.IPoIB, storage.HDD1, Sort, 8, 40, 0)},
+		{"6b Sort 40GB 8n: OSU vs HadoopA", 32, osu(vb, storage.HDD1, Sort, 8, 40, 0), ha(storage.HDD1, Sort, 8, 40, 0)},
+		// §IV-C, Figure 7: SSD.
+		{"7 Sort 15GB SSD: OSU vs HadoopA", 22, osu(vb, storage.SSD, Sort, 4, 15, 0), ha(storage.SSD, Sort, 4, 15, 0)},
+		{"7 Sort 15GB SSD: OSU vs IPoIB", 46, osu(vb, storage.SSD, Sort, 4, 15, 0), van(fabric.IPoIB, storage.SSD, Sort, 4, 15, 0)},
+		// §IV-D, Figure 8: caching ablation.
+		{"8 Sort 20GB SSD: caching vs no caching", 18.39, osu(vb, storage.SSD, Sort, 4, 20, 0), params(OSUIB, vb, storage.SSD, Sort, 4, 20, 0, false)},
+	}
+}
+
+// Score evaluates every target under calibration c, returning measured
+// percentages aligned with PaperTargets() and the mean absolute error in
+// percentage points.
+func Score(c Calibration) (got []float64, mae float64) {
+	targets := PaperTargets()
+	for _, tg := range targets {
+		a, b := tg.A, tg.B
+		a.Calib, b.Calib = c, c
+		ra, err := Run(a)
+		if err != nil {
+			panic(fmt.Sprintf("sim: target %s: %v", tg.Name, err))
+		}
+		rb, err := Run(b)
+		if err != nil {
+			panic(fmt.Sprintf("sim: target %s: %v", tg.Name, err))
+		}
+		pct := (rb.JobSeconds - ra.JobSeconds) / rb.JobSeconds * 100
+		got = append(got, pct)
+		d := pct - tg.WantPct
+		if d < 0 {
+			d = -d
+		}
+		mae += d
+	}
+	return got, mae / float64(len(targets))
+}
+
+// ScoreReport renders paper-vs-measured for every target.
+func ScoreReport(c Calibration) string {
+	targets := PaperTargets()
+	got, mae := Score(c)
+	var b strings.Builder
+	for i, tg := range targets {
+		fmt.Fprintf(&b, "%-46s paper %6.1f%%  measured %6.1f%%\n", tg.Name, tg.WantPct, got[i])
+	}
+	fmt.Fprintf(&b, "mean absolute error: %.1f percentage points\n", mae)
+	return b.String()
+}

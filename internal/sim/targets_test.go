@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+// TestPaperTargetsShapeHolds is the reproduction's acceptance test: for
+// every quantitative claim in the paper's §IV, the measured improvement
+// must have the correct sign (the right design wins), and the aggregate
+// error must stay within the calibrated band recorded in EXPERIMENTS.md.
+func TestPaperTargetsShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~35 figure-scale simulations")
+	}
+	targets := PaperTargets()
+	got, mae := Score(DefaultCalibration())
+	for i, tg := range targets {
+		if tg.WantPct > 0 && got[i] <= 0 {
+			t.Errorf("%s: paper %+.1f%%, measured %+.1f%% — wrong winner", tg.Name, tg.WantPct, got[i])
+		}
+		if tg.WantPct < 0 && got[i] >= 0 {
+			t.Errorf("%s: paper %+.1f%%, measured %+.1f%% — crossover lost", tg.Name, tg.WantPct, got[i])
+		}
+	}
+	// The calibrated MAE is ~7.7pp; fail if a regression pushes past 12pp.
+	if mae > 12 {
+		t.Errorf("mean absolute error %.1fpp exceeds the 12pp regression bound\n%s", mae, ScoreReport(DefaultCalibration()))
+	}
+	t.Logf("mean absolute error: %.1f percentage points over %d claims", mae, len(targets))
+}

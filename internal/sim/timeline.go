@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"rdmamr/internal/fabric"
+	"rdmamr/internal/storage"
+)
+
+// Timeline renders the paper's Figure 3 — "Overlapping of different
+// processes in MapReduce workflow" — as a measured ASCII chart for one
+// simulated run: the map, shuffle/merge, and reduce spans on a shared
+// time axis. In the default design the reduce bar starts only after the
+// shuffle bar ends (the implicit barrier); in the RDMA design all three
+// overlap.
+func Timeline(p Params) (string, error) {
+	res, err := Run(p)
+	if err != nil {
+		return "", err
+	}
+	const width = 60
+	scale := func(t float64) int {
+		n := int(t / res.JobSeconds * width)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		return n
+	}
+	bar := func(name string, from, to float64) string {
+		a, b := scale(from), scale(to)
+		if b <= a {
+			b = a + 1
+		}
+		return fmt.Sprintf("  %-14s |%s%s%s| %6.0fs–%.0fs\n",
+			name, strings.Repeat(" ", a), strings.Repeat("█", b-a), strings.Repeat(" ", width-b), from, to)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v %v on %v/%v, %d nodes, %.0f GB — %.0fs total\n",
+		p.Design, p.Workload, p.Fabric, p.Storage, p.Nodes, p.DataBytes/1e9, res.JobSeconds)
+	sb.WriteString(bar("map", 0, res.MapPhaseEnd))
+	sb.WriteString(bar("shuffle/merge", res.FirstFetch, res.ShuffleEnd))
+	sb.WriteString(bar("reduce", res.FirstReduce, res.JobSeconds))
+	return sb.String(), nil
+}
+
+// Fig3Timelines regenerates Figure 3's comparison: the default design's
+// serialized reduce against the proposed design's overlapped pipeline,
+// for a representative TeraSort configuration.
+func Fig3Timelines() (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: overlap of map, shuffle/merge, and reduce (measured)\n\n")
+	vanilla := DefaultParams(Vanilla, fabric.IPoIB, storage.HDD1, TeraSort, 8, 60e9)
+	tl, err := Timeline(vanilla)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(tl)
+	sb.WriteString("\n")
+	osu := DefaultParams(OSUIB, fabric.IBVerbs, storage.HDD1, TeraSort, 8, 60e9)
+	tl, err = Timeline(osu)
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString(tl)
+	return sb.String(), nil
+}

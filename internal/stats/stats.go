@@ -1,0 +1,111 @@
+// Package stats provides the lightweight counters and phase timers used
+// across rdmamr: shuffle byte counts, cache hit/miss ratios, disk traffic,
+// and per-phase wall times that EXPERIMENTS.md reports.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counters is a concurrency-safe named-counter set. The zero value is
+// ready to use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the current value of name (0 if never touched).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter from other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.Snapshot() {
+		c.Add(k, v)
+	}
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Phases records named wall-clock intervals (map, shuffle, merge, reduce).
+// The zero value is ready to use.
+type Phases struct {
+	mu    sync.Mutex
+	spans map[string]time.Duration
+}
+
+// Observe adds d to the named phase's accumulated duration.
+func (p *Phases) Observe(name string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spans == nil {
+		p.spans = make(map[string]time.Duration)
+	}
+	p.spans[name] += d
+}
+
+// Time runs fn and attributes its wall time to the named phase.
+func (p *Phases) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	p.Observe(name, time.Since(start))
+}
+
+// Get returns the accumulated duration of name.
+func (p *Phases) Get(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spans[name]
+}
+
+// Snapshot returns a copy of all phases.
+func (p *Phases) Snapshot() map[string]time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]time.Duration, len(p.spans))
+	for k, v := range p.spans {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.Add("x", 3)
+	c.Add("x", 4)
+	if c.Get("x") != 7 {
+		t.Fatalf("x = %d", c.Get("x"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter nonzero")
+	}
+}
+
+func TestCountersSnapshotIsolated(t *testing.T) {
+	var c Counters
+	c.Add("a", 1)
+	snap := c.Snapshot()
+	snap["a"] = 99
+	if c.Get("a") != 1 {
+		t.Fatal("snapshot aliases internal map")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	a.Merge(&b)
+	if a.Get("x") != 3 || a.Get("y") != 3 {
+		t.Fatalf("merge: %v", a.Snapshot())
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.Add("b", 2)
+	c.Add("a", 1)
+	s := c.String()
+	if !strings.Contains(s, "a=1") || strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Fatalf("string: %q", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("n = %d", c.Get("n"))
+	}
+}
+
+func TestPhases(t *testing.T) {
+	var p Phases
+	p.Observe("map", 2*time.Second)
+	p.Observe("map", time.Second)
+	if p.Get("map") != 3*time.Second {
+		t.Fatalf("map = %v", p.Get("map"))
+	}
+	p.Time("shuffle", func() { time.Sleep(time.Millisecond) })
+	if p.Get("shuffle") < time.Millisecond {
+		t.Fatalf("shuffle = %v", p.Get("shuffle"))
+	}
+	snap := p.Snapshot()
+	snap["map"] = 0
+	if p.Get("map") != 3*time.Second {
+		t.Fatal("snapshot aliases internal map")
+	}
+}

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDeviceModels(t *testing.T) {
+	for _, k := range AllKinds() {
+		m := Device(k)
+		if m.ReadBps <= 0 || m.WriteBps <= 0 || m.Spindles < 1 {
+			t.Errorf("%v: incomplete model %+v", k, m)
+		}
+	}
+}
+
+func TestDeviceOrdering(t *testing.T) {
+	h1, h2, ssd := Device(HDD1), Device(HDD2), Device(SSD)
+	if h2.ReadBps <= h1.ReadBps {
+		t.Fatal("two disks must beat one")
+	}
+	if ssd.ReadBps <= h1.ReadBps {
+		t.Fatal("SSD must beat one HDD")
+	}
+	if ssd.SeekAlpha >= h1.SeekAlpha {
+		t.Fatal("SSD interleave penalty must be far below HDD")
+	}
+	if h2.SeekAlpha >= h1.SeekAlpha {
+		t.Fatal("JBOD must reduce interleave penalty")
+	}
+	if ssd.RequestLatency >= h1.RequestLatency {
+		t.Fatal("SSD latency must beat HDD")
+	}
+}
+
+func TestReadWriteTime(t *testing.T) {
+	m := Device(HDD1)
+	if m.ReadTime(100e6) < 1.0 {
+		t.Fatal("100MB at 100MB/s must take ≥1s")
+	}
+	if m.ReadTime(0) != m.RequestLatency {
+		t.Fatal("zero-size read must cost request latency")
+	}
+	if m.WriteTime(1e6) <= m.RequestLatency {
+		t.Fatal("write time missing transfer component")
+	}
+}
+
+func TestNegativeSizesPanic(t *testing.T) {
+	m := Device(SSD)
+	for _, fn := range []func(){func() { m.ReadTime(-1) }, func() { m.WriteTime(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative size accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnknownDevicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown device accepted")
+		}
+	}()
+	Device(DeviceKind(9))
+}
+
+func TestKindString(t *testing.T) {
+	if HDD1.String() != "1disk" || HDD2.String() != "2disks" || SSD.String() != "ssd" {
+		t.Fatal("legend names changed")
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := NewLocalStore()
+	if err := s.Put("a/b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("get: %q %v", got, err)
+	}
+}
+
+func TestStorePutDuplicate(t *testing.T) {
+	s := NewLocalStore()
+	_ = s.Put("x", nil)
+	if err := s.Put("x", nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate put: %v", err)
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	s := NewLocalStore()
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing get: %v", err)
+	}
+}
+
+func TestStoreCopiesData(t *testing.T) {
+	s := NewLocalStore()
+	data := []byte("mutable")
+	_ = s.Put("k", data)
+	data[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "mutable" {
+		t.Fatal("store aliases caller buffer")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get("k")
+	if string(again) != "mutable" {
+		t.Fatal("store hands out aliased buffer")
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	s := NewLocalStore()
+	_ = s.Put("k", []byte("one"))
+	s.Overwrite("k", []byte("two"))
+	got, _ := s.Get("k")
+	if string(got) != "two" {
+		t.Fatalf("overwrite: %q", got)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	s := NewLocalStore()
+	_ = s.Put("k", nil)
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("k") {
+		t.Fatal("still exists after delete")
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestStoreListAndSize(t *testing.T) {
+	s := NewLocalStore()
+	_ = s.Put("job1/map2", []byte("aa"))
+	_ = s.Put("job1/map1", []byte("b"))
+	_ = s.Put("job2/map1", []byte("c"))
+	got := s.List("job1/")
+	if len(got) != 2 || got[0] != "job1/map1" || got[1] != "job1/map2" {
+		t.Fatalf("list: %v", got)
+	}
+	if n, err := s.Size("job1/map2"); err != nil || n != 2 {
+		t.Fatalf("size: %d %v", n, err)
+	}
+	if _, err := s.Size("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("size missing: %v", err)
+	}
+	if s.TotalBytes() != 4 {
+		t.Fatalf("total bytes = %d", s.TotalBytes())
+	}
+}
+
+func TestStoreCounters(t *testing.T) {
+	s := NewLocalStore()
+	_ = s.Put("k", make([]byte, 100))
+	_, _ = s.Get("k")
+	_, _ = s.Get("k")
+	br, bw, r, w := s.Counters()
+	if br != 200 || bw != 100 || r != 2 || w != 1 {
+		t.Fatalf("counters: %d %d %d %d", br, bw, r, w)
+	}
+	// Size and Exists must not count as reads (the cache uses them).
+	_, _ = s.Size("k")
+	s.Exists("k")
+	br2, _, r2, _ := s.Counters()
+	if br2 != br || r2 != r {
+		t.Fatal("metadata ops counted as reads")
+	}
+	s.ResetCounters()
+	br, bw, r, w = s.Counters()
+	if br+bw+r+w != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewLocalStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 200; j++ {
+				s.Overwrite(name, []byte{byte(j)})
+				_, _ = s.Get(name)
+				s.List("")
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,371 @@
+// Package ucr is a Go rendition of the Unified Communication Runtime the
+// paper builds on (§II-D): a light-weight, end-point based messaging
+// library over InfiniBand verbs. The shuffle engines speak UCR end-points
+// exclusively — RDMAListener owns a Listener, RDMACopier owns the
+// connecting side — exactly as the paper's Figure 2 wires them through the
+// "JNI Adaptive Interface" (unnecessary here: both sides are Go).
+//
+// An end-point provides:
+//   - small-message Send/Recv (verbs SEND into a pre-posted receive ring),
+//   - zero-copy bulk RDMA Write/Read against registered regions, used by
+//     the shuffle data path (the responder RDMA-writes packets straight
+//     into the copier's registered buffer).
+package ucr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamr/internal/verbs"
+)
+
+// Tunables for the message path.
+const (
+	// MaxMessage is the largest Send payload; control messages in the
+	// shuffle protocol are far smaller.
+	MaxMessage = 8 << 10
+	// ringDepth is the pre-posted receive count per end-point.
+	ringDepth = 128
+)
+
+// Errors.
+var (
+	ErrMessageTooLarge = errors.New("ucr: message exceeds MaxMessage")
+	ErrClosed          = errors.New("ucr: endpoint closed")
+	ErrNoService       = errors.New("ucr: no such service")
+)
+
+// Fabric wraps a verbs.Network with the service registry that stands in
+// for RDMA-CM connection management.
+type Fabric struct {
+	net *verbs.Network
+
+	mu       sync.Mutex
+	services map[string]*Listener
+}
+
+// NewFabric returns a Fabric over a fresh in-process verbs network.
+func NewFabric() *Fabric {
+	return &Fabric{net: verbs.NewNetwork(), services: make(map[string]*Listener)}
+}
+
+// Network exposes the underlying verbs network (for latency injection).
+func (f *Fabric) Network() *verbs.Network { return f.net }
+
+// NewDevice attaches a named HCA to the fabric.
+func (f *Fabric) NewDevice(name string) (*verbs.Device, error) { return f.net.NewDevice(name) }
+
+// Listener accepts incoming end-point connections for a named service on
+// one device, mirroring the paper's RDMAListener ("waits for incoming
+// connection requests from the ReduceTask side, adds the connection to a
+// pre-established queue").
+type Listener struct {
+	fabric  *Fabric
+	dev     *verbs.Device
+	service string
+	backlog chan *EndPoint
+	once    sync.Once
+}
+
+// Listen registers a service on dev. The service name is scoped to the
+// device, so every TaskTracker can expose "shuffle".
+func (f *Fabric) Listen(dev *verbs.Device, service string) (*Listener, error) {
+	key := dev.Name() + "/" + service
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.services[key]; ok {
+		return nil, fmt.Errorf("ucr: service %s already listening", key)
+	}
+	l := &Listener{fabric: f, dev: dev, service: service, backlog: make(chan *EndPoint, 64)}
+	f.services[key] = l
+	return l, nil
+}
+
+// Accept blocks until a peer connects, returning the server-side end-point.
+func (l *Listener) Accept(ctx context.Context) (*EndPoint, error) {
+	select {
+	case ep, ok := <-l.backlog:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return ep, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close unregisters the service; blocked Accepts return ErrClosed.
+func (l *Listener) Close() {
+	l.once.Do(func() {
+		key := l.dev.Name() + "/" + l.service
+		l.fabric.mu.Lock()
+		delete(l.fabric.services, key)
+		l.fabric.mu.Unlock()
+		close(l.backlog)
+	})
+}
+
+// Connect establishes an end-point from dev to the named service on the
+// remote device, performing the QP exchange both ways.
+func (f *Fabric) Connect(ctx context.Context, dev *verbs.Device, remoteDev, service string) (*EndPoint, error) {
+	key := remoteDev + "/" + service
+	f.mu.Lock()
+	l, ok := f.services[key]
+	f.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoService, key)
+	}
+
+	client, err := newEndPoint(dev)
+	if err != nil {
+		return nil, err
+	}
+	server, err := newEndPoint(l.dev)
+	if err != nil {
+		client.Close()
+		return nil, err
+	}
+	if err := client.qp.Connect(l.dev.Name(), server.qp.QPN()); err != nil {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	if err := server.qp.Connect(dev.Name(), client.qp.QPN()); err != nil {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	client.peer, server.peer = l.dev.Name(), dev.Name()
+	select {
+	case l.backlog <- server:
+	case <-ctx.Done():
+		client.Close()
+		server.Close()
+		return nil, ctx.Err()
+	}
+	return client, nil
+}
+
+// EndPoint is a connected, bidirectional message + RDMA channel.
+type EndPoint struct {
+	dev    *verbs.Device
+	qp     *verbs.QueuePair
+	sendCQ *verbs.CQ
+	recvCQ *verbs.CQ
+	peer   string
+
+	// Receive ring: one registered region sliced into ringDepth buffers.
+	ringMR *verbs.MemoryRegion
+
+	// Send path: single registered send buffer, serialized by sendMu.
+	sendMR *verbs.MemoryRegion
+	sendMu sync.Mutex
+
+	msgs chan []byte
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	recvErr   error
+	errMu     sync.Mutex
+}
+
+func newEndPoint(dev *verbs.Device) (*EndPoint, error) {
+	sendCQ := dev.CreateCQ(256)
+	recvCQ := dev.CreateCQ(ringDepth + 8)
+	qp, err := dev.CreateQP(sendCQ, recvCQ)
+	if err != nil {
+		return nil, err
+	}
+	ringMR, err := dev.RegisterMemory(make([]byte, ringDepth*MaxMessage))
+	if err != nil {
+		qp.Destroy()
+		return nil, err
+	}
+	sendMR, err := dev.RegisterMemory(make([]byte, MaxMessage))
+	if err != nil {
+		qp.Destroy()
+		return nil, err
+	}
+	ep := &EndPoint{
+		dev: dev, qp: qp, sendCQ: sendCQ, recvCQ: recvCQ,
+		ringMR: ringMR, sendMR: sendMR,
+		msgs:   make(chan []byte, 1024),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < ringDepth; i++ {
+		wr := verbs.RecvWR{WRID: uint64(i), SGE: verbs.SGE{MR: ringMR, Offset: i * MaxMessage, Length: MaxMessage}}
+		if err := qp.PostRecv(wr); err != nil {
+			qp.Destroy()
+			return nil, err
+		}
+	}
+	go ep.recvPump()
+	return ep, nil
+}
+
+// recvPump drains the receive CQ, copies payloads out, and immediately
+// re-posts the ring buffer so the peer never sees receiver-not-ready.
+func (ep *EndPoint) recvPump() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-ep.closed
+		cancel()
+	}()
+	for {
+		wc, err := ep.recvCQ.Wait(ctx)
+		if err != nil {
+			ep.failRecv(ErrClosed)
+			return
+		}
+		if wc.Status != verbs.WCSuccess {
+			ep.failRecv(fmt.Errorf("ucr: receive failed: %v", wc.Status))
+			return
+		}
+		off := int(wc.WRID) * MaxMessage
+		payload := make([]byte, wc.ByteLen)
+		copy(payload, ep.ringMR.Bytes()[off:off+wc.ByteLen])
+		if err := ep.qp.PostRecv(verbs.RecvWR{WRID: wc.WRID, SGE: verbs.SGE{MR: ep.ringMR, Offset: off, Length: MaxMessage}}); err != nil {
+			ep.failRecv(err)
+			return
+		}
+		select {
+		case ep.msgs <- payload:
+		case <-ep.closed:
+			return
+		}
+	}
+}
+
+func (ep *EndPoint) failRecv(err error) {
+	ep.errMu.Lock()
+	if ep.recvErr == nil {
+		ep.recvErr = err
+	}
+	ep.errMu.Unlock()
+	close(ep.msgs)
+}
+
+// Peer returns the remote device name.
+func (ep *EndPoint) Peer() string { return ep.peer }
+
+// Device returns the local device.
+func (ep *EndPoint) Device() *verbs.Device { return ep.dev }
+
+// Send transmits a small message (≤ MaxMessage) and waits for the send
+// completion. Safe for concurrent use; sends are serialized. A
+// receiver-not-ready completion is retried with backoff, mirroring the
+// RNR NAK retry of a reliable-connected QP: the peer's receive pump
+// re-posts ring buffers continuously, so brief exhaustion under bursts
+// is transient.
+func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
+	if len(payload) > MaxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, len(payload))
+	}
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	const rnrRetries = 200
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-ep.closed:
+			return ErrClosed
+		default:
+		}
+		copy(ep.sendMR.Bytes(), payload)
+		err := ep.qp.PostSend(verbs.SendWR{
+			Opcode: verbs.OpSend,
+			SGE:    verbs.SGE{MR: ep.sendMR, Length: len(payload)},
+		})
+		if err != nil {
+			return err
+		}
+		wc, err := ep.sendCQ.Wait(ctx)
+		if err != nil {
+			return err
+		}
+		switch wc.Status {
+		case verbs.WCSuccess:
+			return nil
+		case verbs.WCRNRRetryExceeded:
+			if attempt >= rnrRetries {
+				return fmt.Errorf("ucr: send failed after %d RNR retries", attempt)
+			}
+			backoff := time.Duration(attempt/10+1) * 50 * time.Microsecond
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		default:
+			return fmt.Errorf("ucr: send failed: %v", wc.Status)
+		}
+	}
+}
+
+// Recv returns the next incoming message (a fresh buffer owned by the
+// caller), blocking until one arrives, the context cancels, or the
+// end-point fails.
+func (ep *EndPoint) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case msg, ok := <-ep.msgs:
+		if !ok {
+			ep.errMu.Lock()
+			defer ep.errMu.Unlock()
+			return nil, ep.recvErr
+		}
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// RegisterMemory registers an application buffer for RDMA on this
+// end-point's device.
+func (ep *EndPoint) RegisterMemory(buf []byte) (*verbs.MemoryRegion, error) {
+	return ep.dev.RegisterMemory(buf)
+}
+
+// RDMAWrite places the local SGE's bytes into the remote region addressed
+// by (raddr, rkey), blocking until the completion. This is the shuffle
+// bulk data path: no receive is consumed and no copy crosses a kernel.
+func (ep *EndPoint) RDMAWrite(ctx context.Context, sge verbs.SGE, raddr uint64, rkey uint32) error {
+	return ep.rdma(ctx, verbs.OpRDMAWrite, sge, raddr, rkey)
+}
+
+// RDMARead fetches remote bytes into the local SGE, blocking until done.
+func (ep *EndPoint) RDMARead(ctx context.Context, sge verbs.SGE, raddr uint64, rkey uint32) error {
+	return ep.rdma(ctx, verbs.OpRDMARead, sge, raddr, rkey)
+}
+
+func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, raddr uint64, rkey uint32) error {
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	select {
+	case <-ep.closed:
+		return ErrClosed
+	default:
+	}
+	err := ep.qp.PostSend(verbs.SendWR{Opcode: op, SGE: sge, RemoteAddr: raddr, RKey: rkey})
+	if err != nil {
+		return err
+	}
+	wc, err := ep.sendCQ.Wait(ctx)
+	if err != nil {
+		return err
+	}
+	if wc.Status != verbs.WCSuccess {
+		return fmt.Errorf("ucr: %v failed: %v", op, wc.Status)
+	}
+	return nil
+}
+
+// Close tears the end-point down. The peer's subsequent operations fail.
+func (ep *EndPoint) Close() {
+	ep.closeOnce.Do(func() {
+		close(ep.closed)
+		ep.qp.Destroy()
+	})
+}

@@ -1,0 +1,382 @@
+package verbs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// QPState is the queue pair state machine, following the IB spec's
+// RESET→INIT→RTR→RTS progression (we collapse INIT/RTR into Connect).
+type QPState int
+
+// Queue pair states.
+const (
+	QPReset QPState = iota
+	QPReadyToReceive
+	QPReadyToSend
+	QPError
+	QPDestroyed
+)
+
+func (s QPState) String() string {
+	switch s {
+	case QPReset:
+		return "RESET"
+	case QPReadyToReceive:
+		return "RTR"
+	case QPReadyToSend:
+		return "RTS"
+	case QPError:
+		return "ERROR"
+	case QPDestroyed:
+		return "DESTROYED"
+	default:
+		return fmt.Sprintf("QPState(%d)", int(s))
+	}
+}
+
+// SGE is a scatter/gather entry addressing a slice of a registered region.
+type SGE struct {
+	MR     *MemoryRegion
+	Offset int
+	Length int
+}
+
+func (s SGE) slice() ([]byte, error) {
+	if s.MR == nil {
+		return nil, ErrBadSGE
+	}
+	if s.Offset < 0 || s.Length < 0 || s.Offset+s.Length > len(s.MR.buf) {
+		return nil, fmt.Errorf("%w: off=%d len=%d region=%d", ErrBadSGE, s.Offset, s.Length, len(s.MR.buf))
+	}
+	return s.MR.buf[s.Offset : s.Offset+s.Length], nil
+}
+
+// SendWR is a send-queue work request.
+type SendWR struct {
+	WRID   uint64
+	Opcode Opcode
+	SGE    SGE
+	// RemoteAddr/RKey address the target region for RDMA READ/WRITE.
+	RemoteAddr uint64
+	RKey       uint32
+	// Imm carries immediate data on SEND.
+	Imm uint32
+}
+
+// RecvWR is a receive-queue work request; incoming SENDs land in its SGE.
+type RecvWR struct {
+	WRID uint64
+	SGE  SGE
+}
+
+// CQ is a completion queue. Completions are delivered in generation order
+// and retrieved by Poll (non-blocking) or Wait (blocking).
+type CQ struct {
+	ch     chan WC
+	mu     sync.Mutex
+	closed bool
+}
+
+// CreateCQ returns a completion queue with the given depth. A full CQ
+// applies backpressure to the QP processor, which is the emulator's
+// equivalent of a CQ overrun (real HCAs would error the QP; blocking is
+// kinder to tests and still surfaces stalls).
+func (d *Device) CreateCQ(depth int) *CQ {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &CQ{ch: make(chan WC, depth)}
+}
+
+// Poll retrieves up to max completions without blocking.
+func (c *CQ) Poll(max int) []WC {
+	var out []WC
+	for len(out) < max {
+		select {
+		case wc, ok := <-c.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, wc)
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// Wait blocks for one completion or context cancellation.
+func (c *CQ) Wait(ctx context.Context) (WC, error) {
+	select {
+	case wc, ok := <-c.ch:
+		if !ok {
+			return WC{}, ErrClosed
+		}
+		return wc, nil
+	case <-ctx.Done():
+		return WC{}, ctx.Err()
+	}
+}
+
+func (c *CQ) push(wc WC) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	c.ch <- wc
+}
+
+// QueuePair is an emulated reliable-connected queue pair.
+type QueuePair struct {
+	dev    *Device
+	qpn    uint32
+	sendCQ *CQ
+	recvCQ *CQ
+
+	mu        sync.Mutex
+	state     QPState
+	recvQueue []RecvWR
+	peerDev   string
+	peerQPN   uint32
+
+	// sendQueue is consumed by a per-QP processor goroutine, preserving
+	// the IB ordering guarantee: work requests on one QP execute in post
+	// order.
+	sendCh chan SendWR
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// CreateQP creates a queue pair in the RESET state using the given
+// completion queues (they may be the same CQ).
+func (d *Device) CreateQP(sendCQ, recvCQ *CQ) (*QueuePair, error) {
+	if sendCQ == nil || recvCQ == nil {
+		return nil, fmt.Errorf("verbs: CreateQP requires completion queues")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	d.nextQPN++
+	qp := &QueuePair{
+		dev:    d,
+		qpn:    d.nextQPN,
+		sendCQ: sendCQ,
+		recvCQ: recvCQ,
+		state:  QPReset,
+		sendCh: make(chan SendWR, 256),
+		done:   make(chan struct{}),
+	}
+	d.qps[qp.qpn] = qp
+	qp.wg.Add(1)
+	go qp.process()
+	return qp, nil
+}
+
+// QPN returns the queue pair number, exchanged out-of-band to connect.
+func (qp *QueuePair) QPN() uint32 { return qp.qpn }
+
+// Connect transitions the QP to RTS targeting the remote (device, QPN).
+// Both sides must Connect for bidirectional traffic, mirroring the
+// INIT→RTR→RTS modify_qp sequence.
+func (qp *QueuePair) Connect(remoteDev string, remoteQPN uint32) error {
+	if _, err := qp.dev.net.lookup(remoteDev); err != nil {
+		return err
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state != QPReset {
+		return fmt.Errorf("%w: state %v, want RESET", ErrQPState, qp.state)
+	}
+	qp.peerDev = remoteDev
+	qp.peerQPN = remoteQPN
+	qp.state = QPReadyToSend
+	return nil
+}
+
+// State returns the current QP state.
+func (qp *QueuePair) State() QPState {
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	return qp.state
+}
+
+// PostRecv posts a receive work request. Allowed in RESET (pre-posting
+// before connect is standard practice) and RTS.
+func (qp *QueuePair) PostRecv(wr RecvWR) error {
+	if _, err := wr.SGE.slice(); err != nil {
+		return err
+	}
+	qp.mu.Lock()
+	defer qp.mu.Unlock()
+	if qp.state == QPDestroyed || qp.state == QPError {
+		return fmt.Errorf("%w: state %v", ErrQPState, qp.state)
+	}
+	qp.recvQueue = append(qp.recvQueue, wr)
+	return nil
+}
+
+// PostSend posts a send-queue work request. The QP must be RTS.
+func (qp *QueuePair) PostSend(wr SendWR) error {
+	if _, err := wr.SGE.slice(); err != nil {
+		return err
+	}
+	qp.mu.Lock()
+	if qp.state != QPReadyToSend {
+		st := qp.state
+		qp.mu.Unlock()
+		return fmt.Errorf("%w: state %v, want RTS", ErrQPState, st)
+	}
+	qp.mu.Unlock()
+	select {
+	case qp.sendCh <- wr:
+		return nil
+	case <-qp.done:
+		return fmt.Errorf("%w: destroyed", ErrQPState)
+	}
+}
+
+// Destroy tears down the QP; queued-but-unprocessed sends flush with
+// WCFlushErr completions.
+func (qp *QueuePair) Destroy() {
+	qp.mu.Lock()
+	if qp.state == QPDestroyed {
+		qp.mu.Unlock()
+		return
+	}
+	qp.state = QPDestroyed
+	qp.mu.Unlock()
+	close(qp.done)
+	qp.wg.Wait()
+	qp.dev.mu.Lock()
+	delete(qp.dev.qps, qp.qpn)
+	qp.dev.mu.Unlock()
+}
+
+// process executes send work requests in post order.
+func (qp *QueuePair) process() {
+	defer qp.wg.Done()
+	for {
+		select {
+		case <-qp.done:
+			// Flush remaining queued work.
+			for {
+				select {
+				case wr := <-qp.sendCh:
+					qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCFlushErr, Opcode: wr.Opcode, QPN: qp.qpn})
+				default:
+					return
+				}
+			}
+		case wr := <-qp.sendCh:
+			qp.execute(wr)
+		}
+	}
+}
+
+func (qp *QueuePair) execute(wr SendWR) {
+	local, err := wr.SGE.slice()
+	if err != nil {
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	qp.mu.Lock()
+	peerName, peerQPN := qp.peerDev, qp.peerQPN
+	qp.mu.Unlock()
+	peer, err := qp.dev.net.lookup(peerName)
+	if err != nil {
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	qp.dev.net.injectDelay(len(local))
+
+	switch wr.Opcode {
+	case OpSend:
+		qp.executeSend(wr, local, peer, peerQPN)
+	case OpRDMAWrite:
+		peer.mu.Lock()
+		dst, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
+		if ok {
+			copy(dst, local)
+		}
+		peer.mu.Unlock()
+		if !ok {
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		}
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+	case OpRDMARead:
+		peer.mu.Lock()
+		src, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
+		if ok {
+			copy(local, src)
+		}
+		peer.mu.Unlock()
+		if !ok {
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		}
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+	default:
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: wr.Opcode, QPN: qp.qpn})
+	}
+}
+
+func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQPN uint32) {
+	peer.mu.Lock()
+	rqp, ok := peer.qps[peerQPN]
+	peer.mu.Unlock()
+	if !ok {
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	rqp.mu.Lock()
+	if len(rqp.recvQueue) == 0 || rqp.state == QPDestroyed || rqp.state == QPError {
+		rqp.mu.Unlock()
+		// Receiver not ready: on real RC QPs, RNR NAK then retry; with
+		// retries exceeded the sender completes in error.
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRNRRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	recv := rqp.recvQueue[0]
+	rqp.recvQueue = rqp.recvQueue[1:]
+	rqp.mu.Unlock()
+
+	dst, err := recv.SGE.slice()
+	if err != nil || len(dst) < len(payload) {
+		// Receive buffer too small: local length error on the responder,
+		// remote op error on the requester.
+		rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCLocalProtErr, QPN: rqp.qpn})
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	copy(dst, payload)
+	rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCSuccess, ByteLen: len(payload), QPN: rqp.qpn, Imm: wr.Imm})
+	qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.qpn})
+}
+
+// Close shuts the device down, destroying its QPs.
+func (d *Device) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	qps := make([]*QueuePair, 0, len(d.qps))
+	for _, qp := range d.qps {
+		qps = append(qps, qp)
+	}
+	d.mu.Unlock()
+	for _, qp := range qps {
+		qp.Destroy()
+	}
+	d.net.mu.Lock()
+	delete(d.net.devices, d.name)
+	d.net.mu.Unlock()
+}

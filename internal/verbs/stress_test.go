@@ -1,0 +1,165 @@
+package verbs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestManyQPsConcurrentRDMA hammers one device with RDMA writes from many
+// peers at once and checks every byte lands where it was aimed — the
+// access pattern of a TaskTracker serving a whole reduce wave.
+func TestManyQPsConcurrentRDMA(t *testing.T) {
+	const peers = 8
+	const writesPerPeer = 50
+	const slot = 64
+
+	net := NewNetwork()
+	server, err := net.NewDevice("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One region, one slot per (peer, write).
+	region, err := server.RegisterMemory(make([]byte, peers*writesPerPeer*slot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverCQ := server.CreateCQ(16)
+
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dev, err := net.NewDevice(fmt.Sprintf("peer%d", p))
+			if err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			cq := dev.CreateCQ(64)
+			qp, err := dev.CreateQP(cq, cq)
+			if err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			sqp, err := server.CreateQP(serverCQ, serverCQ)
+			if err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			if err := qp.Connect("server", sqp.QPN()); err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			if err := sqp.Connect(dev.Name(), qp.QPN()); err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			src, err := dev.RegisterMemory(make([]byte, slot))
+			if err != nil {
+				t.Errorf("peer %d: %v", p, err)
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for w := 0; w < writesPerPeer; w++ {
+				for i := range src.Bytes() {
+					src.Bytes()[i] = byte(p*31 + w)
+				}
+				off := uint64((p*writesPerPeer + w) * slot)
+				err := qp.PostSend(SendWR{
+					WRID: uint64(w), Opcode: OpRDMAWrite,
+					SGE:        SGE{MR: src, Length: slot},
+					RemoteAddr: region.Addr() + off, RKey: region.RKey(),
+				})
+				if err != nil {
+					t.Errorf("peer %d write %d: %v", p, w, err)
+					return
+				}
+				wc, err := cq.Wait(ctx)
+				if err != nil || wc.Status != WCSuccess {
+					t.Errorf("peer %d write %d completion: %v %v", p, w, wc, err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for p := 0; p < peers; p++ {
+		for w := 0; w < writesPerPeer; w++ {
+			off := (p*writesPerPeer + w) * slot
+			want := bytes.Repeat([]byte{byte(p*31 + w)}, slot)
+			if !bytes.Equal(region.Bytes()[off:off+slot], want) {
+				t.Fatalf("slot (%d,%d) corrupted", p, w)
+			}
+		}
+	}
+}
+
+// TestInterleavedSendAndRDMA mixes two-sided and one-sided traffic on the
+// same QP, which is exactly what the shuffle does (headers via SEND,
+// payloads via RDMA) — ordering per QP must hold.
+func TestInterleavedSendAndRDMA(t *testing.T) {
+	qpA, qpB, cqA, cqB := pair(t)
+	payload := mustMR(t, qpA.dev, 8)
+	target := mustMR(t, qpB.dev, 8)
+	header := mustMR(t, qpA.dev, 8)
+	recvBuf := mustMR(t, qpB.dev, 8)
+
+	const rounds = 64
+	for i := 0; i < rounds; i++ {
+		copy(payload.Bytes(), fmt.Sprintf("%08d", i))
+		copy(header.Bytes(), fmt.Sprintf("h%07d", i))
+		if err := qpB.PostRecv(RecvWR{SGE: SGE{MR: recvBuf, Length: 8}}); err != nil {
+			t.Fatal(err)
+		}
+		// One-sided payload first, then the header SEND; the receiver
+		// observing the header must therefore see the payload in place.
+		if err := qpA.PostSend(SendWR{Opcode: OpRDMAWrite, SGE: SGE{MR: payload, Length: 8},
+			RemoteAddr: target.Addr(), RKey: target.RKey()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := qpA.PostSend(SendWR{Opcode: OpSend, SGE: SGE{MR: header, Length: 8}}); err != nil {
+			t.Fatal(err)
+		}
+		waitWC(t, cqA) // write
+		waitWC(t, cqA) // send
+		wc := waitWC(t, cqB)
+		if wc.Status != WCSuccess {
+			t.Fatalf("round %d recv: %+v", i, wc)
+		}
+		if got, want := string(target.Bytes()), fmt.Sprintf("%08d", i); got != want {
+			t.Fatalf("round %d: payload %q not visible at header time (want %q)", i, got, want)
+		}
+	}
+}
+
+// TestRegisterDeregisterChurn exercises MR lifecycle under concurrency
+// (the responder staging pool does this constantly).
+func TestRegisterDeregisterChurn(t *testing.T) {
+	net := NewNetwork()
+	dev, _ := net.NewDevice("churn")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				mr, err := dev.RegisterMemory(make([]byte, 1024))
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				if err := mr.Deregister(); err != nil {
+					t.Errorf("deregister: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

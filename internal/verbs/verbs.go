@@ -1,0 +1,265 @@
+// Package verbs emulates the InfiniBand verbs interface (the paper's
+// §II-B.1(a) access layer) in pure Go: devices (HCAs), registered memory
+// regions with lkey/rkey protection, queue pairs with the
+// RESET→INIT→RTR→RTS state machine, completion queues, and the SEND/RECV
+// and RDMA READ/WRITE opcodes.
+//
+// Substitution note (DESIGN.md): no InfiniBand hardware is available in
+// this environment, so devices attach to an in-process Network that copies
+// payloads directly between registered buffers — the same zero-copy,
+// OS-bypass data movement an HCA performs, with optional injected latency
+// from a fabric.Model. Everything above this layer (UCR, the RDMA shuffle
+// engine) is agnostic to whether completions come from the emulator or a
+// real HCA.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmamr/internal/fabric"
+)
+
+// Errors returned by verbs operations (posting errors; data-path failures
+// surface as work-completion statuses instead, as on real hardware).
+var (
+	ErrQPState      = errors.New("verbs: queue pair not in required state")
+	ErrUnknownQP    = errors.New("verbs: unknown queue pair")
+	ErrUnknownDev   = errors.New("verbs: unknown device")
+	ErrBadSGE       = errors.New("verbs: scatter/gather entry out of region bounds")
+	ErrDeregistered = errors.New("verbs: memory region deregistered")
+	ErrClosed       = errors.New("verbs: object closed")
+)
+
+// Opcode identifies a send-queue work request type.
+type Opcode int
+
+// Work request opcodes (the subset the shuffle designs need).
+const (
+	OpSend Opcode = iota
+	OpRDMAWrite
+	OpRDMARead
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMARead:
+		return "RDMA_READ"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// WCStatus is a work completion status.
+type WCStatus int
+
+// Completion statuses.
+const (
+	WCSuccess WCStatus = iota
+	WCRemoteAccessErr
+	WCRNRRetryExceeded // receiver not ready: SEND with no posted RECV
+	WCLocalProtErr
+	WCFlushErr // QP destroyed with work outstanding
+)
+
+func (s WCStatus) String() string {
+	switch s {
+	case WCSuccess:
+		return "SUCCESS"
+	case WCRemoteAccessErr:
+		return "REMOTE_ACCESS_ERR"
+	case WCRNRRetryExceeded:
+		return "RNR_RETRY_EXCEEDED"
+	case WCLocalProtErr:
+		return "LOCAL_PROT_ERR"
+	case WCFlushErr:
+		return "WR_FLUSH_ERR"
+	default:
+		return fmt.Sprintf("WCStatus(%d)", int(s))
+	}
+}
+
+// WC is a work completion, delivered to a CQ when a work request finishes.
+type WC struct {
+	WRID    uint64
+	Status  WCStatus
+	Opcode  Opcode
+	ByteLen int    // bytes transferred (valid on success)
+	QPN     uint32 // local QP number
+	Imm     uint32 // immediate data (SEND only)
+}
+
+// Network is the in-process fabric connecting emulated devices. A nil
+// latency model means transfers complete with no injected delay (tests);
+// with a model installed the network sleeps per-message latency +
+// serialization time scaled by TimeScale, letting demos observe realistic
+// relative timings without wall-clock pain.
+type Network struct {
+	mu      sync.RWMutex
+	devices map[string]*Device
+	model   *fabric.Model
+	// TimeScale divides injected delays (e.g. 1000 = microseconds become
+	// nanoseconds). Zero means no injection even with a model set.
+	timeScale float64
+}
+
+// NewNetwork returns an empty network with no latency injection.
+func NewNetwork() *Network {
+	return &Network{devices: make(map[string]*Device)}
+}
+
+// SetLatencyModel installs a fabric model whose latency and bandwidth are
+// injected as real sleeps scaled down by scale (delay = modeled/scale).
+// scale <= 0 disables injection.
+func (n *Network) SetLatencyModel(m fabric.Model, scale float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.model = &m
+	n.timeScale = scale
+}
+
+func (n *Network) injectDelay(bytes int) {
+	n.mu.RLock()
+	m, scale := n.model, n.timeScale
+	n.mu.RUnlock()
+	if m == nil || scale <= 0 {
+		return
+	}
+	d := time.Duration(float64(m.TransferTime(bytes)) / scale)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// NewDevice creates and attaches a device (HCA) with the given unique name.
+func (n *Network) NewDevice(name string) (*Device, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.devices[name]; ok {
+		return nil, fmt.Errorf("verbs: device %q already exists", name)
+	}
+	d := &Device{
+		net:  n,
+		name: name,
+		mrs:  make(map[uint32]*MemoryRegion),
+		qps:  make(map[uint32]*QueuePair),
+	}
+	n.devices[name] = d
+	return d, nil
+}
+
+func (n *Network) lookup(name string) (*Device, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	d, ok := n.devices[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDev, name)
+	}
+	return d, nil
+}
+
+// Device is an emulated host channel adapter.
+type Device struct {
+	net  *Network
+	name string
+
+	mu      sync.Mutex
+	mrs     map[uint32]*MemoryRegion
+	nextKey uint32
+	nextVA  uint64
+	qps     map[uint32]*QueuePair
+	nextQPN uint32
+	closed  bool
+}
+
+// Name returns the device name (its network address).
+func (d *Device) Name() string { return d.name }
+
+// MemoryRegion is a registered buffer. RDMA operations address it by
+// (rkey, virtual address); local SGEs address it by lkey.
+type MemoryRegion struct {
+	dev   *Device
+	buf   []byte
+	lkey  uint32
+	rkey  uint32
+	va    uint64 // emulated virtual base address
+	dead  bool
+	devMu *sync.Mutex // guards dead + buf access across RDMA ops
+}
+
+// RegisterMemory registers buf and returns the region. The emulated
+// virtual address space is per-device and never reuses ranges, so stale
+// addresses fail rather than corrupt.
+func (d *Device) RegisterMemory(buf []byte) (*MemoryRegion, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	d.nextKey++
+	// Leave a guard gap between regions so off-by-one addressing faults.
+	va := d.nextVA + 4096
+	d.nextVA = va + uint64(len(buf)) + 4096
+	mr := &MemoryRegion{
+		dev:   d,
+		buf:   buf,
+		lkey:  d.nextKey,
+		rkey:  d.nextKey | 0x80000000,
+		va:    va,
+		devMu: &d.mu,
+	}
+	d.mrs[mr.rkey] = mr
+	return mr, nil
+}
+
+// Deregister invalidates the region; subsequent RDMA against it fails with
+// a remote access error.
+func (mr *MemoryRegion) Deregister() error {
+	mr.devMu.Lock()
+	defer mr.devMu.Unlock()
+	if mr.dead {
+		return ErrDeregistered
+	}
+	mr.dead = true
+	delete(mr.dev.mrs, mr.rkey)
+	return nil
+}
+
+// LKey returns the local protection key.
+func (mr *MemoryRegion) LKey() uint32 { return mr.lkey }
+
+// RKey returns the remote protection key to hand to peers.
+func (mr *MemoryRegion) RKey() uint32 { return mr.rkey }
+
+// Addr returns the emulated virtual base address to hand to peers.
+func (mr *MemoryRegion) Addr() uint64 { return mr.va }
+
+// Len returns the registered length.
+func (mr *MemoryRegion) Len() int { return len(mr.buf) }
+
+// Bytes exposes the underlying buffer for local access (the application
+// owns the memory, as with real verbs).
+func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
+
+// resolve maps (rkey, va, length) to a subslice, enforcing protection.
+// Caller must hold the device mutex.
+func (d *Device) resolve(rkey uint32, va uint64, length int) ([]byte, bool) {
+	mr, ok := d.mrs[rkey]
+	if !ok || mr.dead {
+		return nil, false
+	}
+	if va < mr.va || length < 0 {
+		return nil, false
+	}
+	off := va - mr.va
+	if off+uint64(length) > uint64(len(mr.buf)) {
+		return nil, false
+	}
+	return mr.buf[off : off+uint64(length)], true
+}

@@ -1,0 +1,119 @@
+package rdmamr_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rdmamr/pkg/rdmamr"
+)
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func smallConf() *rdmamr.Config {
+	conf := rdmamr.NewConfig()
+	conf.SetInt(rdmamr.KeyBlockSize, 64<<10)
+	conf.SetInt(rdmamr.KeyMapSlots, 2)
+	conf.SetInt(rdmamr.KeyReduceSlots, 2)
+	return conf
+}
+
+func TestNewClusterHonorsRDMAEnabled(t *testing.T) {
+	conf := smallConf()
+	c, err := rdmamr.NewCluster(2, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Engine().Name(); got != "vanilla-http" {
+		t.Fatalf("default engine %q", got)
+	}
+	c.Close()
+
+	conf.SetBool(rdmamr.KeyRDMAEnabled, true)
+	c, err = rdmamr.NewCluster(2, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Engine().Name(); got != "osu-ib-rdma" {
+		t.Fatalf("rdma engine %q", got)
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range rdmamr.EngineNames() {
+		e, err := rdmamr.EngineByName(name)
+		if err != nil || e.Name() != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := rdmamr.EngineByName("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestTeraSortThroughFacade(t *testing.T) {
+	conf := smallConf()
+	conf.SetBool(rdmamr.KeyRDMAEnabled, true)
+	c, err := rdmamr.NewCluster(3, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	paths, err := rdmamr.TeraGen(c, "/in", 1500, 16<<10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, sum, err := rdmamr.TeraSortJob(c, "ts", paths, "/out", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count != 1500 {
+		t.Fatalf("checksum count %d", sum.Count)
+	}
+	if _, err := c.RunJob(ctxT(t), job); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdmamr.TeraValidate(c, "/out", sum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortThroughFacade(t *testing.T) {
+	c, err := rdmamr.NewClusterWithEngine(2, smallConf(), mustEngine(t, "hadoop-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	paths, err := rdmamr.RandomWriter(c, "/in", 96<<10, 32<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, sum, err := rdmamr.SortJob(c, "sort", paths, "/out", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunJob(ctxT(t), job); err != nil {
+		t.Fatal(err)
+	}
+	if err := rdmamr.ValidateMultiset(c, "/out", sum); err != nil {
+		t.Fatal(err)
+	}
+	// Global order is NOT guaranteed under hash partitioning; the strict
+	// validator may reject it, and that must surface as a validation
+	// error rather than an I/O failure if it does.
+	_ = rdmamr.TeraValidate(c, "/out", sum)
+}
+
+func mustEngine(t *testing.T, name string) rdmamr.ShuffleEngine {
+	t.Helper()
+	e, err := rdmamr.EngineByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
