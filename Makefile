@@ -1,0 +1,31 @@
+# Tier-1 gate plus convenience targets. `make verify` is what CI (and the
+# next contributor) should run before merging.
+
+GO ?= go
+
+.PHONY: verify vet build test race bench-depth fuzz
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# D5 ablation: copier outstanding-request depth (bounce-buffer ring).
+bench-depth:
+	$(GO) test -run=NONE -bench=AblationOutstandingDepth .
+	$(GO) test -run=NONE -bench=FetchChunkAllocs ./internal/core/
+
+# Short fuzz pass over the shuffle wire codecs.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeDataRequest -fuzztime=10s ./internal/shuffle/wire/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeDataResponse -fuzztime=10s ./internal/shuffle/wire/
+	$(GO) test -run=NONE -fuzz=FuzzTakeString -fuzztime=10s ./internal/shuffle/wire/

@@ -87,11 +87,21 @@ func functionalConf() *config.Config {
 
 func runFunctionalTeraSort(b *testing.B, engine mapred.ShuffleEngine, conf *config.Config, rows int64, tag string) {
 	b.Helper()
+	runFunctionalTeraSortWith(b, engine, conf, rows, tag, nil)
+}
+
+// runFunctionalTeraSortWith is runFunctionalTeraSort with a per-cluster
+// setup hook (e.g. installing a fabric latency model before the job runs).
+func runFunctionalTeraSortWith(b *testing.B, engine mapred.ShuffleEngine, conf *config.Config, rows int64, tag string, setup func(*mapred.Cluster)) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		c, err := mapred.NewCluster(3, conf, engine)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if setup != nil {
+			setup(c)
 		}
 		fs := c.FS()
 		paths, err := workload.TeraGen(fs, "/in", rows, 32<<10, 1)
@@ -172,6 +182,37 @@ func BenchmarkAblationResponderPool(b *testing.B) {
 			conf := functionalConf()
 			conf.SetInt(config.KeyResponderThreads, n)
 			runFunctionalTeraSort(b, core.New(), conf, 3000, fmt.Sprintf("r%d", n))
+		})
+	}
+}
+
+// BenchmarkAblationOutstandingDepth sweeps the RDMA copier's
+// per-connection pipeline depth (mapred.rdma.outstanding.per.conn, the
+// bounce-buffer ring size). Depth 1 reproduces the old lockstep
+// request→wait→copy copier; deeper rings keep more DataRequests in
+// flight per TaskTracker connection, hiding the round trip. The
+// functional run injects amplified verbs latency (delay = modeled/0.05,
+// i.e. 20×) so the round trip dominates; the job_vsec metric is the
+// deterministic paper-scale signal from the simulator's no-cache path,
+// where the residual per-chunk stall scales with depth.
+func BenchmarkAblationOutstandingDepth(b *testing.B) {
+	for _, depth := range []int64{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			conf := functionalConf()
+			conf.SetInt(config.KeyRDMAPacketBytes, 4096) // more chunks per segment
+			conf.SetInt(config.KeyRDMAOutstandingPerConn, depth)
+			runFunctionalTeraSortWith(b, core.New(), conf, 3000, fmt.Sprintf("d%d", depth),
+				func(c *mapred.Cluster) {
+					c.Trackers()[0].Fabric().Network().SetLatencyModel(fabric.Models(fabric.IBVerbs), 0.05)
+				})
+			p := sim.DefaultParams(sim.OSUIB, fabric.IBVerbs, storage.HDD1, sim.TeraSort, 8, 60e9)
+			p.Caching = false
+			p.FetchDepth = int(depth)
+			res, err := sim.Run(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.JobSeconds, "job_vsec")
 		})
 	}
 }

@@ -29,8 +29,18 @@ const (
 	KeyReduceSlots       = "mapred.tasktracker.reduce.tasks.maximum"
 	KeyIOSortFactor      = "io.sort.factor"
 	KeyIOSortMB          = "io.sort.mb"
-	KeyShuffleMemLimit   = "mapred.job.shuffle.input.buffer.bytes"
-	KeyParallelCopies    = "mapred.reduce.parallel.copies"
+	KeyShuffleMemLimit = "mapred.job.shuffle.input.buffer.bytes"
+	// KeyParallelCopies is the reducer's fetch parallelism. The HTTP
+	// shuffle uses it as its copier-pool size; the RDMA path uses it as
+	// the default bounce-buffer ring depth per host connection when
+	// KeyRDMAOutstandingPerConn is left at 0.
+	KeyParallelCopies = "mapred.reduce.parallel.copies"
+	// KeyRDMAOutstandingPerConn is the RDMA copier's per-host-connection
+	// pipeline depth: the number of registered bounce-buffer slots and
+	// therefore the maximum outstanding DataRequests per TaskTracker
+	// connection. 0 (the default) derives the depth from
+	// KeyParallelCopies; 1 reproduces the old request→wait→copy lockstep.
+	KeyRDMAOutstandingPerConn = "mapred.rdma.outstanding.per.conn"
 	KeyOverlapReduce     = "mapred.rdma.overlap.reduce"
 	KeyHTTPPacketBytes   = "mapred.shuffle.http.packet.size"
 	KeyReduceTasks       = "mapred.reduce.tasks"
@@ -57,8 +67,9 @@ var defaults = map[string]string{
 	KeyIOSortFactor:      "10",
 	KeyIOSortMB:          strconv.Itoa(100 << 20),
 	KeyShuffleMemLimit:   strconv.Itoa(140 << 20),
-	KeyParallelCopies:    "5",
-	KeyOverlapReduce:     "true",
+	KeyParallelCopies:         "5",
+	KeyRDMAOutstandingPerConn: "0", // 0 = follow KeyParallelCopies
+	KeyOverlapReduce:          "true",
 	KeyHTTPPacketBytes:   "65536", // 64 KB, the default packet the paper cites
 	KeyReduceTasks:       "0",     // 0 = framework picks nodes*reduceSlots
 	KeyCachePriorityMode: "priority",
@@ -199,6 +210,10 @@ func (c *Config) Validate() error {
 		if v := c.Int(ck.key); v < ck.min {
 			return fmt.Errorf("config: %s = %d below minimum %d", ck.key, v, ck.min)
 		}
+	}
+	if v := c.Int(KeyRDMAOutstandingPerConn); v < 0 || v > 4096 {
+		return fmt.Errorf("config: %s = %d outside [0, 4096] (0 follows %s)",
+			KeyRDMAOutstandingPerConn, v, KeyParallelCopies)
 	}
 	if mode := c.Get(KeyCachePriorityMode); mode != "priority" && mode != "fifo" {
 		return fmt.Errorf("config: %s must be priority or fifo, got %q", KeyCachePriorityMode, mode)

@@ -100,6 +100,25 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestValidateOutstandingPerConn(t *testing.T) {
+	c := New()
+	if c.Int(KeyRDMAOutstandingPerConn) != 0 {
+		t.Fatal("outstanding.per.conn must default to 0 (follow parallel.copies)")
+	}
+	for _, ok := range []int64{0, 1, 8, 4096} {
+		c.SetInt(KeyRDMAOutstandingPerConn, ok)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("depth %d rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []int64{-1, 4097} {
+		c.SetInt(KeyRDMAOutstandingPerConn, bad)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("depth %d accepted", bad)
+		}
+	}
+}
+
 func TestDefaultFor(t *testing.T) {
 	if v, ok := DefaultFor(KeyIOSortFactor); !ok || v != "10" {
 		t.Fatalf("DefaultFor(io.sort.factor) = %q,%v", v, ok)

@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
 	"rdmamr/internal/shuffle/wire"
+	"rdmamr/internal/stats"
 	"rdmamr/internal/ucr"
 	"rdmamr/internal/verbs"
 )
@@ -35,6 +37,7 @@ type segment struct {
 
 	// Merge-goroutine-private state.
 	it       *kv.BufferIterator
+	curBuf   []byte // the pooled buffer the current iterator walks
 	cur      kv.Record
 	eof      bool
 	attempts int // recovery attempts consumed
@@ -89,14 +92,16 @@ func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
 		}
 		seg.eof = ck.eof
 		if !ck.eof {
-			// Depth-1 lookahead: fetch the next chunk while the merge
-			// consumes this one (shuffle/merge overlap within a segment).
+			// Depth-1 lookahead within the segment: fetch the next chunk
+			// while the merge consumes this one. Cross-segment depth comes
+			// from the connection's slot ring.
 			if err := seg.request(ctx, ck.next); err != nil {
 				return false, err
 			}
 		}
 		if len(ck.data) > 0 {
 			seg.it = kv.NewBufferIterator(ck.data)
+			seg.curBuf = ck.data
 			return true, nil
 		}
 		if seg.eof {
@@ -118,6 +123,14 @@ func (seg *segment) next(ctx context.Context) (bool, error) {
 				return false, err
 			}
 			seg.it = nil
+			if seg.curBuf != nil {
+				// The chunk is drained, but its records may still sit in
+				// the batch being assembled (they alias this buffer), so
+				// the buffer is retired with the batch and pooled only
+				// after the consumer moves past it.
+				seg.f.retire(seg.curBuf)
+				seg.curBuf = nil
+			}
 		}
 		if seg.eof {
 			return false, nil
@@ -139,14 +152,120 @@ type chunkReq struct {
 }
 
 // hostConn is the RDMACopier's connection to one TaskTracker: a UCR
-// end-point plus a registered bounce buffer the responder RDMA-writes
-// packets into. One request is outstanding per connection; chunk requests
-// from all segments on this host are serviced FIFO.
+// end-point plus a ring of registered bounce-buffer slots the responder
+// RDMA-writes packets into. Up to depth requests are outstanding per
+// connection — one per slot — and responses carry the slot tag, so chunk
+// fetches for different segments on the same host complete out of order
+// while each segment's own byte stream stays ordered (a segment never has
+// more than one chunk in flight).
 type hostConn struct {
-	host  string
-	ep    *ucr.EndPoint
-	mr    *verbs.MemoryRegion
-	reqCh chan chunkReq
+	host     string
+	ep       *ucr.EndPoint
+	ring     *verbs.MemoryRegion // depth × slotSize bytes
+	slotSize int
+	depth    int
+	free     chan uint32 // free slot indices
+	reqCh    chan chunkReq
+
+	mu       sync.Mutex
+	pending  map[uint32]chunkReq // slot tag → in-flight request
+	inFlight int
+	tainted  bool // protocol/transport failure: ring must not be pooled
+}
+
+// ringPools caches registered fetch rings per device so successive
+// fetcher lifetimes (one per reduce task) reuse memory regions instead of
+// churning registration. Pools are keyed by the device pointer itself, so
+// an entry can never be handed to a fetcher on a different device — the
+// cross-device staleness trap a process-global pool inspected at Get time
+// would have. An explicit bounded free list (not sync.Pool) keeps reuse
+// deterministic and deregisters overflow instead of letting registrations
+// vanish into the garbage collector.
+var ringPools sync.Map // map[*verbs.Device]*ringPool
+
+type ringPool struct {
+	mu    sync.Mutex
+	rings []*verbs.MemoryRegion
+}
+
+// ringPoolCap bounds retained rings per device; a tracker hosts at most a
+// few concurrent reduce tasks, each with one ring per peer host.
+const ringPoolCap = 16
+
+func ringPoolFor(dev *verbs.Device) *ringPool {
+	p, _ := ringPools.LoadOrStore(dev, &ringPool{})
+	return p.(*ringPool)
+}
+
+func ringGet(dev *verbs.Device, size int, c *stats.Counters) (*verbs.MemoryRegion, error) {
+	p := ringPoolFor(dev)
+	p.mu.Lock()
+	var mr *verbs.MemoryRegion
+	if n := len(p.rings); n > 0 {
+		mr = p.rings[n-1]
+		p.rings = p.rings[:n-1]
+	}
+	p.mu.Unlock()
+	if mr != nil {
+		if mr.Len() >= size {
+			c.Add("shuffle.rdma.ring.pool.hits", 1)
+			return mr, nil
+		}
+		// Too small for this configuration: replace it.
+		_ = mr.Deregister()
+	}
+	c.Add("shuffle.rdma.ring.pool.misses", 1)
+	return dev.RegisterMemory(make([]byte, size))
+}
+
+func ringPut(dev *verbs.Device, mr *verbs.MemoryRegion) {
+	p := ringPoolFor(dev)
+	p.mu.Lock()
+	if len(p.rings) < ringPoolCap {
+		p.rings = append(p.rings, mr)
+		mr = nil
+	}
+	p.mu.Unlock()
+	if mr != nil {
+		_ = mr.Deregister()
+	}
+}
+
+// payloadPool recycles chunk payload buffers: the receive pump fills one
+// per packet, and the merge consumer returns it once every record of the
+// chunk has been consumed. This removes the per-chunk make+copy garbage
+// from the shuffle hot path.
+var payloadPool sync.Pool // of *[]byte
+
+// poisonReleasedPayloads makes putPayload scribble over buffers on
+// release. Tests enable it to turn any record still aliasing a released
+// chunk into visible corruption instead of a silent heisenbug.
+var poisonReleasedPayloads atomic.Bool
+
+func getPayload(n int, c *stats.Counters) []byte {
+	if v := payloadPool.Get(); v != nil {
+		buf := *(v.(*[]byte))
+		if cap(buf) >= n {
+			c.Add("shuffle.rdma.payload.pool.hits", 1)
+			return buf[:n]
+		}
+	}
+	c.Add("shuffle.rdma.payload.pool.misses", 1)
+	capacity := 4 << 10
+	for capacity < n {
+		capacity <<= 1
+	}
+	return make([]byte, n, capacity)
+}
+
+func putPayload(buf []byte) {
+	buf = buf[:cap(buf)]
+	if poisonReleasedPayloads.Load() {
+		for i := range buf {
+			buf[i] = 0xDB
+		}
+	}
+	payloadPool.Put(&buf)
 }
 
 func (f *fetcher) dial(ctx context.Context, host string) (*hostConn, error) {
@@ -155,25 +274,35 @@ func (f *fetcher) dial(ctx context.Context, host string) (*hostConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: connecting to %s: %w", host, err)
 	}
-	mr, err := local.Device().RegisterMemory(make([]byte, f.bounceSize))
+	ring, err := ringGet(local.Device(), f.depth*f.slotSize, local.Counters())
 	if err != nil {
 		ep.Close()
 		return nil, err
 	}
 	hc := &hostConn{
-		host: host, ep: ep, mr: mr,
-		reqCh: make(chan chunkReq, f.task.Job.NumMaps+4),
+		host: host, ep: ep, ring: ring,
+		slotSize: f.slotSize, depth: f.depth,
+		free:    make(chan uint32, f.depth),
+		reqCh:   make(chan chunkReq, f.task.Job.NumMaps+4),
+		pending: make(map[uint32]chunkReq, f.depth),
 	}
-	f.wg.Add(1)
-	go f.connWorker(ctx, hc)
+	for s := 0; s < f.depth; s++ {
+		hc.free <- uint32(s)
+	}
+	f.wg.Add(2)
+	go f.sendLoop(ctx, hc)
+	go f.recvLoop(ctx, hc)
 	return hc, nil
 }
 
-// connWorker services one connection: send a request, wait for the
-// response header (the payload has already been RDMA-written by then),
-// copy the payload out of the bounce buffer, and deliver it.
-func (f *fetcher) connWorker(ctx context.Context, hc *hostConn) {
+// sendLoop is the connection's request pump: it claims a free slot,
+// stamps the request with the slot tag and the slot's RDMA address, and
+// sends it. With all slots busy the pump stalls — the fabric is saturated
+// at the configured depth — which the slot-stall counter records.
+func (f *fetcher) sendLoop(ctx context.Context, hc *hostConn) {
 	defer f.wg.Done()
+	counters := f.task.Local.Counters()
+	var scratch []byte
 	for {
 		var req chunkReq
 		select {
@@ -181,51 +310,153 @@ func (f *fetcher) connWorker(ctx context.Context, hc *hostConn) {
 		case <-ctx.Done():
 			return
 		}
-		ck := f.fetchChunk(ctx, hc, req)
+		var slot uint32
 		select {
-		case req.seg.ready <- ck:
-		case <-ctx.Done():
-			return
+		case slot = <-hc.free:
+		default:
+			counters.Add("shuffle.rdma.slot.stalls", 1)
+			select {
+			case slot = <-hc.free:
+			case <-ctx.Done():
+				return
+			}
+		}
+		hc.mu.Lock()
+		hc.pending[slot] = req
+		hc.inFlight++
+		depthNow := hc.inFlight
+		hc.mu.Unlock()
+		counters.Max("shuffle.rdma.outstanding.peak", int64(depthNow))
+		wreq := wire.DataRequest{
+			JobID:      f.task.Job.ID,
+			MapID:      int32(req.mapID),
+			ReduceID:   int32(f.task.ReduceID),
+			Offset:     req.offset,
+			MaxBytes:   int32(hc.slotSize),
+			MaxRecords: int32(f.kvPerPacket),
+			RemoteAddr: hc.ring.Addr() + uint64(slot)*uint64(hc.slotSize),
+			RKey:       hc.ring.RKey(),
+			Tag:        slot,
+		}
+		scratch = wreq.EncodeAppend(scratch[:0])
+		if err := hc.ep.Send(ctx, scratch); err != nil {
+			hc.mu.Lock()
+			delete(hc.pending, slot)
+			hc.inFlight--
+			hc.mu.Unlock()
+			hc.free <- slot
+			deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: request to %s: %w", hc.host, err)})
 		}
 	}
 }
 
-func (f *fetcher) fetchChunk(ctx context.Context, hc *hostConn, req chunkReq) chunk {
-	wreq := wire.DataRequest{
-		JobID:      f.task.Job.ID,
-		MapID:      int32(req.mapID),
-		ReduceID:   int32(f.task.ReduceID),
-		Offset:     req.offset,
-		MaxBytes:   int32(hc.mr.Len()),
-		MaxRecords: int32(f.kvPerPacket),
-		RemoteAddr: hc.mr.Addr(),
-		RKey:       hc.mr.RKey(),
+// recvLoop is the connection's completion pump: each response header is
+// matched to its slot by tag (the payload was RDMA-written into that slot
+// before the header was sent), copied out into a pooled payload buffer,
+// and delivered to the owning segment. Delivery never blocks: a segment
+// has at most one chunk in flight and a one-slot ready channel.
+func (f *fetcher) recvLoop(ctx context.Context, hc *hostConn) {
+	defer f.wg.Done()
+	counters := f.task.Local.Counters()
+	for {
+		msg, err := hc.ep.Recv(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Orderly shutdown, not a transport failure: leave the
+				// connection untainted (poolable() still demands
+				// quiescence before the ring is recycled).
+				return
+			}
+			hc.fail(ctx, fmt.Errorf("core: response from %s: %w", hc.host, err))
+			return
+		}
+		resp, err := wire.DecodeDataResponse(msg)
+		if err != nil {
+			// An unparseable frame cannot be matched to a slot; the
+			// connection's bookkeeping is unrecoverable.
+			hc.fail(ctx, fmt.Errorf("core: %s: %w", hc.host, err))
+			return
+		}
+		hc.mu.Lock()
+		req, ok := hc.pending[resp.Tag]
+		if ok {
+			delete(hc.pending, resp.Tag)
+			hc.inFlight--
+		}
+		hc.mu.Unlock()
+		if !ok {
+			hc.fail(ctx, fmt.Errorf("core: %s: response with unknown slot tag %d", hc.host, resp.Tag))
+			return
+		}
+		var ck chunk
+		switch {
+		case resp.Err != "":
+			ck = chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", hc.host, resp.Err)}
+		case resp.Bytes < 0 || int(resp.Bytes) > hc.slotSize:
+			hc.fail(ctx, fmt.Errorf("core: %s: response claims %d bytes in a %d-byte slot", hc.host, resp.Bytes, hc.slotSize))
+			deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: %s: oversized response", hc.host)})
+			return
+		default:
+			var payload []byte
+			if resp.Bytes > 0 {
+				payload = getPayload(int(resp.Bytes), counters)
+				start := int(resp.Tag) * hc.slotSize
+				copy(payload, hc.ring.Bytes()[start:start+int(resp.Bytes)])
+			}
+			counters.Add("shuffle.rdma.recv.bytes", int64(resp.Bytes))
+			ck = chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
+		}
+		// The slot's bytes are copied out (or unused): recycle it before
+		// delivery so the send pump can refill it immediately.
+		hc.free <- resp.Tag
+		deliver(ctx, req.seg, ck)
 	}
-	if err := hc.ep.Send(ctx, wreq.Encode()); err != nil {
-		return chunk{off: req.offset, err: fmt.Errorf("core: request to %s: %w", hc.host, err)}
+}
+
+// deliver hands a chunk to its segment, giving up on cancellation.
+func deliver(ctx context.Context, seg *segment, ck chunk) {
+	select {
+	case seg.ready <- ck:
+	case <-ctx.Done():
 	}
-	msg, err := hc.ep.Recv(ctx)
-	if err != nil {
-		return chunk{off: req.offset, err: fmt.Errorf("core: response from %s: %w", hc.host, err)}
+}
+
+// fail poisons the connection after a transport or protocol error: every
+// in-flight request is completed with the error (triggering per-segment
+// recovery where wired), the end-point is closed so the send pump fails
+// fast, and the ring is marked unpoolable — the responder might still be
+// writing into it.
+func (hc *hostConn) fail(ctx context.Context, err error) {
+	hc.mu.Lock()
+	hc.tainted = true
+	pend := hc.pending
+	hc.pending = make(map[uint32]chunkReq)
+	hc.inFlight = 0
+	hc.mu.Unlock()
+	hc.ep.Close()
+	for _, req := range pend {
+		deliver(ctx, req.seg, chunk{off: req.offset, err: err})
 	}
-	resp, err := wire.DecodeDataResponse(msg)
-	if err != nil {
-		return chunk{off: req.offset, err: err}
-	}
-	if resp.Err != "" {
-		return chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", hc.host, resp.Err)}
-	}
-	payload := make([]byte, resp.Bytes)
-	copy(payload, hc.mr.Bytes()[:resp.Bytes])
-	f.task.Local.Counters().Add("shuffle.rdma.recv.bytes", int64(resp.Bytes))
-	return chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
+}
+
+// poolable reports whether the ring can be returned to the device pool:
+// only when the connection saw no failure and nothing is in flight (a
+// pending request means the responder may still RDMA-write into a slot).
+func (hc *hostConn) poolable() bool {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return !hc.tainted && len(hc.pending) == 0
 }
 
 // batch is one DataToReduceQueue entry: a slice of merged records in
-// sorted order, or a terminal error.
+// sorted order, or a terminal error. spent carries the chunk buffers that
+// drained while the batch was assembled; their records ride in this batch
+// (or earlier ones), so the consumer releases them to the payload pool
+// once it has moved past the batch.
 type batch struct {
-	recs []kv.Record
-	err  error
+	recs  []kv.Record
+	spent [][]byte
+	err   error
 }
 
 const batchSize = 512
@@ -237,7 +468,8 @@ type fetcher struct {
 	task        mapred.ReduceTaskInfo
 	overlap     bool
 	kvPerPacket int
-	bounceSize  int
+	slotSize    int
+	depth       int
 
 	mu    sync.Mutex
 	conns map[string]*hostConn
@@ -246,6 +478,10 @@ type fetcher struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
+	// spentBufs is merge-goroutine-private: buffers drained since the
+	// last flush, waiting to ride out with the next batch.
+	spentBufs [][]byte
+
 	closeOnce sync.Once
 	fetched   bool
 }
@@ -253,14 +489,30 @@ type fetcher struct {
 func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	conf := task.Job.Conf
 	packet := int(conf.Int(config.KeyRDMAPacketBytes))
+	depth := int(conf.Int(config.KeyRDMAOutstandingPerConn))
+	if depth <= 0 {
+		// The paper's mapred.reduce.parallel.copies governs reducer fetch
+		// parallelism; on the RDMA path it sets the default ring depth.
+		depth = int(conf.Int(config.KeyParallelCopies))
+	}
+	if depth < 1 {
+		depth = 1
+	}
 	return &fetcher{
 		task:        task,
 		overlap:     conf.Bool(config.KeyOverlapReduce),
 		kvPerPacket: int(conf.Int(config.KeyKVPairsPerPacket)),
-		bounceSize:  packet + 64<<10,
+		slotSize:    packet + 64<<10,
+		depth:       depth,
 		conns:       make(map[string]*hostConn),
 		out:         make(chan batch, 8),
 	}
+}
+
+// retire queues a drained chunk buffer to ride out with the next batch.
+// Merge-goroutine only.
+func (f *fetcher) retire(buf []byte) {
+	f.spentBufs = append(f.spentBufs, buf)
 }
 
 // Fetch implements mapred.ReduceFetcher.
@@ -294,7 +546,9 @@ func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
 		return &queueIterator{ctx: ctx, ch: f.out}, nil
 	}
 	// Ablation mode: barrier like the vanilla design — materialize the
-	// whole merged stream before the reduce function sees any of it.
+	// whole merged stream before the reduce function sees any of it. The
+	// materialized records alias their chunk buffers for the rest of the
+	// reduce, so spent buffers are NOT pooled here.
 	var all []kv.Record
 	for b := range f.out {
 		if b.err != nil {
@@ -374,12 +628,13 @@ func (f *fetcher) run(ctx context.Context) {
 	// Extract in sorted order, refilling segments as their chunks drain.
 	recs := make([]kv.Record, 0, batchSize)
 	flush := func() bool {
-		if len(recs) == 0 {
+		if len(recs) == 0 && len(f.spentBufs) == 0 {
 			return true
 		}
 		select {
-		case f.out <- batch{recs: recs}:
+		case f.out <- batch{recs: recs, spent: f.spentBufs}:
 			recs = make([]kv.Record, 0, batchSize)
+			f.spentBufs = nil
 			return true
 		case <-ctx.Done():
 			return false
@@ -419,11 +674,24 @@ func (f *fetcher) Close() error {
 		f.mu.Unlock()
 		for _, hc := range conns {
 			hc.ep.Close()
-			_ = hc.mr.Deregister()
 		}
+		// The pumps must be parked before rings are recycled: a receive
+		// pump could otherwise still be copying out of a ring another
+		// fetcher already owns.
 		f.wg.Wait()
-		// Drain any parked batch so the merge goroutine never leaks.
-		for range f.out {
+		for _, hc := range conns {
+			if hc.poolable() {
+				ringPut(f.task.Local.Device(), hc.ring)
+			} else {
+				_ = hc.ring.Deregister()
+			}
+		}
+		// Drain any parked batch so the merge goroutine never leaks. Only
+		// a started Fetch closes f.out; without one there is nothing to
+		// drain (and no closer).
+		if f.fetched {
+			for range f.out {
+			}
 		}
 	})
 	return nil
@@ -452,13 +720,25 @@ func (h *segHeap) Pop() any {
 // keeps extracting the key-value pairs from the Priority Queue in sorted
 // order and puts these data in a first in first out structure, named as
 // DataToReduceQueue" — this is the consumer end the reduce function pulls.
+//
+// Records obey the kv.Iterator contract (valid until the following Next),
+// which is what lets the iterator recycle a batch's spent chunk buffers
+// as soon as it advances past the batch.
 type queueIterator struct {
-	ctx context.Context
-	ch  <-chan batch
-	cur []kv.Record
-	idx int
-	err error
-	eos bool
+	ctx  context.Context
+	ch   <-chan batch
+	cur  []kv.Record
+	held [][]byte // spent buffers of the batch being consumed
+	idx  int
+	err  error
+	eos  bool
+}
+
+func (it *queueIterator) releaseHeld() {
+	for _, buf := range it.held {
+		putPayload(buf)
+	}
+	it.held = nil
 }
 
 // Next implements kv.Iterator, blocking until merged data is available.
@@ -470,6 +750,9 @@ func (it *queueIterator) Next() bool {
 	for it.idx >= len(it.cur) {
 		select {
 		case b, ok := <-it.ch:
+			// Everything before this batch has been consumed; its spent
+			// buffers can rejoin the payload pool.
+			it.releaseHeld()
 			if !ok {
 				it.eos = true
 				return false
@@ -478,9 +761,11 @@ func (it *queueIterator) Next() bool {
 				it.err = b.err
 				return false
 			}
+			it.held = b.spent
 			it.cur = b.recs
 			it.idx = 0
 		case <-it.ctx.Done():
+			it.releaseHeld()
 			it.err = it.ctx.Err()
 			return false
 		}

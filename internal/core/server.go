@@ -34,6 +34,11 @@ type trackerServer struct {
 	// ReduceTasks ... until one of the RDMAResponders take it".
 	reqQ chan *pendingRequest
 
+	// stagePool recycles registered staging regions across responses. It
+	// is per-server (therefore per-device), so a pooled region can never
+	// surface on a different tracker's device.
+	stagePool sync.Pool // of *verbs.MemoryRegion
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -183,25 +188,18 @@ type stagedPayload struct {
 
 func (sp *stagedPayload) sge() verbs.SGE { return verbs.SGE{MR: sp.mr, Length: sp.n} }
 
-var stagePool = sync.Pool{} // of *verbs.MemoryRegion, per-device via wrapper
-
-type stagedMR struct {
-	mr  *verbs.MemoryRegion
-	dev string
-}
-
 func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
-	// Pools are device-scoped; a simple per-call registration would churn
-	// MRs, so reuse staged regions big enough for the request.
-	if v := stagePool.Get(); v != nil {
-		if sm, ok := v.(*stagedMR); ok && sm.dev == s.tt.Device().Name() && sm.mr.Len() >= len(data) {
-			copy(sm.mr.Bytes(), data)
-			return &stagedPayload{mr: sm.mr, n: len(data), srv: s}, nil
+	// The pool is per-server, so every pooled region already belongs to
+	// this device; a simple per-call registration would churn MRs, so
+	// reuse staged regions big enough for the request.
+	if v := s.stagePool.Get(); v != nil {
+		mr := v.(*verbs.MemoryRegion)
+		if mr.Len() >= len(data) {
+			copy(mr.Bytes(), data)
+			return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
 		}
-		// Wrong device or too small: drop it (deregister) and allocate.
-		if sm, ok := v.(*stagedMR); ok {
-			_ = sm.mr.Deregister()
-		}
+		// Too small for this request: drop it and allocate.
+		_ = mr.Deregister()
 	}
 	size := len(data)
 	if size < s.packetSize+64<<10 {
@@ -216,13 +214,16 @@ func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
 }
 
 func (sp *stagedPayload) release() {
-	stagePool.Put(&stagedMR{mr: sp.mr, dev: sp.srv.tt.Device().Name()})
+	sp.srv.stagePool.Put(sp.mr)
 }
 
 func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
 	req := p.req
 	header := wire.DataResponse{
 		MapID: req.MapID, ReduceID: req.ReduceID, Offset: req.Offset,
+		// Echo the copier's slot tag so it can match this response to
+		// the bounce-buffer slot the payload was written into.
+		Tag: req.Tag,
 	}
 	fail := func(err error) builtResponse {
 		header.Err = err.Error()

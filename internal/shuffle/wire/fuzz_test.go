@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The decoders face bytes straight off the fabric: a buggy or hostile
+// peer must produce an error, never a panic or an over-allocation. The
+// fuzz targets assert the decode-re-encode-decode fixpoint on every
+// input that decodes, and seed the corpus with valid frames, truncations
+// at interesting boundaries, and corrupt length prefixes.
+
+func fuzzSeedsRequest() [][]byte {
+	full := (&DataRequest{
+		JobID: "job_202608", MapID: 7, ReduceID: 3, Offset: 1 << 33,
+		MaxBytes: 128 << 10, MaxRecords: 1024, RemoteAddr: 0xdeadbeef, RKey: 99, Tag: 5,
+	}).Encode()
+	oversizedStr := []byte{TypeDataRequest, 0xff, 0xff} // 65535-byte JobID, absent
+	return [][]byte{
+		full,
+		full[:len(full)-4], // legacy, no tag
+		full[:9],           // mid-header truncation
+		oversizedStr,
+		{TypeDataResponse}, // wrong type
+		{},
+	}
+}
+
+func FuzzDecodeDataRequest(f *testing.F) {
+	for _, s := range fuzzSeedsRequest() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeDataRequest(b)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must survive a re-encode round trip exactly.
+		again, err := DecodeDataRequest(r.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of valid request failed: %v", err)
+		}
+		if *again != *r {
+			t.Fatalf("request not a fixpoint: %+v vs %+v", r, again)
+		}
+	})
+}
+
+func fuzzSeedsResponse() [][]byte {
+	full := (&DataResponse{
+		MapID: 2, ReduceID: 9, Offset: 4096, Bytes: 777, Records: 12,
+		EOF: true, Err: "tracker: gone", RemoteAddr: 42, RKey: 7, Tag: 3,
+	}).Encode()
+	// Err string length prefix claiming far more bytes than present.
+	lying := append([]byte{}, full[:26]...)
+	lying = append(lying, 0xff, 0xff)
+	return [][]byte{
+		full,
+		full[:len(full)-4], // legacy, no tag
+		full[:12],
+		lying,
+		{TypeDataRequest},
+		{},
+	}
+}
+
+func FuzzDecodeDataResponse(f *testing.F) {
+	for _, s := range fuzzSeedsResponse() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeDataResponse(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeDataResponse(r.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of valid response failed: %v", err)
+		}
+		if *again != *r {
+			t.Fatalf("response not a fixpoint: %+v vs %+v", r, again)
+		}
+	})
+}
+
+// FuzzTakeString exercises the shared length-prefixed string reader with
+// adversarial prefixes: it must never slice past the buffer.
+func FuzzTakeString(f *testing.F) {
+	f.Add([]byte{2, 0, 'h', 'i', 'x'})
+	f.Add([]byte{0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, rest, err := takeString(b)
+		if err != nil {
+			return
+		}
+		if len(s)+len(rest)+2 != len(b) {
+			t.Fatalf("takeString accounting: %d + %d + 2 != %d", len(s), len(rest), len(b))
+		}
+		if !bytes.HasSuffix(b, rest) {
+			t.Fatal("rest is not a suffix of the input")
+		}
+	})
+}

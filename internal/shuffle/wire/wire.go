@@ -31,6 +31,12 @@ var (
 // always on a record boundary; MaxBytes is the copier's registered buffer
 // capacity; MaxRecords is the mapred.rdma.kvpairs.per.packet tunable.
 // RemoteAddr/RKey address the copier's buffer for the RDMA write.
+//
+// Tag identifies the copier-side bounce-buffer slot this request was
+// issued from; the responder echoes it so responses for different slots
+// on the same connection can complete out of order. The field rides at
+// the tail of the encoding and decoders tolerate its absence (Tag 0), so
+// peers predating the slot ring still interoperate.
 type DataRequest struct {
 	JobID      string
 	MapID      int32
@@ -40,11 +46,18 @@ type DataRequest struct {
 	MaxRecords int32
 	RemoteAddr uint64
 	RKey       uint32
+	Tag        uint32
 }
 
 // Encode serializes the request.
 func (r *DataRequest) Encode() []byte {
-	buf := make([]byte, 0, 64+len(r.JobID))
+	return r.EncodeAppend(make([]byte, 0, 64+len(r.JobID)))
+}
+
+// EncodeAppend serializes the request into buf (reusing its capacity) and
+// returns the extended slice. Hot senders keep a scratch buffer so the
+// request pump does not allocate per chunk.
+func (r *DataRequest) EncodeAppend(buf []byte) []byte {
 	buf = append(buf, TypeDataRequest)
 	buf = appendString(buf, r.JobID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.MapID))
@@ -54,6 +67,7 @@ func (r *DataRequest) Encode() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.MaxRecords))
 	buf = binary.LittleEndian.AppendUint64(buf, r.RemoteAddr)
 	buf = binary.LittleEndian.AppendUint32(buf, r.RKey)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Tag)
 	return buf
 }
 
@@ -78,6 +92,10 @@ func DecodeDataRequest(b []byte) (*DataRequest, error) {
 	r.MaxRecords = int32(binary.LittleEndian.Uint32(b[20:24]))
 	r.RemoteAddr = binary.LittleEndian.Uint64(b[24:32])
 	r.RKey = binary.LittleEndian.Uint32(b[32:36])
+	// Tag is a tail extension: absent in messages from pre-ring peers.
+	if len(b) >= 40 {
+		r.Tag = binary.LittleEndian.Uint32(b[36:40])
+	}
 	return r, nil
 }
 
@@ -98,6 +116,10 @@ type DataResponse struct {
 	// payload from here). Write-based engines leave them zero.
 	RemoteAddr uint64
 	RKey       uint32
+	// Tag echoes the request's slot tag so pipelined copiers can match a
+	// response to the bounce-buffer slot it was written into. Tail
+	// extension: decoders accept messages without it (Tag 0).
+	Tag uint32
 }
 
 // Encode serializes the response.
@@ -117,6 +139,7 @@ func (r *DataResponse) Encode() []byte {
 	buf = appendString(buf, r.Err)
 	buf = binary.LittleEndian.AppendUint64(buf, r.RemoteAddr)
 	buf = binary.LittleEndian.AppendUint32(buf, r.RKey)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Tag)
 	return buf
 }
 
@@ -146,6 +169,10 @@ func DecodeDataResponse(b []byte) (*DataResponse, error) {
 	}
 	r.RemoteAddr = binary.LittleEndian.Uint64(rest[0:8])
 	r.RKey = binary.LittleEndian.Uint32(rest[8:12])
+	// Tag is a tail extension: absent in messages from pre-ring peers.
+	if len(rest) >= 16 {
+		r.Tag = binary.LittleEndian.Uint32(rest[12:16])
+	}
 	return r, nil
 }
 

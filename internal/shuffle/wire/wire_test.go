@@ -13,6 +13,7 @@ func TestDataRequestRoundTrip(t *testing.T) {
 		in := &DataRequest{
 			JobID: jobID, MapID: mapID, ReduceID: reduceID, Offset: offset,
 			MaxBytes: maxBytes, MaxRecords: maxRecords, RemoteAddr: addr, RKey: rkey,
+			Tag: rkey ^ 0x5a5a5a5a,
 		}
 		out, err := DecodeDataRequest(in.Encode())
 		return err == nil && *out == *in
@@ -30,7 +31,7 @@ func TestDataResponseRoundTrip(t *testing.T) {
 		in := &DataResponse{
 			MapID: mapID, ReduceID: reduceID, Offset: offset,
 			Bytes: bytes, Records: records, EOF: eof, Err: errStr,
-			RemoteAddr: addr, RKey: rkey,
+			RemoteAddr: addr, RKey: rkey, Tag: rkey ^ 0xa5a5a5a5,
 		}
 		out, err := DecodeDataResponse(in.Encode())
 		return err == nil && *out == *in
@@ -52,17 +53,56 @@ func TestDecodeWrongType(t *testing.T) {
 }
 
 func TestDecodeTruncated(t *testing.T) {
+	// The trailing 4-byte tag is an optional extension, so truncations
+	// that only cut into it still decode (as Tag 0); anything shorter
+	// must error.
 	req := (&DataRequest{JobID: "jobjobjob"}).Encode()
-	for i := 0; i < len(req); i++ {
+	for i := 0; i < len(req)-4; i++ {
 		if _, err := DecodeDataRequest(req[:i]); err == nil {
 			t.Fatalf("truncated request of %d bytes accepted", i)
 		}
 	}
 	resp := (&DataResponse{Err: "some failure"}).Encode()
-	for i := 0; i < len(resp); i++ {
+	for i := 0; i < len(resp)-4; i++ {
 		if _, err := DecodeDataResponse(resp[:i]); err == nil {
 			t.Fatalf("truncated response of %d bytes accepted", i)
 		}
+	}
+}
+
+func TestDecodeLegacyWithoutTag(t *testing.T) {
+	// A pre-ring peer encodes no tag; decoding must succeed with Tag 0
+	// and every other field intact.
+	req := &DataRequest{JobID: "legacy", MapID: 3, Offset: 99, RKey: 7, Tag: 42}
+	got, err := DecodeDataRequest(req.Encode()[:len(req.Encode())-4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 0 || got.MapID != 3 || got.Offset != 99 || got.RKey != 7 {
+		t.Fatalf("legacy request decode: %+v", got)
+	}
+	resp := &DataResponse{MapID: 5, Bytes: 11, EOF: true, Tag: 42}
+	enc := resp.Encode()
+	rgot, err := DecodeDataResponse(enc[:len(enc)-4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rgot.Tag != 0 || rgot.MapID != 5 || rgot.Bytes != 11 || !rgot.EOF {
+		t.Fatalf("legacy response decode: %+v", rgot)
+	}
+}
+
+func TestEncodeAppendReusesBuffer(t *testing.T) {
+	scratch := make([]byte, 0, 128)
+	r := &DataRequest{JobID: "j", Tag: 9}
+	a := r.EncodeAppend(scratch[:0])
+	b := r.EncodeAppend(scratch[:0])
+	if &a[0] != &b[0] {
+		t.Fatal("EncodeAppend did not reuse the scratch buffer")
+	}
+	got, err := DecodeDataRequest(b)
+	if err != nil || got.Tag != 9 || got.JobID != "j" {
+		t.Fatalf("round trip via scratch: %+v %v", got, err)
 	}
 }
 

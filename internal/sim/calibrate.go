@@ -106,6 +106,14 @@ type Calibration struct {
 	// path per packet instead of being answered from memory.
 	NoCacheQueueLatencySec float64
 
+	// FetchDepthRef is the copier pipeline depth the no-cache residual
+	// stall constants above were calibrated at. Params.FetchDepth scales
+	// the residual by FetchDepthRef/FetchDepth (a depth-1 ring exposes
+	// FetchDepthRef× the calibrated stall; deeper rings expose less), so
+	// running at the reference depth reproduces the published figures
+	// exactly.
+	FetchDepthRef float64
+
 	// HDD1Floor/HDD2Floor override the storage model's interleave
 	// efficiency floor for the single- and dual-HDD configurations
 	// (0 keeps the device default). SSD keeps its device value.
@@ -143,6 +151,7 @@ func DefaultCalibration() Calibration {
 		PipelinedStallFactor:   0.5,
 		ChunkQueueLatencySec:   0.5e-3,
 		NoCacheQueueLatencySec: 14e-3,
+		FetchDepthRef:          4,
 		HDD1Floor:              0.50,
 		HDD2Floor:              0.55,
 	}

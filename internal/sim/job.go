@@ -403,7 +403,14 @@ func (js *jobSim) mergeStallSec() float64 {
 		return stall
 	case js.p.Design == OSUIB && !js.p.Caching:
 		chunks := math.Ceil(js.partBytes / cal.OSUPacketBytes)
-		return chunks * (cal.PipelinedStallFactor*js.dm.RequestLatency + cal.NoCacheQueueLatencySec)
+		stall := cal.PipelinedStallFactor*js.dm.RequestLatency + cal.NoCacheQueueLatencySec
+		// The residual stall constants are calibrated at FetchDepthRef
+		// outstanding requests per connection; a shallower ring hides
+		// proportionally less of the per-chunk latency, a deeper one more.
+		if depth := float64(js.p.FetchDepth); depth > 0 && cal.FetchDepthRef > 0 {
+			stall *= cal.FetchDepthRef / depth
+		}
+		return chunks * stall
 	default:
 		return 0
 	}

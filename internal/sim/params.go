@@ -113,6 +113,15 @@ type Params struct {
 	// (mapred.reduce.parallel.copies).
 	FetchWindow int
 
+	// FetchDepth is the OSU copier's per-host-connection pipeline depth
+	// (mapred.rdma.outstanding.per.conn): the number of bounce-buffer
+	// ring slots, hence the maximum outstanding requests per TaskTracker
+	// connection. It scales the residual per-chunk stall the no-cache
+	// merge path exposes — deeper rings hide more of the round trip.
+	// 0 means Calib.FetchDepthRef (the calibrated default), keeping
+	// hand-built Params and all published figures unchanged.
+	FetchDepth int
+
 	Calib Calibration
 }
 
@@ -128,6 +137,7 @@ func DefaultParams(d Design, fk fabric.Kind, sk storage.DeviceKind, w Workload, 
 		Overlap:     d != Vanilla,
 		SizeAware:   d == OSUIB,
 		FetchWindow: 4,
+		FetchDepth:  4,
 		Calib:       DefaultCalibration(),
 	}
 	// Optimal block sizes from §IV: 256 MB for TeraSort (128 MB for
@@ -155,6 +165,9 @@ func (p *Params) Validate() error {
 	}
 	if p.MapSlots <= 0 || p.ReduceSlots <= 0 || p.ReducesPerNode <= 0 || p.FetchWindow <= 0 {
 		return fmt.Errorf("sim: slot configuration invalid")
+	}
+	if p.FetchDepth < 0 {
+		return fmt.Errorf("sim: fetch depth %d", p.FetchDepth)
 	}
 	if p.RAMBytes <= 0 {
 		return fmt.Errorf("sim: ram %g", p.RAMBytes)

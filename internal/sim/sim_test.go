@@ -170,6 +170,47 @@ func TestOverlapAblation(t *testing.T) {
 	}
 }
 
+func TestFetchDepthAblation(t *testing.T) {
+	// The copier's ring depth only matters on the no-cache path, where a
+	// residual per-chunk stall leaks through the pipeline: depth 1 (the
+	// old lockstep copier) must be strictly slower than every deeper
+	// ring. (Job time is not strictly monotonic past the default depth —
+	// finishing merge stalls sooner can push reduce-output writes into
+	// the map phase's disk interleave — so only the depth-1 cliff is a
+	// figure-level claim.)
+	base := DefaultParams(OSUIB, fabric.IBVerbs, storage.HDD1, TeraSort, 4, 20e9)
+	base.Caching = false
+	shallow := base
+	shallow.FetchDepth = 1
+	rs := run(t, shallow)
+	for _, depth := range []int{2, 4, 8} {
+		p := base
+		p.FetchDepth = depth
+		if r := run(t, p); r.JobSeconds >= rs.JobSeconds {
+			t.Fatalf("depth %d (%.0fs) not faster than depth 1 (%.0fs)", depth, r.JobSeconds, rs.JobSeconds)
+		}
+	}
+	deep := base
+	rd := run(t, deep)
+
+	// Zero depth means "calibration reference": identical to the default,
+	// so hand-built Params and the published figures are unaffected.
+	zero := base
+	zero.FetchDepth = 0
+	if rz := run(t, zero); rz != rd {
+		t.Fatalf("FetchDepth 0 (%+v) differs from reference depth (%+v)", rz, rd)
+	}
+
+	// With the PrefetchCache on, the stall path is gone and depth is
+	// irrelevant — the ablation isolates the no-cache residual.
+	cached, cachedShallow := base, base
+	cached.Caching, cachedShallow.Caching = true, true
+	cachedShallow.FetchDepth = 1
+	if rc, rcs := run(t, cached), run(t, cachedShallow); rc != rcs {
+		t.Fatalf("depth changed the cached path: %+v vs %+v", rc, rcs)
+	}
+}
+
 func TestDeterministic(t *testing.T) {
 	p := DefaultParams(OSUIB, fabric.IBVerbs, storage.HDD1, TeraSort, 4, 20e9)
 	a, b := run(t, p), run(t, p)

@@ -28,6 +28,20 @@ func (c *Counters) Add(name string, delta int64) {
 	c.m[name] += delta
 }
 
+// Max raises name to v if v exceeds its current value. Used for peak
+// gauges (e.g. the RDMA copier's outstanding-request high-water mark)
+// where Add's summing semantics would be meaningless.
+func (c *Counters) Max(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	if v > c.m[name] {
+		c.m[name] = v
+	}
+}
+
 // Get returns the current value of name (0 if never touched).
 func (c *Counters) Get(name string) int64 {
 	c.mu.Lock()

@@ -19,6 +19,28 @@ func TestCountersBasic(t *testing.T) {
 	}
 }
 
+func TestCountersMax(t *testing.T) {
+	var c Counters
+	c.Max("peak", 3)
+	c.Max("peak", 7)
+	c.Max("peak", 5)
+	if c.Get("peak") != 7 {
+		t.Fatalf("peak = %d, want 7", c.Get("peak"))
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= 16; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			c.Max("race", v)
+		}(int64(i))
+	}
+	wg.Wait()
+	if c.Get("race") != 16 {
+		t.Fatalf("concurrent max = %d, want 16", c.Get("race"))
+	}
+}
+
 func TestCountersSnapshotIsolated(t *testing.T) {
 	var c Counters
 	c.Add("a", 1)

@@ -61,6 +61,10 @@ const (
 	KeyBlockSize        = config.KeyBlockSize
 	KeyMapSlots         = config.KeyMapSlots
 	KeyReduceSlots      = config.KeyReduceSlots
+	// KeyRDMAOutstandingPerConn sets the RDMA copier's bounce-buffer ring
+	// depth per host connection (0 = follow KeyParallelCopies).
+	KeyRDMAOutstandingPerConn = config.KeyRDMAOutstandingPerConn
+	KeyParallelCopies         = config.KeyParallelCopies
 )
 
 // NewConfig returns a configuration at the paper's tuned defaults.
