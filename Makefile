@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race bench-depth fuzz
+.PHONY: verify vet build test race chaos bench-depth fuzz
 
-verify: vet build race
+verify: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# D6 self-healing gate: seeded fault injection (QP severs, dropped and
+# delayed sends, dead trackers, lost map outputs) under the race
+# detector. Seeds are fixed in the tests for reproducibility; set
+# RDMAMR_CHAOS_SEED to sweep other fault interleavings of the
+# multi-host acceptance run. -count=1 defeats the test cache so the
+# gate always executes.
+chaos:
+	$(GO) test -race -count=1 -run 'TestCopierHealsFromSeveredQP|TestCopierRequestDeadlineReissues|TestCopierLegacyEscalationNoRetries|TestCopierSeededChaosMultiHost|TestCopierBlacklistSharedAcrossFetchers' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestFaultMatrix' ./internal/faultinject/
 
 # D5 ablation: copier outstanding-request depth (bounce-buffer ring).
 bench-depth:

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"rdmamr/internal/verbs"
+)
+
+// TestDeterminism: two injectors with the same seed hand out the same
+// verdict sequence; a different seed diverges.
+func TestDeterminism(t *testing.T) {
+	conf := Config{
+		Seed:         42,
+		DropSendProb: 0.1,
+		FailCompProb: 0.1,
+		SeverProb:    0.05,
+		DelayProb:    0.2,
+		Delay:        time.Millisecond,
+	}
+	a, b := New(conf), New(conf)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		va := a.SendVerdict("x", "y", verbs.OpSend, 64)
+		vb := b.SendVerdict("x", "y", verbs.OpSend, 64)
+		if va != vb {
+			t.Fatalf("verdict %d diverged: %+v vs %+v", i, va, vb)
+		}
+		if va.Action != verbs.FaultNone {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("no faults injected in 500 rolls at ~45% total probability")
+	}
+	other := New(Config{Seed: 43, DropSendProb: 0.1, FailCompProb: 0.1, SeverProb: 0.05, DelayProb: 0.2})
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.SendVerdict("x", "y", verbs.OpSend, 64) != other.SendVerdict("x", "y", verbs.OpSend, 64) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical verdict sequences")
+	}
+}
+
+// TestMaxFaultsQuiesces: after the budget is consumed the fabric is
+// perfect, so chaos runs always make forward progress.
+func TestMaxFaultsQuiesces(t *testing.T) {
+	in := New(Config{Seed: 7, DropSendProb: 1.0, MaxFaults: 3})
+	faults := 0
+	for i := 0; i < 100; i++ {
+		if in.SendVerdict("x", "y", verbs.OpSend, 64).Action != verbs.FaultNone {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("injected %d faults, want exactly MaxFaults=3", faults)
+	}
+	if in.Faults() != 3 {
+		t.Fatalf("Faults() = %d, want 3", in.Faults())
+	}
+	// Dial refusals share the same budget.
+	in2 := New(Config{Seed: 7, RefuseDialProb: 1.0, MaxFaults: 2})
+	refused := 0
+	for i := 0; i < 10; i++ {
+		if in2.DialRefused("x", "y") {
+			refused++
+		}
+	}
+	if refused != 2 {
+		t.Fatalf("refused %d dials, want exactly 2", refused)
+	}
+}
+
+// TestKillPeerTargetsServingSideOnly: a killed device refuses inbound
+// dials while everything else — its own outbound dials, and in-flight
+// traffic in both directions (which may be responses owed to the host's
+// healthy reduce tasks) — is untouched. Revival restores it, and none of
+// it consumes the fault budget.
+func TestKillPeerTargetsServingSideOnly(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.KillPeer("node1")
+
+	if !in.DialRefused("node0", "node1") {
+		t.Fatal("dial toward killed peer not refused")
+	}
+	// The killed host's own fetches (outbound dials) are untouched.
+	if in.DialRefused("node1", "node0") {
+		t.Fatal("dial FROM killed peer refused")
+	}
+	// In-flight traffic is not the kill's business in either direction:
+	// established connections drain normally.
+	if v := in.SendVerdict("node0", "node1", verbs.OpSend, 8); v.Action != verbs.FaultNone {
+		t.Fatalf("send toward killed peer = %v, want FaultNone", v.Action)
+	}
+	if v := in.SendVerdict("node1", "node0", verbs.OpSend, 8); v.Action != verbs.FaultNone {
+		t.Fatalf("send FROM killed peer = %v, want FaultNone", v.Action)
+	}
+	if in.Faults() != 0 {
+		t.Fatalf("targeted kill consumed fault budget: %d", in.Faults())
+	}
+
+	in.RevivePeer("node1")
+	if in.DialRefused("node0", "node1") {
+		t.Fatal("dial toward revived peer refused")
+	}
+}
+
+// TestStatsAccounting: per-action counters partition the total.
+func TestStatsAccounting(t *testing.T) {
+	in := New(Config{
+		Seed:         99,
+		DropSendProb: 0.25,
+		FailCompProb: 0.25,
+		SeverProb:    0.25,
+		DelayProb:    0.25,
+		Delay:        time.Microsecond,
+	})
+	for i := 0; i < 400; i++ {
+		in.SendVerdict("a", "b", verbs.OpRDMAWrite, 128)
+	}
+	drops, fails, severs, delays, refusals := in.Stats()
+	if drops == 0 || fails == 0 || severs == 0 || delays == 0 {
+		t.Fatalf("every action should fire at 25%% over 400 rolls: drops=%d fails=%d severs=%d delays=%d",
+			drops, fails, severs, delays)
+	}
+	if refusals != 0 {
+		t.Fatalf("refusals = %d with no dials", refusals)
+	}
+	if got := in.Faults(); got != drops+fails+severs {
+		t.Fatalf("Faults() = %d, want drops+fails+severs = %d (delays excluded)",
+			got, drops+fails+severs)
+	}
+}

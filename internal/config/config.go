@@ -46,6 +46,21 @@ const (
 	KeyReduceTasks       = "mapred.reduce.tasks"
 	KeyCachePriorityMode = "mapred.rdma.prefetch.cache.policy"
 	KeySpeculativeMaps   = "mapred.map.tasks.speculative.execution"
+	// KeyRDMAConnectRetries is the copier's transient-failure retry
+	// budget per host: how many reconnect attempts (and re-issues of the
+	// failed connection's in-flight requests) before the host is declared
+	// dead and its segments escalate to map re-execution. 0 restores the
+	// legacy behaviour: first transport error → RecoverMap.
+	KeyRDMAConnectRetries = "mapred.rdma.connect.retries"
+	// KeyRDMABackoffBase/Max bound the exponential reconnect backoff in
+	// milliseconds: attempt n sleeps min(base<<n, max) with jitter.
+	KeyRDMABackoffBase = "mapred.rdma.backoff.base"
+	KeyRDMABackoffMax  = "mapred.rdma.backoff.max"
+	// KeyRDMARequestTimeout is the per-DataRequest deadline in
+	// milliseconds: a response not received within it fails the
+	// connection (and re-issues through the retry budget), so a silent
+	// peer cannot stall a bounce-buffer slot forever. 0 disables.
+	KeyRDMARequestTimeout = "mapred.rdma.request.timeout"
 )
 
 // Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
@@ -74,6 +89,10 @@ var defaults = map[string]string{
 	KeyReduceTasks:       "0",     // 0 = framework picks nodes*reduceSlots
 	KeyCachePriorityMode: "priority",
 	KeySpeculativeMaps:   "false",
+	KeyRDMAConnectRetries: "4",
+	KeyRDMABackoffBase:    "2",     // ms
+	KeyRDMABackoffMax:     "200",   // ms
+	KeyRDMARequestTimeout: "30000", // ms; 0 disables the deadline
 }
 
 // Config is a concurrency-safe key/value configuration. The zero value is
@@ -214,6 +233,21 @@ func (c *Config) Validate() error {
 	if v := c.Int(KeyRDMAOutstandingPerConn); v < 0 || v > 4096 {
 		return fmt.Errorf("config: %s = %d outside [0, 4096] (0 follows %s)",
 			KeyRDMAOutstandingPerConn, v, KeyParallelCopies)
+	}
+	if v := c.Int(KeyRDMAConnectRetries); v < 0 || v > 1000 {
+		return fmt.Errorf("config: %s = %d outside [0, 1000] (0 = no retries, escalate immediately)",
+			KeyRDMAConnectRetries, v)
+	}
+	base, max := c.Int(KeyRDMABackoffBase), c.Int(KeyRDMABackoffMax)
+	if base < 0 {
+		return fmt.Errorf("config: %s = %d must be >= 0", KeyRDMABackoffBase, base)
+	}
+	if max < base {
+		return fmt.Errorf("config: %s = %d below %s = %d", KeyRDMABackoffMax, max, KeyRDMABackoffBase, base)
+	}
+	if v := c.Int(KeyRDMARequestTimeout); v < 0 || v > 600000 {
+		return fmt.Errorf("config: %s = %d outside [0, 600000] ms (0 disables the deadline)",
+			KeyRDMARequestTimeout, v)
 	}
 	if mode := c.Get(KeyCachePriorityMode); mode != "priority" && mode != "fifo" {
 		return fmt.Errorf("config: %s must be priority or fifo, got %q", KeyCachePriorityMode, mode)

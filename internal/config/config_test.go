@@ -144,3 +144,52 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestRobustnessKeyDefaults(t *testing.T) {
+	c := New()
+	if c.Int(KeyRDMAConnectRetries) != 4 {
+		t.Fatalf("connect.retries default = %d, want 4", c.Int(KeyRDMAConnectRetries))
+	}
+	if c.Int(KeyRDMABackoffBase) != 2 || c.Int(KeyRDMABackoffMax) != 200 {
+		t.Fatalf("backoff defaults = %d/%d, want 2/200 ms",
+			c.Int(KeyRDMABackoffBase), c.Int(KeyRDMABackoffMax))
+	}
+	if c.Int(KeyRDMARequestTimeout) != 30000 {
+		t.Fatalf("request.timeout default = %d, want 30000 ms", c.Int(KeyRDMARequestTimeout))
+	}
+}
+
+func TestValidateRobustnessKeys(t *testing.T) {
+	cases := []struct {
+		key string
+		ok  []int64
+		bad []int64
+	}{
+		{KeyRDMAConnectRetries, []int64{0, 4, 1000}, []int64{-1, 1001}},
+		{KeyRDMABackoffBase, []int64{0, 2, 200}, []int64{-1, 201}}, // base > max(200) invalid
+		{KeyRDMARequestTimeout, []int64{0, 30000, 600000}, []int64{-1, 600001}},
+	}
+	for _, tc := range cases {
+		for _, v := range tc.ok {
+			c := New()
+			c.SetInt(tc.key, v)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s=%d rejected: %v", tc.key, v, err)
+			}
+		}
+		for _, v := range tc.bad {
+			c := New()
+			c.SetInt(tc.key, v)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("%s=%d accepted", tc.key, v)
+			}
+		}
+	}
+	// max below base is inconsistent regardless of individual ranges.
+	c := New()
+	c.SetInt(KeyRDMABackoffBase, 50)
+	c.SetInt(KeyRDMABackoffMax, 10)
+	if err := c.Validate(); err == nil {
+		t.Fatal("backoff.max < backoff.base accepted")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
@@ -32,7 +34,7 @@ type chunk struct {
 // extracting from Priority Queue" (§III-B.2).
 type segment struct {
 	mapID int
-	conn  *hostConn
+	peer  *hostPeer
 	ready chan chunk
 
 	// Merge-goroutine-private state.
@@ -44,14 +46,9 @@ type segment struct {
 	f        *fetcher
 }
 
-// request asks the host connection for the chunk at offset.
+// request asks the host peer for the chunk at offset.
 func (seg *segment) request(ctx context.Context, offset int64) error {
-	select {
-	case seg.conn.reqCh <- chunkReq{mapID: seg.mapID, offset: offset, seg: seg}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return seg.peer.enqueue(ctx, chunkReq{mapID: seg.mapID, offset: offset, seg: seg})
 }
 
 // loadChunk blocks for the next chunk, installs its iterator, and
@@ -79,12 +76,12 @@ func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
 				return false, fmt.Errorf("recovering map %d: %w (after %w)", seg.mapID, err, ck.err)
 			}
 			seg.f.mu.Lock()
-			hc := seg.f.conns[host]
+			p := seg.f.peers[host]
 			seg.f.mu.Unlock()
-			if hc == nil {
+			if p == nil {
 				return false, fmt.Errorf("core: recovered map %d on unknown host %s", seg.mapID, host)
 			}
-			seg.conn = hc
+			seg.peer = p
 			if err := seg.request(ctx, ck.off); err != nil {
 				return false, err
 			}
@@ -149,15 +146,55 @@ type chunkReq struct {
 	mapID  int
 	offset int64
 	seg    *segment
+	// retries counts how many times THIS request has been re-issued after
+	// a transient failure. Offsets make re-fetch idempotent; the budget
+	// (mapred.rdma.connect.retries) bounds how long one stubborn chunk can
+	// stall before its segment escalates to map re-execution.
+	retries int
 }
 
-// hostConn is the RDMACopier's connection to one TaskTracker: a UCR
-// end-point plus a ring of registered bounce-buffer slots the responder
+// hostPeer is the fetcher's long-lived handle on one TaskTracker. It
+// outlives individual connections: segments enqueue requests here, and
+// the peer's supervisor goroutine (peerLoop) dials, re-dials with
+// backoff, and re-issues in-flight requests across connection deaths.
+// Only after the retry budget is exhausted is the peer declared dead and
+// every queued request answered with an error chunk (the RecoverMap
+// escalation path).
+type hostPeer struct {
+	f      *fetcher
+	host   string
+	reqCh  chan chunkReq // stable across reconnects
+	health *peerHealth
+
+	mu   sync.Mutex
+	dead error // set once, when the retry budget is exhausted
+}
+
+// enqueue hands a request to the peer's supervisor.
+func (p *hostPeer) enqueue(ctx context.Context, req chunkReq) error {
+	select {
+	case p.reqCh <- req:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// pendingSlot is one in-flight request: which request owns the slot and
+// when it was issued (for the per-request deadline watchdog).
+type pendingSlot struct {
+	req    chunkReq
+	issued time.Time
+}
+
+// hostConn is ONE connection attempt to a TaskTracker: a UCR end-point
+// plus a ring of registered bounce-buffer slots the responder
 // RDMA-writes packets into. Up to depth requests are outstanding per
 // connection — one per slot — and responses carry the slot tag, so chunk
 // fetches for different segments on the same host complete out of order
 // while each segment's own byte stream stays ordered (a segment never has
-// more than one chunk in flight).
+// more than one chunk in flight). A hostConn is single-use: on any
+// failure it is abandoned and the peer's supervisor dials a fresh one.
 type hostConn struct {
 	host     string
 	ep       *ucr.EndPoint
@@ -165,12 +202,63 @@ type hostConn struct {
 	slotSize int
 	depth    int
 	free     chan uint32 // free slot indices
-	reqCh    chan chunkReq
+
+	// progress is set on the first successful chunk, resetting the
+	// peer's consecutive-failure accounting: the link works, later
+	// failures start a fresh streak.
+	progress atomic.Bool
 
 	mu       sync.Mutex
-	pending  map[uint32]chunkReq // slot tag → in-flight request
+	pending  map[uint32]pendingSlot // slot tag → in-flight request
+	unsent   []chunkReq             // claimed by sendLoop but never sent
 	inFlight int
 	tainted  bool // protocol/transport failure: ring must not be pooled
+	failErr  error
+	failed   chan struct{} // closed by the first abort
+}
+
+// abort poisons the connection with the first error observed. The
+// supervisor notices via the failed channel, tears the connection down,
+// and re-issues whatever takePending returns.
+func (hc *hostConn) abort(err error) {
+	hc.mu.Lock()
+	if hc.failErr == nil {
+		hc.failErr = err
+		hc.tainted = true
+		close(hc.failed)
+	}
+	hc.mu.Unlock()
+}
+
+func (hc *hostConn) failure() error {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return hc.failErr
+}
+
+// stashUnsent records a request the send pump claimed but could not get
+// onto the wire before the connection died.
+func (hc *hostConn) stashUnsent(reqs ...chunkReq) {
+	hc.mu.Lock()
+	hc.unsent = append(hc.unsent, reqs...)
+	hc.mu.Unlock()
+}
+
+// takePending drains every request the dead connection still owed a
+// response (in-flight and unsent). Called only after both pumps have
+// parked, so exactly one owner remains per request.
+func (hc *hostConn) takePending() []chunkReq {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	reqs := make([]chunkReq, 0, len(hc.pending)+len(hc.unsent))
+	for _, ps := range hc.pending {
+		reqs = append(reqs, ps.req)
+	}
+	hc.pending = make(map[uint32]pendingSlot)
+	reqs = append(reqs, hc.unsent...)
+	hc.unsent = nil
+	hc.inFlight = 0
+	return reqs
 }
 
 // ringPools caches registered fetch rings per device so successive
@@ -268,7 +356,9 @@ func putPayload(buf []byte) {
 	payloadPool.Put(&buf)
 }
 
-func (f *fetcher) dial(ctx context.Context, host string) (*hostConn, error) {
+// dialConn establishes one connection attempt: UCR endpoint plus a
+// registered bounce-buffer ring. The pumps are started by runConn.
+func (f *fetcher) dialConn(ctx context.Context, host string) (*hostConn, error) {
 	local := f.task.Local
 	ep, err := local.Fabric().Connect(ctx, local.Device(), host, ServiceName)
 	if err != nil {
@@ -283,32 +373,207 @@ func (f *fetcher) dial(ctx context.Context, host string) (*hostConn, error) {
 		host: host, ep: ep, ring: ring,
 		slotSize: f.slotSize, depth: f.depth,
 		free:    make(chan uint32, f.depth),
-		reqCh:   make(chan chunkReq, f.task.Job.NumMaps+4),
-		pending: make(map[uint32]chunkReq, f.depth),
+		pending: make(map[uint32]pendingSlot, f.depth),
+		failed:  make(chan struct{}),
 	}
 	for s := 0; s < f.depth; s++ {
 		hc.free <- uint32(s)
 	}
-	f.wg.Add(2)
-	go f.sendLoop(ctx, hc)
-	go f.recvLoop(ctx, hc)
 	return hc, nil
+}
+
+// peerLoop is the supervisor for one host: dial, run the connection
+// until it fails or the fetcher shuts down, classify the failure,
+// re-dial with exponential backoff + jitter, and re-issue the dead
+// connection's in-flight requests on the fresh one. Transient failures
+// consume the retry budget (mapred.rdma.connect.retries), both
+// per-connection-attempt and per-request; exhaustion kills the peer and
+// answers its requests with error chunks so segments escalate to
+// RecoverMap — the pre-robustness behaviour, now the last resort.
+func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
+	defer f.wg.Done()
+	counters := f.task.Local.Counters()
+	attempt := 0 // consecutive failures since the last working connection
+	everConnected := false
+	var orphans []chunkReq // re-issues carried across the reconnect
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// Blacklist admission: another fetcher on this node may already
+		// have established that the host is dying.
+		if d := p.health.admissionDelay(); d > 0 {
+			if !sleepCtx(ctx, d) {
+				return
+			}
+		}
+		hc, err := f.dialConn(ctx, p.host)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			p.health.recordFailure(counters)
+			attempt++
+			if !transientErr(err) || attempt > f.connectRetries {
+				f.killPeer(ctx, p, err, orphans)
+				return
+			}
+			if !f.sleepBackoff(ctx, attempt) {
+				return
+			}
+			continue
+		}
+		if everConnected {
+			counters.Add("shuffle.rdma.reconnects", 1)
+		}
+		everConnected = true
+
+		err = f.runConn(ctx, p, hc, orphans)
+		orphans = nil
+		if hc.poolable() {
+			ringPut(f.task.Local.Device(), hc.ring)
+		} else {
+			_ = hc.ring.Deregister()
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if err == nil {
+			// runConn only returns without error on shutdown.
+			return
+		}
+		if hc.progress.Load() {
+			// The link carried data before dying: past failures are a
+			// different incident, the streak restarts.
+			attempt = 0
+		}
+		attempt++
+		p.health.recordFailure(counters)
+
+		// Reclaim the dead connection's requests; each consumes one unit
+		// of its own retry budget.
+		reqs := hc.takePending()
+		orphans = orphans[:0]
+		for _, req := range reqs {
+			req.retries++
+			if req.retries > f.connectRetries {
+				deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: %s: retry budget exhausted: %w", p.host, err)})
+				continue
+			}
+			counters.Add("shuffle.rdma.retries", 1)
+			orphans = append(orphans, req)
+		}
+		if !transientErr(err) || attempt > f.connectRetries {
+			f.killPeer(ctx, p, err, orphans)
+			return
+		}
+		if !f.sleepBackoff(ctx, attempt) {
+			return
+		}
+	}
+}
+
+// runConn operates one connection until it fails or ctx ends: request
+// pump, completion pump, and (when a deadline is configured) the
+// watchdog. Returns nil on orderly shutdown, the first failure otherwise.
+func (f *fetcher) runConn(ctx context.Context, p *hostPeer, hc *hostConn, orphans []chunkReq) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); f.sendLoop(cctx, p, hc, orphans) }()
+	go func() { defer wg.Done(); f.recvLoop(cctx, p, hc) }()
+	if f.reqTimeout > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); f.watchdog(cctx, p, hc) }()
+	}
+	select {
+	case <-hc.failed:
+	case <-ctx.Done():
+	}
+	cancel()
+	hc.ep.Close()
+	wg.Wait()
+	return hc.failure()
+}
+
+// killPeer marks the host permanently dead for this fetcher and answers
+// every orphaned and future request with an error chunk — the segments'
+// loadChunk turns those into RecoverMap escalations. The loop keeps the
+// supervisor goroutine draining until the fetcher shuts down so enqueues
+// never block against a dead peer.
+func (f *fetcher) killPeer(ctx context.Context, p *hostPeer, cause error, orphans []chunkReq) {
+	p.mu.Lock()
+	if p.dead == nil {
+		p.dead = cause
+	}
+	p.mu.Unlock()
+	err := fmt.Errorf("core: host %s declared dead: %w", p.host, cause)
+	for _, req := range orphans {
+		deliver(ctx, req.seg, chunk{off: req.offset, err: err})
+	}
+	for {
+		select {
+		case req := <-p.reqCh:
+			deliver(ctx, req.seg, chunk{off: req.offset, err: err})
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// sleepBackoff sleeps the exponential-backoff delay for the given
+// attempt: min(base << (attempt-1), max) with jitter in [d/2, d), so a
+// fleet of fetchers re-dialing a restarted tracker does not stampede.
+// Returns false if ctx ended during the sleep.
+func (f *fetcher) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := f.backoffBase
+	for i := 1; i < attempt && d < f.backoffMax; i++ {
+		d *= 2
+	}
+	if d > f.backoffMax {
+		d = f.backoffMax
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	half := d / 2
+	jittered := half + time.Duration(rand.Int63n(int64(half)+1))
+	return sleepCtx(ctx, jittered)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // sendLoop is the connection's request pump: it claims a free slot,
 // stamps the request with the slot tag and the slot's RDMA address, and
 // sends it. With all slots busy the pump stalls — the fabric is saturated
 // at the configured depth — which the slot-stall counter records.
-func (f *fetcher) sendLoop(ctx context.Context, hc *hostConn) {
-	defer f.wg.Done()
+// Orphans (re-issues from a previous connection) go out before new
+// requests. A request the pump claimed but could not put on the wire is
+// stashed for takePending, so no request is ever dropped.
+func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orphans []chunkReq) {
 	counters := f.task.Local.Counters()
 	var scratch []byte
 	for {
 		var req chunkReq
-		select {
-		case req = <-hc.reqCh:
-		case <-ctx.Done():
-			return
+		if len(orphans) > 0 {
+			req = orphans[0]
+			orphans = orphans[1:]
+		} else {
+			select {
+			case req = <-p.reqCh:
+			case <-cctx.Done():
+				return
+			}
 		}
 		var slot uint32
 		select {
@@ -317,12 +582,13 @@ func (f *fetcher) sendLoop(ctx context.Context, hc *hostConn) {
 			counters.Add("shuffle.rdma.slot.stalls", 1)
 			select {
 			case slot = <-hc.free:
-			case <-ctx.Done():
+			case <-cctx.Done():
+				hc.stashUnsent(append(orphans, req)...)
 				return
 			}
 		}
 		hc.mu.Lock()
-		hc.pending[slot] = req
+		hc.pending[slot] = pendingSlot{req: req, issued: time.Now()}
 		hc.inFlight++
 		depthNow := hc.inFlight
 		hc.mu.Unlock()
@@ -339,13 +605,15 @@ func (f *fetcher) sendLoop(ctx context.Context, hc *hostConn) {
 			Tag:        slot,
 		}
 		scratch = wreq.EncodeAppend(scratch[:0])
-		if err := hc.ep.Send(ctx, scratch); err != nil {
-			hc.mu.Lock()
-			delete(hc.pending, slot)
-			hc.inFlight--
-			hc.mu.Unlock()
-			hc.free <- slot
-			deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: request to %s: %w", hc.host, err)})
+		if err := hc.ep.Send(cctx, scratch); err != nil {
+			// The request stays pending: takePending re-issues it on the
+			// next connection. (On shutdown nobody re-issues, which is
+			// fine — the merge is going away too.)
+			hc.stashUnsent(orphans...)
+			if cctx.Err() == nil {
+				hc.abort(fmt.Errorf("core: request to %s: %w", p.host, err))
+			}
+			return
 		}
 	}
 }
@@ -355,46 +623,70 @@ func (f *fetcher) sendLoop(ctx context.Context, hc *hostConn) {
 // before the header was sent), copied out into a pooled payload buffer,
 // and delivered to the owning segment. Delivery never blocks: a segment
 // has at most one chunk in flight and a one-slot ready channel.
-func (f *fetcher) recvLoop(ctx context.Context, hc *hostConn) {
-	defer f.wg.Done()
+//
+// Serving errors marked Transient re-issue through the request's retry
+// budget without tearing the connection down; fatal serving errors (the
+// data is gone) deliver an error chunk, sending the segment to
+// RecoverMap. Protocol violations abort the connection — the slot
+// bookkeeping is unrecoverable, but the in-flight requests re-issue
+// idempotently on the next one.
+func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 	counters := f.task.Local.Counters()
 	for {
-		msg, err := hc.ep.Recv(ctx)
+		msg, err := hc.ep.Recv(cctx)
 		if err != nil {
-			if ctx.Err() != nil {
-				// Orderly shutdown, not a transport failure: leave the
-				// connection untainted (poolable() still demands
-				// quiescence before the ring is recycled).
-				return
+			if cctx.Err() == nil {
+				hc.abort(fmt.Errorf("core: response from %s: %w", p.host, err))
 			}
-			hc.fail(ctx, fmt.Errorf("core: response from %s: %w", hc.host, err))
 			return
 		}
 		resp, err := wire.DecodeDataResponse(msg)
 		if err != nil {
-			// An unparseable frame cannot be matched to a slot; the
-			// connection's bookkeeping is unrecoverable.
-			hc.fail(ctx, fmt.Errorf("core: %s: %w", hc.host, err))
+			hc.abort(fmt.Errorf("core: %s: %w: %v", p.host, errProtocol, err))
 			return
 		}
 		hc.mu.Lock()
-		req, ok := hc.pending[resp.Tag]
+		ps, ok := hc.pending[resp.Tag]
 		if ok {
 			delete(hc.pending, resp.Tag)
 			hc.inFlight--
 		}
 		hc.mu.Unlock()
 		if !ok {
-			hc.fail(ctx, fmt.Errorf("core: %s: response with unknown slot tag %d", hc.host, resp.Tag))
+			hc.abort(fmt.Errorf("core: %s: %w: response with unknown slot tag %d", p.host, errProtocol, resp.Tag))
 			return
 		}
-		var ck chunk
+		req := ps.req
 		switch {
+		case resp.Err != "" && resp.Transient:
+			// The tracker could not serve this request right now but the
+			// data exists; retry within budget instead of escalating.
+			hc.free <- resp.Tag
+			req.retries++
+			if req.retries > f.connectRetries {
+				deliver(f.runCtx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s (retry budget exhausted)", p.host, resp.Err)})
+				continue
+			}
+			counters.Add("shuffle.rdma.retries", 1)
+			select {
+			case p.reqCh <- req:
+			default:
+				// The queue is sized for one request per segment, so this
+				// is unreachable in practice; spill without blocking the
+				// completion pump regardless.
+				go func(r chunkReq) { _ = p.enqueue(f.runCtx, r) }(req)
+			}
 		case resp.Err != "":
-			ck = chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", hc.host, resp.Err)}
+			hc.free <- resp.Tag
+			deliver(f.runCtx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", p.host, resp.Err)})
 		case resp.Bytes < 0 || int(resp.Bytes) > hc.slotSize:
-			hc.fail(ctx, fmt.Errorf("core: %s: response claims %d bytes in a %d-byte slot", hc.host, resp.Bytes, hc.slotSize))
-			deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: %s: oversized response", hc.host)})
+			// Put the request back so takePending re-issues it on the
+			// next connection.
+			hc.mu.Lock()
+			hc.pending[resp.Tag] = ps
+			hc.inFlight++
+			hc.mu.Unlock()
+			hc.abort(fmt.Errorf("core: %s: %w: response claims %d bytes in a %d-byte slot", p.host, errProtocol, resp.Bytes, hc.slotSize))
 			return
 		default:
 			var payload []byte
@@ -404,12 +696,47 @@ func (f *fetcher) recvLoop(ctx context.Context, hc *hostConn) {
 				copy(payload, hc.ring.Bytes()[start:start+int(resp.Bytes)])
 			}
 			counters.Add("shuffle.rdma.recv.bytes", int64(resp.Bytes))
-			ck = chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
+			if !hc.progress.Swap(true) {
+				p.health.recordSuccess()
+			}
+			// The slot's bytes are copied out: recycle it before delivery
+			// so the send pump can refill it immediately.
+			hc.free <- resp.Tag
+			deliver(f.runCtx, req.seg, chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset})
 		}
-		// The slot's bytes are copied out (or unused): recycle it before
-		// delivery so the send pump can refill it immediately.
-		hc.free <- resp.Tag
-		deliver(ctx, req.seg, ck)
+	}
+}
+
+// watchdog enforces the per-request deadline: any pending request older
+// than mapred.rdma.request.timeout fails the connection, so a silent
+// peer cannot pin a bounce-buffer slot (and its segment) forever.
+func (f *fetcher) watchdog(cctx context.Context, p *hostPeer, hc *hostConn) {
+	tick := f.reqTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-cctx.Done():
+			return
+		case now := <-t.C:
+			hc.mu.Lock()
+			overdue := false
+			for _, ps := range hc.pending {
+				if now.Sub(ps.issued) > f.reqTimeout {
+					overdue = true
+					break
+				}
+			}
+			hc.mu.Unlock()
+			if overdue {
+				f.task.Local.Counters().Add("shuffle.rdma.deadline.exceeded", 1)
+				hc.abort(fmt.Errorf("core: %s: %w (%v)", p.host, errRequestDeadline, f.reqTimeout))
+				return
+			}
+		}
 	}
 }
 
@@ -418,24 +745,6 @@ func deliver(ctx context.Context, seg *segment, ck chunk) {
 	select {
 	case seg.ready <- ck:
 	case <-ctx.Done():
-	}
-}
-
-// fail poisons the connection after a transport or protocol error: every
-// in-flight request is completed with the error (triggering per-segment
-// recovery where wired), the end-point is closed so the send pump fails
-// fast, and the ring is marked unpoolable — the responder might still be
-// writing into it.
-func (hc *hostConn) fail(ctx context.Context, err error) {
-	hc.mu.Lock()
-	hc.tainted = true
-	pend := hc.pending
-	hc.pending = make(map[uint32]chunkReq)
-	hc.inFlight = 0
-	hc.mu.Unlock()
-	hc.ep.Close()
-	for _, req := range pend {
-		deliver(ctx, req.seg, chunk{off: req.offset, err: err})
 	}
 }
 
@@ -471,11 +780,18 @@ type fetcher struct {
 	slotSize    int
 	depth       int
 
+	// Robustness policy (see DESIGN.md D6).
+	connectRetries int
+	backoffBase    time.Duration
+	backoffMax     time.Duration
+	reqTimeout     time.Duration
+
 	mu    sync.Mutex
-	conns map[string]*hostConn
+	peers map[string]*hostPeer
 
 	out    chan batch
 	cancel context.CancelFunc
+	runCtx context.Context // fetcher-lifetime ctx; deliveries use this
 	wg     sync.WaitGroup
 
 	// spentBufs is merge-goroutine-private: buffers drained since the
@@ -499,13 +815,17 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 		depth = 1
 	}
 	return &fetcher{
-		task:        task,
-		overlap:     conf.Bool(config.KeyOverlapReduce),
-		kvPerPacket: int(conf.Int(config.KeyKVPairsPerPacket)),
-		slotSize:    packet + 64<<10,
-		depth:       depth,
-		conns:       make(map[string]*hostConn),
-		out:         make(chan batch, 8),
+		task:           task,
+		overlap:        conf.Bool(config.KeyOverlapReduce),
+		kvPerPacket:    int(conf.Int(config.KeyKVPairsPerPacket)),
+		slotSize:       packet + 64<<10,
+		depth:          depth,
+		connectRetries: int(conf.Int(config.KeyRDMAConnectRetries)),
+		backoffBase:    time.Duration(conf.Int(config.KeyRDMABackoffBase)) * time.Millisecond,
+		backoffMax:     time.Duration(conf.Int(config.KeyRDMABackoffMax)) * time.Millisecond,
+		reqTimeout:     time.Duration(conf.Int(config.KeyRDMARequestTimeout)) * time.Millisecond,
+		peers:          make(map[string]*hostPeer),
+		out:            make(chan batch, 8),
 	}
 }
 
@@ -523,19 +843,24 @@ func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
 	f.fetched = true
 	ctx, cancel := context.WithCancel(ctx)
 	f.cancel = cancel
+	f.runCtx = ctx
 
 	// "Initially, RDMACopier sends end point information to RDMAListener
 	// in TaskTracker to establish the connection ... to all available
-	// TaskTrackers."
+	// TaskTrackers." Dialing is asynchronous — a tracker that is down at
+	// fetch start is retried with backoff by its supervisor instead of
+	// failing the whole reduce up front.
 	for _, host := range f.task.Hosts {
-		hc, err := f.dial(ctx, host)
-		if err != nil {
-			cancel()
-			return nil, err
+		p := &hostPeer{
+			f: f, host: host,
+			reqCh:  make(chan chunkReq, f.task.Job.NumMaps+8),
+			health: healthFor(f.task.Local.Device(), host),
 		}
 		f.mu.Lock()
-		f.conns[host] = hc
+		f.peers[host] = p
 		f.mu.Unlock()
+		f.wg.Add(1)
+		go f.peerLoop(ctx, p)
 	}
 
 	f.wg.Add(1)
@@ -590,13 +915,13 @@ func (f *fetcher) run(ctx context.Context) {
 			break
 		}
 		f.mu.Lock()
-		hc := f.conns[ev.Host]
+		p := f.peers[ev.Host]
 		f.mu.Unlock()
-		if hc == nil {
+		if p == nil {
 			emitErr(fmt.Errorf("core: map event from unknown host %s", ev.Host))
 			return
 		}
-		seg := &segment{mapID: ev.MapID, conn: hc, ready: make(chan chunk, 1), f: f}
+		seg := &segment{mapID: ev.MapID, peer: p, ready: make(chan chunk, 1), f: f}
 		if err := seg.request(ctx, 0); err != nil {
 			emitErr(err)
 			return
@@ -662,30 +987,16 @@ func (f *fetcher) run(ctx context.Context) {
 	flush()
 }
 
-// Close implements mapred.ReduceFetcher.
+// Close implements mapred.ReduceFetcher. Cancellation unwinds each
+// peer's supervisor, which tears down its live connection and recycles
+// (or deregisters) its ring before exiting; waiting on the group is what
+// makes ring reuse safe across fetcher lifetimes.
 func (f *fetcher) Close() error {
 	f.closeOnce.Do(func() {
 		if f.cancel != nil {
 			f.cancel()
 		}
-		f.mu.Lock()
-		conns := f.conns
-		f.conns = map[string]*hostConn{}
-		f.mu.Unlock()
-		for _, hc := range conns {
-			hc.ep.Close()
-		}
-		// The pumps must be parked before rings are recycled: a receive
-		// pump could otherwise still be copying out of a ring another
-		// fetcher already owns.
 		f.wg.Wait()
-		for _, hc := range conns {
-			if hc.poolable() {
-				ringPut(f.task.Local.Device(), hc.ring)
-			} else {
-				_ = hc.ring.Deregister()
-			}
-		}
 		// Drain any parked batch so the merge goroutine never leaks. Only
 		// a started Fetch closes f.out; without one there is nothing to
 		// drain (and no closer).

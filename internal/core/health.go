@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rdmamr/internal/stats"
+	"rdmamr/internal/ucr"
+	"rdmamr/internal/verbs"
+)
+
+// Error sentinels for the copier's transient/fatal classifier.
+var (
+	// errRequestDeadline marks a DataRequest whose response did not
+	// arrive within mapred.rdma.request.timeout: the peer is silent, the
+	// connection is torn down, and the request re-issues through the
+	// retry budget.
+	errRequestDeadline = errors.New("core: request deadline exceeded")
+	// errProtocol marks an undecodable or inconsistent response frame.
+	// The connection's slot bookkeeping is unrecoverable, but a fresh
+	// connection re-issues the in-flight requests idempotently, so it is
+	// retried like a transport fault.
+	errProtocol = errors.New("core: shuffle protocol violation")
+)
+
+// transientErr classifies a fetch failure: true means the same request
+// may succeed against a fresh connection (fabric fault, peer restart,
+// deadline, garbled frame), false means retrying cannot help and the
+// segment must escalate to map re-execution.
+func transientErr(err error) bool {
+	return errors.Is(err, verbs.ErrDialRefused) ||
+		errors.Is(err, ucr.ErrTransport) ||
+		errors.Is(err, ucr.ErrClosed) ||
+		errors.Is(err, ucr.ErrNoService) ||
+		errors.Is(err, errRequestDeadline) ||
+		errors.Is(err, errProtocol)
+}
+
+// nodeHealth shares per-remote-host health across every fetcher on a
+// local device: when a tracker starts dying, the first fetcher to trip
+// its blacklist makes every other reduce task on this node back off too,
+// instead of each rediscovering the failure serially. Keyed by device
+// pointer so entries can never leak across emulated nodes.
+var nodeHealth sync.Map // map[*verbs.Device]*healthTracker
+
+type healthTracker struct {
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+// healthFor returns the shared health record for host as seen from dev.
+func healthFor(dev *verbs.Device, host string) *peerHealth {
+	v, _ := nodeHealth.LoadOrStore(dev, &healthTracker{peers: make(map[string]*peerHealth)})
+	ht := v.(*healthTracker)
+	ht.mu.Lock()
+	defer ht.mu.Unlock()
+	ph := ht.peers[host]
+	if ph == nil {
+		ph = &peerHealth{}
+		ht.peers[host] = ph
+	}
+	return ph
+}
+
+// Blacklist policy: after blacklistAfter consecutive failures the host
+// is embargoed for a penalty that doubles per trip (capped) and halves
+// per subsequent success — a decaying memory of flakiness.
+const (
+	blacklistAfter = 3
+	blacklistBase  = 50 * time.Millisecond
+	blacklistMax   = 8 * blacklistBase
+)
+
+// peerHealth scores one remote host. All methods are safe for concurrent
+// use from many fetchers.
+type peerHealth struct {
+	mu          sync.Mutex
+	consecFails int
+	penalty     time.Duration
+	blackUntil  time.Time
+}
+
+// recordFailure notes a connection-level failure and returns the new
+// consecutive-failure count. Crossing the blacklist threshold embargoes
+// the host and bumps the shuffle.rdma.blacklist.trips counter.
+func (ph *peerHealth) recordFailure(c *stats.Counters) int {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	ph.consecFails++
+	if ph.consecFails >= blacklistAfter {
+		if ph.penalty < blacklistBase {
+			ph.penalty = blacklistBase
+		} else if ph.penalty < blacklistMax {
+			ph.penalty *= 2
+		}
+		ph.blackUntil = time.Now().Add(ph.penalty)
+		c.Add("shuffle.rdma.blacklist.trips", 1)
+	}
+	return ph.consecFails
+}
+
+// recordSuccess clears the consecutive-failure streak and decays the
+// accumulated penalty.
+func (ph *peerHealth) recordSuccess() {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	ph.consecFails = 0
+	ph.penalty /= 2
+}
+
+// penaltyNow reports the accumulated blacklist penalty (test hook).
+func (ph *peerHealth) penaltyNow() time.Duration {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	return ph.penalty
+}
+
+// admissionDelay returns how long a fetcher should wait before dialing
+// this host (zero when not blacklisted).
+func (ph *peerHealth) admissionDelay() time.Duration {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if d := time.Until(ph.blackUntil); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
@@ -113,9 +114,14 @@ func (s *trackerServer) acceptLoop() {
 }
 
 // receiver is one RDMAReceiver: it pulls requests off its end-point and
-// places them in the DataRequestQueue.
+// places them in the DataRequestQueue. When the connection dies — the
+// copier closed it, reconnected elsewhere, or the fabric severed it —
+// the end-point is released immediately; reconnect churn from
+// self-healing copiers must not accumulate dead endpoints (and their
+// registered rings) until server shutdown.
 func (s *trackerServer) receiver(ep *ucr.EndPoint) {
 	defer s.wg.Done()
+	defer s.dropEndpoint(ep)
 	epMu := &sync.Mutex{}
 	for {
 		msg, err := ep.Recv(s.ctx)
@@ -152,12 +158,32 @@ func (s *trackerServer) responder() {
 }
 
 func (s *trackerServer) serve(p *pendingRequest) {
-	resp := s.buildResponse(p)
-	p.mu.Lock()
+	// TryLock, not Lock: a slow or dying connection (say, a delayed QP
+	// processor mid-response) holds its endpoint mutex for the full fault
+	// duration, and that connection's other queued requests would convoy
+	// the entire responder pool behind it — starving every healthy
+	// connection, including the reconnect the failing copier is deadlining
+	// on. Contended requests go back to the DataRequestQueue (after a
+	// short pause so a fully-blocked queue does not spin hot) and the pool
+	// keeps serving.
+	if !p.mu.TryLock() {
+		time.Sleep(100 * time.Microsecond)
+		select {
+		case s.reqQ <- p:
+			return
+		default:
+			// Queue full: blocking one responder beats dropping a request.
+			p.mu.Lock()
+		}
+	}
 	defer p.mu.Unlock()
+	resp := s.buildResponse(p)
 	if resp.payload != nil {
 		if err := p.ep.RDMAWrite(s.ctx, resp.payload.sge(), p.req.RemoteAddr, p.req.RKey); err != nil {
+			// The data exists — only the delivery failed. Transient tells
+			// the copier to re-issue instead of re-running the map.
 			resp.header.Err = fmt.Sprintf("rdma write: %v", err)
+			resp.header.Transient = true
 			resp.header.Bytes, resp.header.Records = 0, 0
 		} else {
 			c := s.tt.Counters()
@@ -225,8 +251,16 @@ func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
 		// the bounce-buffer slot the payload was written into.
 		Tag: req.Tag,
 	}
+	// fail reports a serving error the requester cannot fix by retrying
+	// (missing or corrupt map output — the RecoverMap path);
+	// failTransient reports an environmental one worth re-issuing.
 	fail := func(err error) builtResponse {
 		header.Err = err.Error()
+		return builtResponse{header: header}
+	}
+	failTransient := func(err error) builtResponse {
+		header.Err = err.Error()
+		header.Transient = true
 		return builtResponse{header: header}
 	}
 
@@ -250,7 +284,9 @@ func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
 	}
 	payload, err := s.stage(body[req.Offset : req.Offset+int64(res.Bytes)])
 	if err != nil {
-		return fail(err)
+		// Registration pressure, not data loss: the same request can
+		// succeed once staging regions free up.
+		return failTransient(err)
 	}
 	return builtResponse{header: header, payload: payload}
 }
@@ -275,6 +311,20 @@ func (s *trackerServer) lookup(key CacheKey) ([]byte, error) {
 	return s.tt.MapOutput(key.JobID, key.MapID, key.Partition)
 }
 
+// dropEndpoint closes a dead connection's end-point and forgets it, so
+// copier reconnect churn does not accumulate endpoints until shutdown.
+func (s *trackerServer) dropEndpoint(ep *ucr.EndPoint) {
+	ep.Close()
+	s.mu.Lock()
+	for i, e := range s.endpoints {
+		if e == ep {
+			s.endpoints = append(s.endpoints[:i], s.endpoints[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
 // MapOutputReady implements mapred.TrackerServer: kick the prefetcher.
 func (s *trackerServer) MapOutputReady(job mapred.JobInfo, mapID int) {
 	if s.cacheOn {
@@ -297,7 +347,9 @@ func (s *trackerServer) Close() error {
 		return nil
 	}
 	s.closed = true
-	eps := s.endpoints
+	// Copy under the lock: receivers compact s.endpoints in place as
+	// their connections die.
+	eps := append([]*ucr.EndPoint(nil), s.endpoints...)
 	s.mu.Unlock()
 	s.cancel()
 	s.listener.Close()

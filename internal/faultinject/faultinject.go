@@ -1,19 +1,38 @@
-// Package faultinject provides a shuffle-engine wrapper that simulates
-// intermediate-data loss: chosen maps' output files vanish from the
-// TaskTracker's local disk immediately after the map completes, before
-// any reducer can fetch them. It drives the fault-tolerance tests for
-// the map re-execution path (the paper's §VI future work).
+// Package faultinject provides a shuffle-engine wrapper that composes
+// two failure modes for fault-tolerance tests: intermediate-data loss
+// (chosen maps' output files vanish from the TaskTracker's local disk
+// immediately after the map completes, before any reducer can fetch
+// them — the map re-execution path, the paper's §VI future work) and
+// fabric-level transport faults (a verbs.FaultInjector, typically a
+// seeded chaos.Injector, installed on the cluster's network when the
+// first tracker starts — the copier's reconnect/retry path).
 package faultinject
 
 import (
 	"sync"
 
 	"rdmamr/internal/mapred"
+	"rdmamr/internal/verbs"
 )
 
-// Engine wraps an inner shuffle engine, injecting output loss.
+// Options configures the wrapper.
+type Options struct {
+	// LoseMapIDs lists maps whose output is destroyed exactly once (the
+	// first time it is announced; the re-executed output survives).
+	LoseMapIDs []int
+	// Transport, when non-nil, is installed on the fabric's network when
+	// the first tracker starts, injecting transport faults under the
+	// running job. Composable with output loss: a chaos run can exercise
+	// reconnects and map re-execution at once.
+	Transport verbs.FaultInjector
+}
+
+// Engine wraps an inner shuffle engine, injecting the configured faults.
 type Engine struct {
 	inner mapred.ShuffleEngine
+	opts  Options
+
+	installOnce sync.Once // Transport installs on the first tracker's network
 
 	mu   sync.Mutex
 	lose map[int]bool // mapIDs whose first output announcement is sabotaged
@@ -24,14 +43,19 @@ type Engine struct {
 }
 
 // Wrap returns a fault-injecting wrapper around inner that destroys the
-// output of each listed mapID exactly once (the first time it is
-// announced; the re-executed output survives).
+// output of each listed mapID exactly once. Shorthand for WrapOptions
+// with only LoseMapIDs set; existing call sites keep working.
 func Wrap(inner mapred.ShuffleEngine, loseMapIDs ...int) *Engine {
-	lose := make(map[int]bool, len(loseMapIDs))
-	for _, id := range loseMapIDs {
+	return WrapOptions(inner, Options{LoseMapIDs: loseMapIDs})
+}
+
+// WrapOptions returns a fault-injecting wrapper configured by opts.
+func WrapOptions(inner mapred.ShuffleEngine, opts Options) *Engine {
+	lose := make(map[int]bool, len(opts.LoseMapIDs))
+	for _, id := range opts.LoseMapIDs {
 		lose[id] = true
 	}
-	return &Engine{inner: inner, lose: lose, done: make(map[int]bool)}
+	return &Engine{inner: inner, opts: opts, lose: lose, done: make(map[int]bool)}
 }
 
 // Name implements mapred.ShuffleEngine.
@@ -44,8 +68,15 @@ func (e *Engine) LostCount() int {
 	return e.lost
 }
 
-// StartTracker implements mapred.ShuffleEngine.
+// StartTracker implements mapred.ShuffleEngine. The first tracker to
+// start installs the transport fault injector on the shared network
+// (every tracker in a cluster rides the same fabric).
 func (e *Engine) StartTracker(tt *mapred.TaskTracker) (mapred.TrackerServer, error) {
+	if e.opts.Transport != nil {
+		e.installOnce.Do(func() {
+			tt.Fabric().Network().SetFaultInjector(e.opts.Transport)
+		})
+	}
 	inner, err := e.inner.StartTracker(tt)
 	if err != nil {
 		return nil, err

@@ -120,6 +120,13 @@ type DataResponse struct {
 	// response to the bounce-buffer slot it was written into. Tail
 	// extension: decoders accept messages without it (Tag 0).
 	Tag uint32
+	// Transient qualifies a non-empty Err: true means the serving failure
+	// was environmental (RDMA write failed, staging pressure) and the
+	// same request may succeed if re-issued; false means the data itself
+	// is unavailable (map output missing) and the requester should
+	// escalate to map re-execution. Tail extension: decoders default to
+	// false (pre-robustness peers only reported fatal errors).
+	Transient bool
 }
 
 // Encode serializes the response.
@@ -140,6 +147,11 @@ func (r *DataResponse) Encode() []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, r.RemoteAddr)
 	buf = binary.LittleEndian.AppendUint32(buf, r.RKey)
 	buf = binary.LittleEndian.AppendUint32(buf, r.Tag)
+	if r.Transient {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf
 }
 
@@ -169,9 +181,13 @@ func DecodeDataResponse(b []byte) (*DataResponse, error) {
 	}
 	r.RemoteAddr = binary.LittleEndian.Uint64(rest[0:8])
 	r.RKey = binary.LittleEndian.Uint32(rest[8:12])
-	// Tag is a tail extension: absent in messages from pre-ring peers.
+	// Tag and Transient are tail extensions: absent in messages from
+	// older peers (Tag 0, Transient false).
 	if len(rest) >= 16 {
 		r.Tag = binary.LittleEndian.Uint32(rest[12:16])
+	}
+	if len(rest) >= 17 {
+		r.Transient = rest[16] == 1
 	}
 	return r, nil
 }

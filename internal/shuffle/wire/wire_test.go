@@ -32,6 +32,7 @@ func TestDataResponseRoundTrip(t *testing.T) {
 			MapID: mapID, ReduceID: reduceID, Offset: offset,
 			Bytes: bytes, Records: records, EOF: eof, Err: errStr,
 			RemoteAddr: addr, RKey: rkey, Tag: rkey ^ 0xa5a5a5a5,
+			Transient: errStr != "" && eof,
 		}
 		out, err := DecodeDataResponse(in.Encode())
 		return err == nil && *out == *in
@@ -62,8 +63,10 @@ func TestDecodeTruncated(t *testing.T) {
 			t.Fatalf("truncated request of %d bytes accepted", i)
 		}
 	}
+	// Responses carry a 5-byte optional tail (4-byte tag + transient
+	// flag); truncations into that tail still decode as zero values.
 	resp := (&DataResponse{Err: "some failure"}).Encode()
-	for i := 0; i < len(resp)-4; i++ {
+	for i := 0; i < len(resp)-5; i++ {
 		if _, err := DecodeDataResponse(resp[:i]); err == nil {
 			t.Fatalf("truncated response of %d bytes accepted", i)
 		}
@@ -81,14 +84,23 @@ func TestDecodeLegacyWithoutTag(t *testing.T) {
 	if got.Tag != 0 || got.MapID != 3 || got.Offset != 99 || got.RKey != 7 {
 		t.Fatalf("legacy request decode: %+v", got)
 	}
-	resp := &DataResponse{MapID: 5, Bytes: 11, EOF: true, Tag: 42}
+	resp := &DataResponse{MapID: 5, Bytes: 11, EOF: true, Tag: 42, Transient: true}
 	enc := resp.Encode()
-	rgot, err := DecodeDataResponse(enc[:len(enc)-4])
+	rgot, err := DecodeDataResponse(enc[:len(enc)-5])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rgot.Tag != 0 || rgot.MapID != 5 || rgot.Bytes != 11 || !rgot.EOF {
+	if rgot.Tag != 0 || rgot.Transient || rgot.MapID != 5 || rgot.Bytes != 11 || !rgot.EOF {
 		t.Fatalf("legacy response decode: %+v", rgot)
+	}
+	// A ring-era peer that predates the transient flag sends the tag but
+	// no qualifier byte: Tag survives, Transient defaults to fatal.
+	mgot, err := DecodeDataResponse(enc[:len(enc)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgot.Tag != 42 || mgot.Transient {
+		t.Fatalf("tag-only response decode: %+v", mgot)
 	}
 }
 

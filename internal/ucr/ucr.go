@@ -34,8 +34,17 @@ const (
 // Errors.
 var (
 	ErrMessageTooLarge = errors.New("ucr: message exceeds MaxMessage")
-	ErrClosed          = errors.New("ucr: endpoint closed")
-	ErrNoService       = errors.New("ucr: no such service")
+	// ErrClosed means this side closed the end-point: the failure is
+	// local and deliberate, not a fabric fault.
+	ErrClosed    = errors.New("ucr: endpoint closed")
+	ErrNoService = errors.New("ucr: no such service")
+	// ErrTransport wraps fabric-level failures (flushed/errored/lost
+	// completions) on an end-point that was NOT locally closed — the
+	// peer died, the QP severed, or packets were lost. Callers use
+	// errors.Is(err, ErrTransport) to classify a failure as transient
+	// and worth a reconnect, versus ErrClosed which is an ordinary
+	// shutdown.
+	ErrTransport = errors.New("ucr: transport failure")
 )
 
 // Fabric wraps a verbs.Network with the service registry that stands in
@@ -111,6 +120,12 @@ func (l *Listener) Close() {
 // Connect establishes an end-point from dev to the named service on the
 // remote device, performing the QP exchange both ways.
 func (f *Fabric) Connect(ctx context.Context, dev *verbs.Device, remoteDev, service string) (*EndPoint, error) {
+	// CM-level admission: a fault injector refusing this dial is the
+	// emulated RDMA-CM REJECT. Checked once, from the dialing side — the
+	// server's reverse QP transition below is part of the same dial.
+	if f.net.DialRefused(dev.Name(), remoteDev) {
+		return nil, fmt.Errorf("%w: %s -> %s/%s", verbs.ErrDialRefused, dev.Name(), remoteDev, service)
+	}
 	key := remoteDev + "/" + service
 	f.mu.Lock()
 	l, ok := f.services[key]
@@ -222,14 +237,18 @@ func (ep *EndPoint) recvPump() {
 			return
 		}
 		if wc.Status != verbs.WCSuccess {
-			ep.failRecv(fmt.Errorf("ucr: receive failed: %v", wc.Status))
+			// A flushed/errored completion racing a local Close is the
+			// close, not a fault: Close destroys the QP, which flushes the
+			// pre-posted ring. Only report ErrTransport when the fabric
+			// failed an endpoint nobody closed.
+			ep.failRecv(ep.classify(fmt.Errorf("receive failed: %v", wc.Status)))
 			return
 		}
 		off := int(wc.WRID) * MaxMessage
 		payload := make([]byte, wc.ByteLen)
 		copy(payload, ep.ringMR.Bytes()[off:off+wc.ByteLen])
 		if err := ep.qp.PostRecv(verbs.RecvWR{WRID: wc.WRID, SGE: verbs.SGE{MR: ep.ringMR, Offset: off, Length: MaxMessage}}); err != nil {
-			ep.failRecv(err)
+			ep.failRecv(ep.classify(err))
 			return
 		}
 		select {
@@ -247,6 +266,26 @@ func (ep *EndPoint) failRecv(err error) {
 	}
 	ep.errMu.Unlock()
 	close(ep.msgs)
+}
+
+// isClosed reports whether Close has begun on this end-point.
+func (ep *EndPoint) isClosed() bool {
+	select {
+	case <-ep.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// classify wraps a data-path failure with the sentinel the copier's
+// transient/fatal classifier keys on: ErrClosed when this side closed
+// the end-point (the flush is self-inflicted), ErrTransport otherwise.
+func (ep *EndPoint) classify(err error) error {
+	if ep.isClosed() {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return fmt.Errorf("%w: %v", ErrTransport, err)
 }
 
 // Peer returns the remote device name.
@@ -280,7 +319,9 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 			SGE:    verbs.SGE{MR: ep.sendMR, Length: len(payload)},
 		})
 		if err != nil {
-			return err
+			// Posting fails only on a dead QP: ours after Close, or one
+			// the fabric severed.
+			return ep.classify(err)
 		}
 		wc, err := ep.sendCQ.Wait(ctx)
 		if err != nil {
@@ -291,7 +332,7 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 			return nil
 		case verbs.WCRNRRetryExceeded:
 			if attempt >= rnrRetries {
-				return fmt.Errorf("ucr: send failed after %d RNR retries", attempt)
+				return ep.classify(fmt.Errorf("send failed after %d RNR retries", attempt))
 			}
 			backoff := time.Duration(attempt/10+1) * 50 * time.Microsecond
 			select {
@@ -300,7 +341,7 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 				return ctx.Err()
 			}
 		default:
-			return fmt.Errorf("ucr: send failed: %v", wc.Status)
+			return ep.classify(fmt.Errorf("send failed: %v", wc.Status))
 		}
 	}
 }
@@ -350,22 +391,32 @@ func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, ra
 	}
 	err := ep.qp.PostSend(verbs.SendWR{Opcode: op, SGE: sge, RemoteAddr: raddr, RKey: rkey})
 	if err != nil {
-		return err
+		return ep.classify(err)
 	}
 	wc, err := ep.sendCQ.Wait(ctx)
 	if err != nil {
 		return err
 	}
 	if wc.Status != verbs.WCSuccess {
-		return fmt.Errorf("ucr: %v failed: %v", op, wc.Status)
+		return ep.classify(fmt.Errorf("%v failed: %v", op, wc.Status))
 	}
 	return nil
 }
 
 // Close tears the end-point down. The peer's subsequent operations fail.
+// In-flight Recv/Send on THIS side return errors wrapping ErrClosed (not
+// ErrTransport), so callers can tell a deliberate local shutdown from a
+// fabric fault. The end-point's registered regions are released so
+// reconnect churn does not leak MRs on the device.
 func (ep *EndPoint) Close() {
 	ep.closeOnce.Do(func() {
 		close(ep.closed)
 		ep.qp.Destroy()
+		// Destroy waited for the QP processor, so nothing references the
+		// ring or send regions through the fabric anymore. recvPump may
+		// still be copying out a delivered payload; Deregister only marks
+		// the region dead, the memory stays valid.
+		_ = ep.ringMR.Deregister()
+		_ = ep.sendMR.Deregister()
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // QPState is the queue pair state machine, following the IB spec's
@@ -241,6 +242,25 @@ func (qp *QueuePair) PostSend(wr SendWR) error {
 	}
 }
 
+// enterError forces the QP into the Error state — the transition a real
+// HCA performs after a fatal transport event (retry exhaustion, cable
+// pull). Posted receives flush with WCFlushErr so blocked receivers wake;
+// subsequent posts on the QP are rejected. Destroy still works afterwards.
+func (qp *QueuePair) enterError() {
+	qp.mu.Lock()
+	if qp.state == QPDestroyed || qp.state == QPError {
+		qp.mu.Unlock()
+		return
+	}
+	qp.state = QPError
+	flushed := qp.recvQueue
+	qp.recvQueue = nil
+	qp.mu.Unlock()
+	for _, wr := range flushed {
+		qp.recvCQ.push(WC{WRID: wr.WRID, Status: WCFlushErr, QPN: qp.qpn})
+	}
+}
+
 // Destroy tears down the QP; queued-but-unprocessed sends flush with
 // WCFlushErr completions.
 func (qp *QueuePair) Destroy() {
@@ -287,17 +307,48 @@ func (qp *QueuePair) execute(wr SendWR) {
 	}
 	qp.mu.Lock()
 	peerName, peerQPN := qp.peerDev, qp.peerQPN
+	state := qp.state
 	qp.mu.Unlock()
+	if state == QPError {
+		// A severed QP flushes everything still reaching its processor.
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCFlushErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
 	peer, err := qp.dev.net.lookup(peerName)
 	if err != nil {
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 		return
 	}
+
+	// okStatus is what a successfully executed operation completes with;
+	// FaultFailCompletion delivers the data but reports failure.
+	okStatus := WCSuccess
+	if fi := qp.dev.net.faultInjector(); fi != nil {
+		switch v := fi.SendVerdict(qp.dev.name, peerName, wr.Opcode, len(local)); v.Action {
+		case FaultDelay:
+			time.Sleep(v.Delay)
+		case FaultDropSend:
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		case FaultFailCompletion:
+			okStatus = WCRetryExceeded
+		case FaultSeverQP:
+			qp.enterError()
+			peer.mu.Lock()
+			rqp := peer.qps[peerQPN]
+			peer.mu.Unlock()
+			if rqp != nil {
+				rqp.enterError()
+			}
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCFlushErr, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		}
+	}
 	qp.dev.net.injectDelay(len(local))
 
 	switch wr.Opcode {
 	case OpSend:
-		qp.executeSend(wr, local, peer, peerQPN)
+		qp.executeSend(wr, local, peer, peerQPN, okStatus)
 	case OpRDMAWrite:
 		peer.mu.Lock()
 		dst, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
@@ -309,7 +360,7 @@ func (qp *QueuePair) execute(wr SendWR) {
 			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 			return
 		}
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
 	case OpRDMARead:
 		peer.mu.Lock()
 		src, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
@@ -321,22 +372,32 @@ func (qp *QueuePair) execute(wr SendWR) {
 			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 			return
 		}
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
 	default:
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: wr.Opcode, QPN: qp.qpn})
 	}
 }
 
-func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQPN uint32) {
+func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQPN uint32, okStatus WCStatus) {
 	peer.mu.Lock()
 	rqp, ok := peer.qps[peerQPN]
 	peer.mu.Unlock()
 	if !ok {
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
+		// The remote QP no longer exists (destroyed): no ACK ever comes
+		// back, so the transport retry counter exhausts.
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
 		return
 	}
 	rqp.mu.Lock()
-	if len(rqp.recvQueue) == 0 || rqp.state == QPDestroyed || rqp.state == QPError {
+	if rqp.state == QPDestroyed || rqp.state == QPError {
+		rqp.mu.Unlock()
+		// The remote QP is gone: the transport retry counter exhausts
+		// without an ACK. Distinct from RNR (alive but no posted RECV),
+		// which is worth retrying at the sender.
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
+		return
+	}
+	if len(rqp.recvQueue) == 0 {
 		rqp.mu.Unlock()
 		// Receiver not ready: on real RC QPs, RNR NAK then retry; with
 		// retries exceeded the sender completes in error.
@@ -357,7 +418,7 @@ func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQP
 	}
 	copy(dst, payload)
 	rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCSuccess, ByteLen: len(payload), QPN: rqp.qpn, Imm: wr.Imm})
-	qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCSuccess, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.qpn})
+	qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.qpn})
 }
 
 // Close shuts the device down, destroying its QPs.

@@ -31,6 +31,10 @@ var (
 	ErrBadSGE       = errors.New("verbs: scatter/gather entry out of region bounds")
 	ErrDeregistered = errors.New("verbs: memory region deregistered")
 	ErrClosed       = errors.New("verbs: object closed")
+	// ErrDialRefused is returned by QueuePair.Connect when a fault
+	// injector refuses the dial — the emulator's stand-in for RDMA-CM
+	// REJECT / an unreachable CM listener.
+	ErrDialRefused = errors.New("verbs: dial refused")
 )
 
 // Opcode identifies a send-queue work request type.
@@ -65,7 +69,8 @@ const (
 	WCRemoteAccessErr
 	WCRNRRetryExceeded // receiver not ready: SEND with no posted RECV
 	WCLocalProtErr
-	WCFlushErr // QP destroyed with work outstanding
+	WCFlushErr         // QP destroyed with work outstanding
+	WCRetryExceeded    // transport retry counter exceeded: peer unreachable or packets lost
 )
 
 func (s WCStatus) String() string {
@@ -80,6 +85,8 @@ func (s WCStatus) String() string {
 		return "LOCAL_PROT_ERR"
 	case WCFlushErr:
 		return "WR_FLUSH_ERR"
+	case WCRetryExceeded:
+		return "RETRY_EXC_ERR"
 	default:
 		return fmt.Sprintf("WCStatus(%d)", int(s))
 	}
@@ -95,6 +102,55 @@ type WC struct {
 	Imm     uint32 // immediate data (SEND only)
 }
 
+// FaultAction is a fault injector's ruling on one work request or dial.
+type FaultAction int
+
+// Fault actions, ordered roughly by severity.
+const (
+	// FaultNone lets the operation proceed untouched.
+	FaultNone FaultAction = iota
+	// FaultDelay stalls the QP processor for the verdict's Delay before
+	// executing normally — a congested or flapping link. Composes with
+	// the fabric latency model, which still applies afterwards.
+	FaultDelay
+	// FaultDropSend discards the work request without delivering
+	// anything; the sender completes with WCRetryExceeded, as a reliable
+	// transport reports after exhausting its retry counter.
+	FaultDropSend
+	// FaultFailCompletion delivers the operation normally but lies to
+	// the sender with a WCRetryExceeded completion — the
+	// duplicate-delivery hazard that makes idempotent re-requests
+	// mandatory (the data arrived; the requester believes it did not).
+	FaultFailCompletion
+	// FaultSeverQP transitions both queue pairs of the connection into
+	// the Error state mid-flight: posted receives flush with WCFlushErr,
+	// the triggering work request completes with WCFlushErr, and every
+	// subsequent post on either side fails.
+	FaultSeverQP
+)
+
+// FaultVerdict is the injector's decision for one operation.
+type FaultVerdict struct {
+	Action FaultAction
+	// Delay applies when Action is FaultDelay.
+	Delay time.Duration
+}
+
+// FaultInjector decides the fate of fabric operations. Implementations
+// must be safe for concurrent use; they are consulted from every QP
+// processor goroutine. Install with Network.SetFaultInjector.
+type FaultInjector interface {
+	// SendVerdict rules on one send-queue work request from localDev to
+	// remoteDev before it executes.
+	SendVerdict(localDev, remoteDev string, op Opcode, bytes int) FaultVerdict
+	// DialRefused reports whether a connection attempt from localDev to
+	// remoteDev should be rejected. Connection managers consult this via
+	// Network.DialRefused once per logical dial, on the DIALING side only
+	// — the accept side's reverse QP transition is part of the same dial
+	// and must not roll again (it would invert the refusal's direction).
+	DialRefused(localDev, remoteDev string) bool
+}
+
 // Network is the in-process fabric connecting emulated devices. A nil
 // latency model means transfers complete with no injected delay (tests);
 // with a model installed the network sleeps per-message latency +
@@ -107,6 +163,7 @@ type Network struct {
 	// TimeScale divides injected delays (e.g. 1000 = microseconds become
 	// nanoseconds). Zero means no injection even with a model set.
 	timeScale float64
+	faults    FaultInjector
 }
 
 // NewNetwork returns an empty network with no latency injection.
@@ -122,6 +179,32 @@ func (n *Network) SetLatencyModel(m fabric.Model, scale float64) {
 	defer n.mu.Unlock()
 	n.model = &m
 	n.timeScale = scale
+}
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector
+// consulted on every send-queue work request and dial. Composable with
+// the latency model: a surviving operation still pays modeled latency.
+func (n *Network) SetFaultInjector(fi FaultInjector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = fi
+}
+
+func (n *Network) faultInjector() FaultInjector {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.faults
+}
+
+// DialRefused reports whether the installed fault injector rejects a
+// connection attempt from localDev to remoteDev — the emulator's
+// RDMA-CM REJECT. Connection managers (ucr) call this once per logical
+// dial, from the dialing side, before any QP transitions; raw
+// QueuePair.Connect does not consult the injector (both ends of a dial
+// perform one, and the accept side's would invert the direction).
+func (n *Network) DialRefused(localDev, remoteDev string) bool {
+	fi := n.faultInjector()
+	return fi != nil && fi.DialRefused(localDev, remoteDev)
 }
 
 func (n *Network) injectDelay(bytes int) {
@@ -180,6 +263,10 @@ type Device struct {
 
 // Name returns the device name (its network address).
 func (d *Device) Name() string { return d.name }
+
+// Network returns the fabric this device is attached to (for latency
+// model and fault injector installation).
+func (d *Device) Network() *Network { return d.net }
 
 // MemoryRegion is a registered buffer. RDMA operations address it by
 // (rkey, virtual address); local SGEs address it by lkey.
