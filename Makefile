@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-depth fuzz
+.PHONY: verify vet build test race chaos bench-depth fuzz profile-smoke bench-obs
 
-verify: vet build race chaos
+verify: vet build race chaos profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,19 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestCopierHealsFromSeveredQP|TestCopierRequestDeadlineReissues|TestCopierLegacyEscalationNoRetries|TestCopierSeededChaosMultiHost|TestCopierBlacklistSharedAcrossFetchers' ./internal/core/
 	$(GO) test -race -count=1 -run 'TestFaultMatrix' ./internal/faultinject/
+
+# D7 observability gate: run a real profiled Sort on the OSU-IB engine,
+# emit the shuffle report as JSON, re-parse it, and fail unless fetch
+# spans, per-host latency, TTFB, and a nonzero shuffle/merge overlap all
+# came out the other side. The JSON goes to /dev/null; the check verdict
+# prints on stderr.
+profile-smoke:
+	$(GO) run ./cmd/mrsim -profile -profile-nodes 3 -profile-mb 2 -profile-reduces 3 -profile-json -profile-check >/dev/null
+
+# D7 overhead proof: the disabled-observability copier hot path must not
+# allocate (0 B/op) or read the clock.
+bench-obs:
+	$(GO) test -run=NONE -bench=ObsOverheadDisabled ./internal/core/
 
 # D5 ablation: copier outstanding-request depth (bounce-buffer ring).
 bench-depth:

@@ -1,14 +1,19 @@
 // Command experiments regenerates the paper's complete evaluation: every
 // figure (4a, 4b, 5, 6a, 6b, 7, 8) from the performance simulator, plus
 // the paper-vs-measured scorecard of every quantitative claim in §IV.
-// This is the EXPERIMENTS.md generator.
+// -overlap appends the measured counterpart of Figure 3: a real profiled
+// Sort's phase-overlap report next to the simulator's timelines. This is
+// the EXPERIMENTS.md generator.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"time"
 
 	"rdmamr/internal/sim"
+	"rdmamr/pkg/rdmamr"
 )
 
 func main() {
@@ -16,9 +21,14 @@ func main() {
 		scoreOnly = flag.Bool("score", false, "print only the paper-vs-measured scorecard")
 		figsOnly  = flag.Bool("figures", false, "print only the regenerated figures")
 		markdown  = flag.Bool("md", false, "emit Markdown tables (for EXPERIMENTS.md)")
+		overlap   = flag.Bool("overlap", false, "run a real profiled Sort and print its measured phase-overlap report (Figure 3, measured)")
 	)
 	flag.Parse()
 
+	if *overlap {
+		printOverlap()
+		return
+	}
 	if !*scoreOnly {
 		figures := sim.AllFigures()
 		figures = append(figures, sim.FigScaling())
@@ -34,6 +44,32 @@ func main() {
 		fmt.Println("Paper-vs-measured scorecard (§IV claims):")
 		fmt.Println(sim.ScoreReport(sim.DefaultCalibration()))
 	}
+}
+
+// printOverlap is Figure 3 measured instead of modeled: the simulator's
+// overlap timelines followed by a real profiled Sort's report, whose
+// phase-overlap section is produced from fetch spans and phase marks
+// recorded inside the running shuffle, not from the DES model.
+func printOverlap() {
+	fmt.Println("Figure 3, simulated (DES model):")
+	fmt.Println()
+	tl, err := sim.Fig3Timelines()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(tl)
+	fmt.Println()
+	fmt.Println("Figure 3, measured (real OSU-IB shuffle, profiled):")
+	fmt.Println()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := rdmamr.ProfiledSort(ctx, 3, 8e6, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(res.Profile.Text())
 }
 
 func printMarkdown(f sim.Figure) {

@@ -1,17 +1,26 @@
 // Command mrsim runs the figure-scale cluster simulator. With no flags it
 // regenerates every evaluation figure; -figure selects one; -design,
 // -fabric, -storage, -nodes, -size run a single custom configuration.
+// -profile leaves the simulator entirely: it runs a real in-process Sort
+// on the OSU-IB engine with shuffle profiling on and prints the measured
+// report (fetch latency percentiles, TTFB, ring-slot occupancy, and the
+// phase-overlap timeline).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rdmamr/internal/fabric"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/sim"
 	"rdmamr/internal/storage"
+	"rdmamr/pkg/rdmamr"
 )
 
 func main() {
@@ -25,9 +34,20 @@ func main() {
 		sizeGB   = flag.Float64("size", 100, "single run: sort size in GB")
 		caching  = flag.Bool("caching", true, "single run: OSU PrefetchCache enabled")
 		timeline = flag.Bool("timeline", false, "print Figure 3's overlap timelines (vanilla vs OSU-IB)")
+
+		profile   = flag.Bool("profile", false, "run a real profiled Sort on the OSU-IB engine and print the shuffle report")
+		profNodes = flag.Int("profile-nodes", 3, "profile: cluster size")
+		profMB    = flag.Float64("profile-mb", 4, "profile: input size in MB")
+		profReds  = flag.Int("profile-reduces", 3, "profile: reduce count")
+		profJSON  = flag.Bool("profile-json", false, "profile: emit the report as JSON instead of text")
+		profCheck = flag.Bool("profile-check", false, "profile: re-parse the JSON report and fail unless shuffle/merge overlap > 0 (smoke gate)")
 	)
 	flag.Parse()
 
+	if *profile {
+		runProfile(*profNodes, *profMB, *profReds, *profJSON, *profCheck)
+		return
+	}
 	if *timeline {
 		out, err := sim.Fig3Timelines()
 		if err != nil {
@@ -96,6 +116,50 @@ func runSingle(design, fab, store, workload string, nodes int, sizeGB float64, c
 	fmt.Printf("  network       %8.1f GB\n", res.NetBytes/1e9)
 	if d == sim.OSUIB && caching {
 		fmt.Printf("  cache         %d hits / %d misses\n", res.CacheHits, res.CacheMisses)
+	}
+}
+
+// runProfile executes a real (non-simulated) Sort with profiling on and
+// renders the measured shuffle report. With check, the emitted JSON is
+// re-parsed exactly as a consumer would and the run fails unless the
+// report proves shuffle and merge actually overlapped — the smoke gate
+// behind `make profile-smoke`.
+func runProfile(nodes int, mb float64, reduces int, asJSON, check bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := rdmamr.ProfiledSort(ctx, nodes, int64(mb*1e6), reduces)
+	if err != nil {
+		fatalf("profiled sort: %v", err)
+	}
+	rep := res.Profile
+	raw, err := rep.JSON()
+	if err != nil {
+		fatalf("rendering report: %v", err)
+	}
+	if asJSON || check {
+		fmt.Printf("%s\n", raw)
+	}
+	if !asJSON {
+		fmt.Printf("%d nodes, %.1f MB sort, %d reduces — job %s in %v\n\n",
+			nodes, mb, reduces, res.JobID, res.Duration.Round(time.Millisecond))
+		fmt.Print(rep.Text())
+	}
+	if check {
+		var back obs.Report
+		if err := json.Unmarshal(raw, &back); err != nil {
+			fatalf("profile-check: report JSON does not round-trip: %v", err)
+		}
+		if back.Fetches == 0 {
+			fatalf("profile-check: no fetches observed")
+		}
+		if len(back.Hosts) == 0 || len(back.ReduceTTFB) == 0 {
+			fatalf("profile-check: per-host stats or TTFB missing")
+		}
+		if ov := back.OverlapMs(obs.PhaseShuffle, obs.PhaseMerge); ov <= 0 {
+			fatalf("profile-check: shuffle/merge overlap = %.3f ms, want > 0", ov)
+		}
+		fmt.Fprintf(os.Stderr, "profile-check ok: %d fetches, shuffle/merge overlap %.1f ms\n",
+			back.Fetches, back.OverlapMs(obs.PhaseShuffle, obs.PhaseMerge))
 	}
 }
 

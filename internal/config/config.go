@@ -15,21 +15,21 @@ import (
 
 // Well-known keys. Names follow the paper / Hadoop 0.20 conventions.
 const (
-	KeyRDMAEnabled       = "mapred.rdma.enabled"
-	KeyCachingEnabled    = "mapred.local.caching.enabled"
-	KeyRDMAPacketBytes   = "mapred.rdma.packet.size"
-	KeyKVPairsPerPacket  = "mapred.rdma.kvpairs.per.packet"
-	KeySizeAwarePacking  = "mapred.rdma.sizeaware.packing"
-	KeyResponderThreads  = "mapred.rdma.responder.threads"
-	KeyPrefetchThreads   = "mapred.rdma.prefetch.threads"
-	KeyPrefetchCacheCap  = "mapred.rdma.prefetch.cache.bytes"
-	KeyBlockSize         = "dfs.block.size"
-	KeyReplication       = "dfs.replication"
-	KeyMapSlots          = "mapred.tasktracker.map.tasks.maximum"
-	KeyReduceSlots       = "mapred.tasktracker.reduce.tasks.maximum"
-	KeyIOSortFactor      = "io.sort.factor"
-	KeyIOSortMB          = "io.sort.mb"
-	KeyShuffleMemLimit = "mapred.job.shuffle.input.buffer.bytes"
+	KeyRDMAEnabled      = "mapred.rdma.enabled"
+	KeyCachingEnabled   = "mapred.local.caching.enabled"
+	KeyRDMAPacketBytes  = "mapred.rdma.packet.size"
+	KeyKVPairsPerPacket = "mapred.rdma.kvpairs.per.packet"
+	KeySizeAwarePacking = "mapred.rdma.sizeaware.packing"
+	KeyResponderThreads = "mapred.rdma.responder.threads"
+	KeyPrefetchThreads  = "mapred.rdma.prefetch.threads"
+	KeyPrefetchCacheCap = "mapred.rdma.prefetch.cache.bytes"
+	KeyBlockSize        = "dfs.block.size"
+	KeyReplication      = "dfs.replication"
+	KeyMapSlots         = "mapred.tasktracker.map.tasks.maximum"
+	KeyReduceSlots      = "mapred.tasktracker.reduce.tasks.maximum"
+	KeyIOSortFactor     = "io.sort.factor"
+	KeyIOSortMB         = "io.sort.mb"
+	KeyShuffleMemLimit  = "mapred.job.shuffle.input.buffer.bytes"
 	// KeyParallelCopies is the reducer's fetch parallelism. The HTTP
 	// shuffle uses it as its copier-pool size; the RDMA path uses it as
 	// the default bounce-buffer ring depth per host connection when
@@ -41,11 +41,11 @@ const (
 	// connection. 0 (the default) derives the depth from
 	// KeyParallelCopies; 1 reproduces the old request→wait→copy lockstep.
 	KeyRDMAOutstandingPerConn = "mapred.rdma.outstanding.per.conn"
-	KeyOverlapReduce     = "mapred.rdma.overlap.reduce"
-	KeyHTTPPacketBytes   = "mapred.shuffle.http.packet.size"
-	KeyReduceTasks       = "mapred.reduce.tasks"
-	KeyCachePriorityMode = "mapred.rdma.prefetch.cache.policy"
-	KeySpeculativeMaps   = "mapred.map.tasks.speculative.execution"
+	KeyOverlapReduce          = "mapred.rdma.overlap.reduce"
+	KeyHTTPPacketBytes        = "mapred.shuffle.http.packet.size"
+	KeyReduceTasks            = "mapred.reduce.tasks"
+	KeyCachePriorityMode      = "mapred.rdma.prefetch.cache.policy"
+	KeySpeculativeMaps        = "mapred.map.tasks.speculative.execution"
 	// KeyRDMAConnectRetries is the copier's transient-failure retry
 	// budget per host: how many reconnect attempts (and re-issues of the
 	// failed connection's in-flight requests) before the host is declared
@@ -61,38 +61,47 @@ const (
 	// connection (and re-issues through the retry budget), so a silent
 	// peer cannot stall a bounce-buffer slot forever. 0 disables.
 	KeyRDMARequestTimeout = "mapred.rdma.request.timeout"
+	// KeyObsProfile enables per-job shuffle profiling: phase-overlap
+	// windows, fetch spans, per-host latency histograms, TTFB. Off by
+	// default — the copier hot path then takes zero observability cost.
+	KeyObsProfile = "mapred.obs.profile.enabled"
+	// KeyObsHTTPAddr, when non-empty, serves the debug observability
+	// endpoint (/metrics, /profile) on the given listen address.
+	KeyObsHTTPAddr = "mapred.obs.http.addr"
 )
 
 // Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
 // TaskTracker (§IV), 64 KB default HTTP packet (§III-B.2), 256 MB blocks
 // for TeraSort on OSU-IB (§IV-B), io.sort.factor 10 (Hadoop 0.20 default).
 var defaults = map[string]string{
-	KeyRDMAEnabled:       "false",
-	KeyCachingEnabled:    "true",
-	KeyRDMAPacketBytes:   "131072", // 128 KB RDMA packet
-	KeyKVPairsPerPacket:  "1024",
-	KeySizeAwarePacking:  "true",
-	KeyResponderThreads:  "8",
-	KeyPrefetchThreads:   "4",
-	KeyPrefetchCacheCap:  strconv.Itoa(256 << 20),
-	KeyBlockSize:         strconv.Itoa(256 << 20),
-	KeyReplication:       "1",
-	KeyMapSlots:          "4",
-	KeyReduceSlots:       "4",
-	KeyIOSortFactor:      "10",
-	KeyIOSortMB:          strconv.Itoa(100 << 20),
-	KeyShuffleMemLimit:   strconv.Itoa(140 << 20),
+	KeyRDMAEnabled:            "false",
+	KeyCachingEnabled:         "true",
+	KeyRDMAPacketBytes:        "131072", // 128 KB RDMA packet
+	KeyKVPairsPerPacket:       "1024",
+	KeySizeAwarePacking:       "true",
+	KeyResponderThreads:       "8",
+	KeyPrefetchThreads:        "4",
+	KeyPrefetchCacheCap:       strconv.Itoa(256 << 20),
+	KeyBlockSize:              strconv.Itoa(256 << 20),
+	KeyReplication:            "1",
+	KeyMapSlots:               "4",
+	KeyReduceSlots:            "4",
+	KeyIOSortFactor:           "10",
+	KeyIOSortMB:               strconv.Itoa(100 << 20),
+	KeyShuffleMemLimit:        strconv.Itoa(140 << 20),
 	KeyParallelCopies:         "5",
 	KeyRDMAOutstandingPerConn: "0", // 0 = follow KeyParallelCopies
 	KeyOverlapReduce:          "true",
-	KeyHTTPPacketBytes:   "65536", // 64 KB, the default packet the paper cites
-	KeyReduceTasks:       "0",     // 0 = framework picks nodes*reduceSlots
-	KeyCachePriorityMode: "priority",
-	KeySpeculativeMaps:   "false",
-	KeyRDMAConnectRetries: "4",
-	KeyRDMABackoffBase:    "2",     // ms
-	KeyRDMABackoffMax:     "200",   // ms
-	KeyRDMARequestTimeout: "30000", // ms; 0 disables the deadline
+	KeyHTTPPacketBytes:        "65536", // 64 KB, the default packet the paper cites
+	KeyReduceTasks:            "0",     // 0 = framework picks nodes*reduceSlots
+	KeyCachePriorityMode:      "priority",
+	KeySpeculativeMaps:        "false",
+	KeyRDMAConnectRetries:     "4",
+	KeyRDMABackoffBase:        "2",     // ms
+	KeyRDMABackoffMax:         "200",   // ms
+	KeyRDMARequestTimeout:     "30000", // ms; 0 disables the deadline
+	KeyObsProfile:             "false",
+	KeyObsHTTPAddr:            "",
 }
 
 // Config is a concurrency-safe key/value configuration. The zero value is

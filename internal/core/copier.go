@@ -13,6 +13,7 @@ import (
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/shuffle/wire"
 	"rdmamr/internal/stats"
 	"rdmamr/internal/ucr"
@@ -26,6 +27,7 @@ type chunk struct {
 	next int64 // byte offset of the following chunk
 	off  int64 // the offset this chunk was requested at (for retries)
 	err  error
+	span *obs.FetchSpan // set only when profiling is enabled
 }
 
 // segment is one map output partition being streamed chunk-by-chunk — the
@@ -48,7 +50,11 @@ type segment struct {
 
 // request asks the host peer for the chunk at offset.
 func (seg *segment) request(ctx context.Context, offset int64) error {
-	return seg.peer.enqueue(ctx, chunkReq{mapID: seg.mapID, offset: offset, seg: seg})
+	req := chunkReq{mapID: seg.mapID, offset: offset, seg: seg}
+	if seg.f != nil && seg.f.prof != nil {
+		req.enq = time.Now()
+	}
+	return seg.peer.enqueue(ctx, req)
 }
 
 // loadChunk blocks for the next chunk, installs its iterator, and
@@ -58,12 +64,30 @@ func (seg *segment) request(ctx context.Context, offset int64) error {
 // now serving the regenerated output — deterministic map functions make
 // the bytes identical, so mid-stream offsets stay valid.
 func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
+	prof := seg.f.profile()
 	for {
 		var ck chunk
+		var waitStart time.Time
+		if prof != nil {
+			waitStart = time.Now()
+		}
 		select {
 		case ck = <-seg.ready:
 		case <-ctx.Done():
 			return false, ctx.Err()
+		}
+		if prof != nil {
+			// Time the merge spent parked on this select is exactly the
+			// "reduce waits on shuffle" stall: a chunk already delivered
+			// returns immediately and contributes ~nothing.
+			now := time.Now()
+			prof.MergeStall(now.Sub(waitStart))
+			if sp := ck.span; sp != nil {
+				sp.Delivered = now
+				prof.AddSpan(sp)
+				prof.FetchObserved(sp.Host, sp.Reduce, sp.Total(), sp.Bytes, now)
+				prof.Mark(obs.PhaseShuffle, sp.Reduce, now)
+			}
 		}
 		if ck.err != nil {
 			seg.attempts++
@@ -151,6 +175,10 @@ type chunkReq struct {
 	// (mapred.rdma.connect.retries) bounds how long one stubborn chunk can
 	// stall before its segment escalates to map re-execution.
 	retries int
+	// enq is the span origin (zero unless profiling is enabled). A
+	// re-issued request keeps its original enq, so the span covers the
+	// full latency the reducer observed, retries included.
+	enq time.Time
 }
 
 // hostPeer is the fetcher's long-lived handle on one TaskTracker. It
@@ -180,11 +208,13 @@ func (p *hostPeer) enqueue(ctx context.Context, req chunkReq) error {
 	}
 }
 
-// pendingSlot is one in-flight request: which request owns the slot and
-// when it was issued (for the per-request deadline watchdog).
+// pendingSlot is one in-flight request: which request owns the slot,
+// when it was issued (for the per-request deadline watchdog), and how
+// long it waited for a free bounce-buffer slot (span accounting).
 type pendingSlot struct {
-	req    chunkReq
-	issued time.Time
+	req      chunkReq
+	issued   time.Time
+	slotWait time.Duration
 }
 
 // hostConn is ONE connection attempt to a TaskTracker: a UCR end-point
@@ -424,7 +454,7 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			continue
 		}
 		if everConnected {
-			counters.Add("shuffle.rdma.reconnects", 1)
+			f.cReconnects.Add(1)
 		}
 		everConnected = true
 
@@ -460,7 +490,7 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 				deliver(ctx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: %s: retry budget exhausted: %w", p.host, err)})
 				continue
 			}
-			counters.Add("shuffle.rdma.retries", 1)
+			f.cRetries.Add(1)
 			orphans = append(orphans, req)
 		}
 		if !transientErr(err) || attempt > f.connectRetries {
@@ -561,7 +591,6 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // requests. A request the pump claimed but could not put on the wire is
 // stashed for takePending, so no request is ever dropped.
 func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orphans []chunkReq) {
-	counters := f.task.Local.Counters()
 	var scratch []byte
 	for {
 		var req chunkReq
@@ -576,23 +605,32 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 			}
 		}
 		var slot uint32
+		var slotWait time.Duration
 		select {
 		case slot = <-hc.free:
 		default:
-			counters.Add("shuffle.rdma.slot.stalls", 1)
+			f.cSlotStalls.Add(1)
+			var stallStart time.Time
+			if f.prof != nil {
+				stallStart = time.Now()
+			}
 			select {
 			case slot = <-hc.free:
+				if f.prof != nil {
+					slotWait = time.Since(stallStart)
+				}
 			case <-cctx.Done():
 				hc.stashUnsent(append(orphans, req)...)
 				return
 			}
 		}
 		hc.mu.Lock()
-		hc.pending[slot] = pendingSlot{req: req, issued: time.Now()}
+		hc.pending[slot] = pendingSlot{req: req, issued: time.Now(), slotWait: slotWait}
 		hc.inFlight++
 		depthNow := hc.inFlight
 		hc.mu.Unlock()
-		counters.Max("shuffle.rdma.outstanding.peak", int64(depthNow))
+		f.cOutPeak.Max(int64(depthNow))
+		f.prof.SlotOccupancy(depthNow)
 		wreq := wire.DataRequest{
 			JobID:      f.task.Job.ID,
 			MapID:      int32(req.mapID),
@@ -667,7 +705,7 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 				deliver(f.runCtx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s (retry budget exhausted)", p.host, resp.Err)})
 				continue
 			}
-			counters.Add("shuffle.rdma.retries", 1)
+			f.cRetries.Add(1)
 			select {
 			case p.reqCh <- req:
 			default:
@@ -695,14 +733,23 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 				start := int(resp.Tag) * hc.slotSize
 				copy(payload, hc.ring.Bytes()[start:start+int(resp.Bytes)])
 			}
-			counters.Add("shuffle.rdma.recv.bytes", int64(resp.Bytes))
+			f.cRecvBytes.Add(int64(resp.Bytes))
 			if !hc.progress.Swap(true) {
 				p.health.recordSuccess()
+			}
+			ck := chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
+			if f.prof != nil {
+				ck.span = &obs.FetchSpan{
+					Host: p.host, Reduce: f.task.ReduceID, MapID: req.mapID,
+					Offset: req.offset, Bytes: int(resp.Bytes), Retries: req.retries,
+					Enqueued: req.enq, Sent: ps.issued, Received: time.Now(),
+					SlotWait: ps.slotWait,
+				}
 			}
 			// The slot's bytes are copied out: recycle it before delivery
 			// so the send pump can refill it immediately.
 			hc.free <- resp.Tag
-			deliver(f.runCtx, req.seg, chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset})
+			deliver(f.runCtx, req.seg, ck)
 		}
 	}
 }
@@ -732,7 +779,7 @@ func (f *fetcher) watchdog(cctx context.Context, p *hostPeer, hc *hostConn) {
 			}
 			hc.mu.Unlock()
 			if overdue {
-				f.task.Local.Counters().Add("shuffle.rdma.deadline.exceeded", 1)
+				f.cDeadline.Add(1)
 				hc.abort(fmt.Errorf("core: %s: %w (%v)", p.host, errRequestDeadline, f.reqTimeout))
 				return
 			}
@@ -786,6 +833,20 @@ type fetcher struct {
 	backoffMax     time.Duration
 	reqTimeout     time.Duration
 
+	// prof is the job's shuffle profile, or nil when profiling is off —
+	// the nil is the disabled fast path: every time.Now() and span
+	// allocation on the copier hot path is gated on it.
+	prof *obs.JobProfile
+
+	// Pre-resolved counter handles: the pumps increment these per packet,
+	// so they skip the registry's name lookup.
+	cRetries    *obs.Counter
+	cReconnects *obs.Counter
+	cDeadline   *obs.Counter
+	cSlotStalls *obs.Counter
+	cRecvBytes  *obs.Counter
+	cOutPeak    *obs.Counter
+
 	mu    sync.Mutex
 	peers map[string]*hostPeer
 
@@ -814,7 +875,9 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	if depth < 1 {
 		depth = 1
 	}
-	return &fetcher{
+	prof := task.Local.Profile()
+	c := task.Local.Counters()
+	f := &fetcher{
 		task:           task,
 		overlap:        conf.Bool(config.KeyOverlapReduce),
 		kvPerPacket:    int(conf.Int(config.KeyKVPairsPerPacket)),
@@ -824,9 +887,26 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 		backoffBase:    time.Duration(conf.Int(config.KeyRDMABackoffBase)) * time.Millisecond,
 		backoffMax:     time.Duration(conf.Int(config.KeyRDMABackoffMax)) * time.Millisecond,
 		reqTimeout:     time.Duration(conf.Int(config.KeyRDMARequestTimeout)) * time.Millisecond,
+		prof:           prof,
 		peers:          make(map[string]*hostPeer),
 		out:            make(chan batch, 8),
 	}
+	f.cRetries = c.Handle("shuffle.rdma.retries")
+	f.cReconnects = c.Handle("shuffle.rdma.reconnects")
+	f.cDeadline = c.Handle("shuffle.rdma.deadline.exceeded")
+	f.cSlotStalls = c.Handle("shuffle.rdma.slot.stalls")
+	f.cRecvBytes = c.Handle("shuffle.rdma.recv.bytes")
+	f.cOutPeak = c.Handle("shuffle.rdma.outstanding.peak")
+	return f
+}
+
+// profile returns the job profile (nil when profiling is off or the
+// segment was built without a fetcher, as some tests do).
+func (f *fetcher) profile() *obs.JobProfile {
+	if f == nil {
+		return nil
+	}
+	return f.prof
 }
 
 // retire queues a drained chunk buffer to ride out with the next batch.
@@ -844,6 +924,12 @@ func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	f.cancel = cancel
 	f.runCtx = ctx
+
+	// The shuffle window for this reduce opens now; deliveries extend it.
+	// Its open edge is also the TTFB origin.
+	if f.prof != nil {
+		f.prof.Mark(obs.PhaseShuffle, f.task.ReduceID, time.Now())
+	}
 
 	// "Initially, RDMACopier sends end point information to RDMAListener
 	// in TaskTracker to establish the connection ... to all available
@@ -931,6 +1017,14 @@ func (f *fetcher) run(ctx context.Context) {
 	if len(segments) != f.task.Job.NumMaps {
 		emitErr(fmt.Errorf("core: saw %d map events, want %d", len(segments), f.task.Job.NumMaps))
 		return
+	}
+
+	// The merge window spans priority-queue priming through the last
+	// extracted batch; profiling it against the shuffle window is what
+	// measures the paper's shuffle/merge overlap.
+	if f.prof != nil {
+		f.prof.Mark(obs.PhaseMerge, f.task.ReduceID, time.Now())
+		defer func() { f.prof.Mark(obs.PhaseMerge, f.task.ReduceID, time.Now()) }()
 	}
 
 	// Prime the priority queue: every live segment contributes its head

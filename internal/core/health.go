@@ -79,6 +79,16 @@ type peerHealth struct {
 	consecFails int
 	penalty     time.Duration
 	blackUntil  time.Time
+	// now is the clock; nil means time.Now. Tests inject a fake so the
+	// decay and embargo arithmetic is checked without sleeping.
+	now func() time.Time
+}
+
+func (ph *peerHealth) clock() time.Time {
+	if ph.now != nil {
+		return ph.now()
+	}
+	return time.Now()
 }
 
 // recordFailure notes a connection-level failure and returns the new
@@ -94,7 +104,7 @@ func (ph *peerHealth) recordFailure(c *stats.Counters) int {
 		} else if ph.penalty < blacklistMax {
 			ph.penalty *= 2
 		}
-		ph.blackUntil = time.Now().Add(ph.penalty)
+		ph.blackUntil = ph.clock().Add(ph.penalty)
 		c.Add("shuffle.rdma.blacklist.trips", 1)
 	}
 	return ph.consecFails
@@ -121,7 +131,7 @@ func (ph *peerHealth) penaltyNow() time.Duration {
 func (ph *peerHealth) admissionDelay() time.Duration {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
-	if d := time.Until(ph.blackUntil); d > 0 {
+	if d := ph.blackUntil.Sub(ph.clock()); d > 0 {
 		return d
 	}
 	return 0

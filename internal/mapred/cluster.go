@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/hdfs"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/stats"
 	"rdmamr/internal/storage"
 	"rdmamr/internal/ucr"
@@ -27,6 +31,15 @@ type Cluster struct {
 	servers  []TrackerServer
 	counters *stats.Counters
 	phases   *stats.Phases
+
+	// profile is the running job's shuffle profile (nil when profiling
+	// is off); lastReport keeps the most recent finished job's report so
+	// the debug endpoint can serve it between jobs. Both are atomic —
+	// trackers and the HTTP handler read them concurrently with RunJob.
+	profile    atomic.Pointer[obs.JobProfile]
+	lastReport atomic.Pointer[obs.Report]
+	httpLn     net.Listener
+	httpSrv    *http.Server
 
 	mu     sync.Mutex
 	jobSeq int
@@ -58,6 +71,12 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		phases:   &stats.Phases{},
 		jobIDs:   make(map[string]bool),
 	}
+	// Attach the fabric to the registry only when someone will look at
+	// the numbers — profiling or the debug endpoint. Detached (default),
+	// the ucr/verbs data path stays clock-free.
+	if conf.Bool(config.KeyObsProfile) || conf.Get(config.KeyObsHTTPAddr) != "" {
+		c.fabric.SetRegistry(c.counters.Registry())
+	}
 	for i := 0; i < n; i++ {
 		host := fmt.Sprintf("node%d", i)
 		dev, err := c.fabric.NewDevice(host)
@@ -70,7 +89,7 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		}
 		tt := &TaskTracker{
 			host: host, store: store, fab: c.fabric, dev: dev,
-			conf: conf, counters: c.counters,
+			conf: conf, counters: c.counters, profile: &c.profile,
 		}
 		c.trackers = append(c.trackers, tt)
 		srv, err := engine.StartTracker(tt)
@@ -80,8 +99,39 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		}
 		c.servers = append(c.servers, srv)
 	}
+	if addr := conf.Get(config.KeyObsHTTPAddr); addr != "" {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("mapred: observability endpoint on %s: %w", addr, err)
+		}
+		c.httpLn = ln
+		c.httpSrv = &http.Server{Handler: obs.Handler(c.counters.Registry(), c.ProfileReport)}
+		go func() { _ = c.httpSrv.Serve(ln) }()
+	}
 	return c, nil
 }
+
+// ObsAddr returns the listen address of the debug observability endpoint
+// ("" when mapred.obs.http.addr is unset).
+func (c *Cluster) ObsAddr() string {
+	if c.httpLn == nil {
+		return ""
+	}
+	return c.httpLn.Addr().String()
+}
+
+// ProfileReport snapshots the running job's shuffle profile, falling
+// back to the last finished job's report; nil when nothing was profiled.
+func (c *Cluster) ProfileReport() *obs.Report {
+	if p := c.profile.Load(); p != nil {
+		return p.Report()
+	}
+	return c.lastReport.Load()
+}
+
+// Registry returns the obs registry backing the cluster counters.
+func (c *Cluster) Registry() *obs.Registry { return c.counters.Registry() }
 
 // FS returns the cluster's HDFS (for loading inputs and reading outputs).
 func (c *Cluster) FS() *hdfs.FileSystem { return c.fs }
@@ -111,6 +161,9 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.httpSrv != nil {
+		_ = c.httpSrv.Close()
+	}
 	for _, s := range c.servers {
 		_ = s.Close()
 	}
@@ -128,6 +181,9 @@ type JobResult struct {
 	// Phases holds the per-job delta of accumulated task-phase wall time
 	// (map.task, reduce.shuffle, reduce.apply) summed across tasks.
 	Phases map[string]time.Duration
+	// Profile is the shuffle observability report, non-nil only when the
+	// job ran with mapred.obs.profile.enabled.
+	Profile *obs.Report
 }
 
 // split is one map task's input: one block of a splittable file or a
@@ -274,10 +330,20 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 		NumMaps: len(splits), NumReduces: numReduces,
 	}
 
+	// Install the job's shuffle profile (nil when disabled — the nil is
+	// what every instrumentation site fast-paths on). Concurrent RunJobs
+	// share the slot; the profile follows the most recently started job.
+	var prof *obs.JobProfile
+	if job.Conf.Bool(config.KeyObsProfile) {
+		prof = obs.NewJobProfile(jobID)
+	}
+	c.profile.Store(prof)
+
 	before := c.counters.Snapshot()
 	phasesBefore := c.phases.Snapshot()
 	start := time.Now()
 	if err := c.execute(ctx, info, job, splits); err != nil {
+		c.profile.Store(nil)
 		return nil, err
 	}
 	dur := time.Since(start)
@@ -300,13 +366,20 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 			phaseDelta[k] = d
 		}
 	}
-	return &JobResult{
+	res := &JobResult{
 		JobID: jobID, Duration: dur,
 		NumMaps: len(splits), NumReduces: numReduces,
 		OutputFiles: c.fs.List(job.Output + "/"),
 		Counters:    delta,
 		Phases:      phaseDelta,
-	}, nil
+	}
+	if prof != nil {
+		rep := prof.Report()
+		res.Profile = rep
+		c.lastReport.Store(rep)
+		c.profile.Store(nil)
+	}
+	return res, nil
 }
 
 // execute runs the map and reduce phases concurrently (reduces start

@@ -7,6 +7,7 @@ import (
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
+	"rdmamr/internal/obs"
 )
 
 // runMapTask executes one MapTask: read the split from HDFS (preferring
@@ -19,6 +20,10 @@ func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo,
 	}
 	start := time.Now()
 	defer func() { c.phases.Observe("map.task", time.Since(start)) }()
+	if prof := tt.Profile(); prof != nil {
+		prof.Mark(obs.PhaseMap, sp.id, start)
+		defer func() { prof.Mark(obs.PhaseMap, sp.id, time.Now()) }()
+	}
 	// Read the split's blocks.
 	var data []byte
 	for _, bl := range sp.blocks {

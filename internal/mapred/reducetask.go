@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rdmamr/internal/kv"
+	"rdmamr/internal/obs"
 )
 
 // runReduceTask executes one ReduceTask: run the engine's shuffle+merge
@@ -40,6 +41,13 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 	c.phases.Observe("reduce.shuffle", time.Since(taskStart))
 	reduceStart := time.Now()
 	defer func() { c.phases.Observe("reduce.apply", time.Since(reduceStart)) }()
+	// The reduce window opens when the reduce function can first pull
+	// merged records; with a streaming engine that is while shuffle and
+	// merge are still running — the overlap the profile measures.
+	if prof := tt.Profile(); prof != nil {
+		prof.Mark(obs.PhaseReduce, reduceID, reduceStart)
+		defer func() { prof.Mark(obs.PhaseReduce, reduceID, time.Now()) }()
+	}
 
 	path := fmt.Sprintf("%s/part-r-%05d", job.Output, reduceID)
 	w, err := c.fs.Create(path, tt.Host())

@@ -2,8 +2,10 @@ package mapred
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rdmamr/internal/config"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/stats"
 	"rdmamr/internal/storage"
 	"rdmamr/internal/ucr"
@@ -22,6 +24,11 @@ type TaskTracker struct {
 	dev      *verbs.Device
 	conf     *config.Config
 	counters *stats.Counters
+	// profile points at the running job's shuffle profile (nil when
+	// profiling is disabled or no job is running). It is an atomic
+	// pointer because the debug HTTP endpoint reads it concurrently
+	// with the cluster swapping it per job.
+	profile *atomic.Pointer[obs.JobProfile]
 }
 
 // Host returns the node name.
@@ -38,6 +45,20 @@ func (tt *TaskTracker) Device() *verbs.Device { return tt.dev }
 
 // Counters returns the cluster-wide stat counters.
 func (tt *TaskTracker) Counters() *stats.Counters { return tt.counters }
+
+// Registry returns the obs registry backing the counters, for components
+// that want gauges or histograms alongside (and for the debug endpoint).
+func (tt *TaskTracker) Registry() *obs.Registry { return tt.counters.Registry() }
+
+// Profile returns the running job's shuffle profile, or nil when
+// profiling is disabled — the nil IS the disabled profiler; every obs
+// call site treats it as a free no-op.
+func (tt *TaskTracker) Profile() *obs.JobProfile {
+	if tt.profile == nil {
+		return nil
+	}
+	return tt.profile.Load()
+}
 
 // Store exposes the node's local disk. Engines read map outputs from here
 // (every Get is accounted disk traffic — the PrefetchCache's reason to

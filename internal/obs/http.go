@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler serves the debug observability surface over HTTP:
+//
+//	/metrics       registry rendered as sorted text
+//	/metrics.json  full registry snapshot (counters, gauges, histograms)
+//	/profile.json  the current job profile's report (404 when none)
+//	/profile       the same report, human-readable
+//	/              a tiny index
+//
+// reg may be nil (empty metrics); profile is called per request and may
+// return nil (no job profiled yet / profiling disabled).
+func Handler(reg *Registry, profile func() *Report) http.Handler {
+	if profile == nil {
+		profile = func() *Report { return nil }
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "rdmamr debug endpoint")
+		fmt.Fprintln(w, "  /metrics       metrics as text")
+		fmt.Fprintln(w, "  /metrics.json  metrics as JSON")
+		fmt.Fprintln(w, "  /profile       shuffle profile as text")
+		fmt.Fprintln(w, "  /profile.json  shuffle profile as JSON")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/profile.json", func(w http.ResponseWriter, r *http.Request) {
+		rep := profile()
+		if rep == nil {
+			http.Error(w, "no job profile (enable mapred.obs.profile.enabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out, err := rep.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, r *http.Request) {
+		rep := profile()
+		if rep == nil {
+			http.Error(w, "no job profile (enable mapred.obs.profile.enabled)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = fmt.Fprint(w, rep.Text())
+	})
+	return mux
+}

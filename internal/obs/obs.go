@@ -1,0 +1,420 @@
+// Package obs is rdmamr's observability substrate: a hierarchical
+// metrics registry (counters, gauges, log-bucketed latency histograms),
+// lightweight fetch-span tracing, and per-job shuffle profiles that
+// reconstruct the shuffle/merge/reduce overlap the paper's design is
+// about (§III-B.4, Figures 9–11 of the Hadoop-A comparison).
+//
+// Everything is stdlib-only and safe for concurrent use. Every metric
+// handle and recorder in this package is nil-tolerant: a nil *Registry
+// hands out nil *Counter/*Gauge/*Histogram, and every method on a nil
+// receiver is a no-op that performs zero allocations — the disabled
+// fast path the shuffle hot loops rely on (see
+// BenchmarkObsOverheadDisabled in internal/core).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically named int64. The Max method supports peak
+// gauges (high-water marks) that share the counter namespace, mirroring
+// the semantics stats.Counters historically offered.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered dotted name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add increments the counter by delta. No-op on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Max raises the counter to v if v exceeds its current value.
+func (c *Counter) Max(v int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get returns the current value (0 on a nil receiver).
+func (c *Counter) Get() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a named instantaneous value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered dotted name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Set assigns the gauge. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Max raises the gauge to v if v exceeds its current value.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Get returns the current value (0 on a nil receiver).
+func (g *Gauge) Get() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets covers durations from <2ns (bucket 0) up to ~9h by powers
+// of two of nanoseconds; observations beyond clamp into the last bucket.
+const histBuckets = 45
+
+// Histogram is a log2-bucketed latency histogram with lock-free
+// observation. Quantiles are estimated from bucket upper bounds, clamped
+// to the observed maximum, so p50/p95/p99 are conservative (never
+// under-reported) and accurate to a factor of two.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Name returns the histogram's registered dotted name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) // floor(log2)+1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// HistSnapshot is a consistent-enough view of a histogram: counts are
+// read bucket-by-bucket without a global lock, so a snapshot taken while
+// observations race may be off by the in-flight handful.
+type HistSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Mean returns the average observed duration.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot summarizes the histogram. Zero value on a nil receiver.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistSnapshot{
+		Count: total,
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	quantile := func(q float64) time.Duration {
+		if total == 0 {
+			return 0
+		}
+		rank := int64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var seen int64
+		for i, n := range counts {
+			seen += n
+			if seen > rank {
+				// Upper bound of bucket i is 2^i ns (bucket 0 holds <2ns).
+				ub := int64(1) << uint(i)
+				if m := h.max.Load(); ub > m {
+					ub = m
+				}
+				return time.Duration(ub)
+			}
+		}
+		return snap.Max
+	}
+	snap.P50 = quantile(0.50)
+	snap.P95 = quantile(0.95)
+	snap.P99 = quantile(0.99)
+	return snap
+}
+
+// Registry is a hierarchical, concurrency-safe metric registry. Metric
+// names are dotted paths; Sub returns a view that prefixes every name,
+// which is how layers (ucr, verbs, shuffle) own their namespace without
+// knowing where they sit. The zero value is NOT ready — use NewRegistry
+// — but a nil *Registry is a valid "observability off" registry whose
+// lookups return nil handles.
+type Registry struct {
+	prefix string
+	s      *regState
+}
+
+// regState is the backing store every Sub view of one root shares: one
+// mutex guards the three name maps, so handle creation through any view
+// is serialized.
+type regState struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty root registry.
+func NewRegistry() *Registry {
+	return &Registry{s: &regState{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}}
+}
+
+// Sub returns a view of r that prefixes every metric name with
+// "prefix.". Sub of a nil registry is nil, preserving the disabled path.
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil || prefix == "" {
+		return r
+	}
+	return &Registry{prefix: r.prefix + prefix + ".", s: r.s}
+}
+
+// Counter returns (creating if needed) the named counter. Nil registry
+// returns a nil handle whose methods no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c := r.s.counters[full]
+	if c == nil {
+		c = &Counter{name: full}
+		r.s.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g := r.s.gauges[full]
+	if g == nil {
+		g = &Gauge{name: full}
+		r.s.gauges[full] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	h := r.s.hists[full]
+	if h == nil {
+		h = &Histogram{name: full}
+		r.s.hists[full] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies out every metric. Empty snapshot on a nil receiver.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.s.mu.Lock()
+	counters := make([]*Counter, 0, len(r.s.counters))
+	for _, c := range r.s.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.s.gauges))
+	for _, g := range r.s.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.s.hists))
+	for _, h := range r.s.hists {
+		hists = append(hists, h)
+	}
+	r.s.mu.Unlock()
+	for _, c := range counters {
+		snap.Counters[c.name] = c.Get()
+	}
+	for _, g := range gauges {
+		snap.Gauges[g.name] = g.Get()
+	}
+	for _, h := range hists {
+		snap.Histograms[h.name] = h.Snapshot()
+	}
+	return snap
+}
+
+// CounterSnapshot copies out the counters only (the stats.Counters
+// compatibility surface).
+func (r *Registry) CounterSnapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.s.mu.Lock()
+	counters := make([]*Counter, 0, len(r.s.counters))
+	for _, c := range r.s.counters {
+		counters = append(counters, c)
+	}
+	r.s.mu.Unlock()
+	for _, c := range counters {
+		out[c.name] = c.Get()
+	}
+	return out
+}
+
+// WriteText renders the registry sorted by name, one metric per line —
+// the /debug/metrics format.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for k := range snap.Counters {
+		names = append(names, k)
+	}
+	for k := range snap.Gauges {
+		names = append(names, k+" (gauge)")
+	}
+	for k := range snap.Histograms {
+		names = append(names, k+" (hist)")
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		switch {
+		case strings.HasSuffix(n, " (gauge)"):
+			k := strings.TrimSuffix(n, " (gauge)")
+			fmt.Fprintf(w, "%s=%d\n", k, snap.Gauges[k])
+		case strings.HasSuffix(n, " (hist)"):
+			k := strings.TrimSuffix(n, " (hist)")
+			hs := snap.Histograms[k]
+			fmt.Fprintf(w, "%s count=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+				k, hs.Count, hs.Mean(), hs.P50, hs.P95, hs.P99, hs.Max)
+		default:
+			fmt.Fprintf(w, "%s=%d\n", n, snap.Counters[n])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAddMaxGet(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Get(); got != 7 {
+		t.Fatalf("Get = %d, want 7", got)
+	}
+	c.Max(5) // below current: no-op
+	if got := c.Get(); got != 7 {
+		t.Fatalf("Max(5) lowered counter to %d", got)
+	}
+	c.Max(11)
+	if got := c.Get(); got != 11 {
+		t.Fatalf("Max(11) = %d, want 11", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name returned a different handle")
+	}
+}
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// All of these must be safe no-ops.
+	c.Add(1)
+	c.Max(1)
+	g.Set(1)
+	g.Add(1)
+	g.Max(1)
+	h.Observe(time.Second)
+	if c.Get() != 0 || g.Get() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Sub("pre") != nil {
+		t.Fatal("Sub of nil registry must be nil")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var sb strings.Builder
+	r.WriteText(&sb) // must not panic
+}
+
+func TestSubPrefixesNames(t *testing.T) {
+	r := NewRegistry()
+	sub := r.Sub("ucr").Sub("send")
+	sub.Counter("bytes").Add(42)
+	if got := r.Counter("ucr.send.bytes").Get(); got != 42 {
+		t.Fatalf("prefixed counter = %d, want 42", got)
+	}
+	if name := sub.Counter("bytes").Name(); name != "ucr.send.bytes" {
+		t.Fatalf("Name = %q", name)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Add(1)
+				r.Sub("sub").Gauge("g").Max(int64(j))
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Get(); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 100 observations: 90 at ~100µs, 9 at ~1ms, 1 at ~10ms.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(10 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 10*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	// Log2 buckets: estimates are upper bounds, accurate to 2x and never
+	// below the true quantile's bucket floor.
+	if s.P50 < 100*time.Microsecond || s.P50 > 200*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [100µs, 200µs]", s.P50)
+	}
+	if s.P95 < time.Millisecond || s.P95 > 2*time.Millisecond {
+		t.Fatalf("p95 = %v, want within [1ms, 2ms]", s.P95)
+	}
+	if s.P99 < time.Millisecond || s.P99 > 10*time.Millisecond {
+		t.Fatalf("p99 = %v, want within [1ms, 10ms]", s.P99)
+	}
+	if mean := s.Mean(); mean < 100*time.Microsecond || mean > time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	// Negative and huge observations must not panic or corrupt buckets.
+	h.Observe(-time.Second)
+	h.Observe(200 * time.Hour)
+	if got := h.Snapshot().Count; got != 102 {
+		t.Fatalf("count after extremes = %d", got)
+	}
+}
+
+func TestSnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c1").Add(5)
+	r.Gauge("g1").Set(9)
+	r.Histogram("h1").Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap.Counters["c1"] != 5 || snap.Gauges["g1"] != 9 || snap.Histograms["h1"].Count != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{"c1=5", "g1=9", "h1 count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q:\n%s", want, text)
+		}
+	}
+}

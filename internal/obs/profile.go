@@ -1,0 +1,554 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical phase names for job profiles. Phases are free-form strings,
+// but the shuffle path uses these so reports and overlap queries agree.
+const (
+	PhaseMap     = "map"
+	PhaseShuffle = "shuffle"
+	PhaseMerge   = "merge"
+	PhaseReduce  = "reduce"
+)
+
+// maxSpans bounds the fetch spans a profile retains verbatim; further
+// spans still feed the aggregate histograms but are dropped from the
+// sample (SpansDropped reports how many).
+const maxSpans = 512
+
+// FetchSpan is one chunk fetch reconstructed end to end. The correlation
+// ID (job, reduce, map, offset) ties the span to the DataRequest the
+// copier issued; the timestamps decompose its life into the queue wait
+// (Enqueued→Sent, which includes any bounce-buffer-slot stall, reported
+// separately as SlotWait), the RDMA round trip (Sent→Received: request
+// send, responder service, RDMA write, header back), and the delivery
+// wait (Received→Delivered: time parked in the segment's ready channel
+// until the merge consumed it).
+type FetchSpan struct {
+	Host    string `json:"host"`
+	Reduce  int    `json:"reduce"`
+	MapID   int    `json:"map"`
+	Offset  int64  `json:"offset"`
+	Bytes   int    `json:"bytes"`
+	Retries int    `json:"retries,omitempty"`
+
+	Enqueued  time.Time `json:"enqueued"`
+	Sent      time.Time `json:"sent"`
+	Received  time.Time `json:"received"`
+	Delivered time.Time `json:"delivered"`
+
+	SlotWait time.Duration `json:"slot_wait_ns"`
+}
+
+// CorrID renders the span's correlation ID.
+func (sp *FetchSpan) CorrID(jobID string) string {
+	return fmt.Sprintf("%s/r%d/m%d@%d", jobID, sp.Reduce, sp.MapID, sp.Offset)
+}
+
+// Queue is the scheduling delay: enqueue to wire.
+func (sp *FetchSpan) Queue() time.Duration { return sp.Sent.Sub(sp.Enqueued) }
+
+// RDMA is the fabric round trip: wire to response header.
+func (sp *FetchSpan) RDMA() time.Duration { return sp.Received.Sub(sp.Sent) }
+
+// Deliver is the consumption delay: response to merge pickup.
+func (sp *FetchSpan) Deliver() time.Duration { return sp.Delivered.Sub(sp.Received) }
+
+// Total is the full fetch latency the reducer observed.
+func (sp *FetchSpan) Total() time.Duration { return sp.Delivered.Sub(sp.Enqueued) }
+
+type windowKey struct {
+	phase string
+	key   int
+}
+
+type window struct {
+	start, end time.Time
+}
+
+// JobProfile accumulates one job's shuffle observability: phase windows
+// (for the overlap timeline), per-host fetch latency histograms,
+// time-to-first-byte per reduce, merge-stall time, ring-slot occupancy
+// high-water, and a bounded sample of full fetch spans.
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver —
+// a nil *JobProfile IS the disabled profiler.
+type JobProfile struct {
+	jobID string
+	start time.Time
+
+	mu        sync.Mutex
+	windows   map[windowKey]*window
+	hosts     map[string]*Histogram
+	hostBytes map[string]int64
+	firstByte map[int]time.Time // per reduce: earliest delivery
+	spans     []*FetchSpan
+
+	mergeStall atomic.Int64 // ns
+	slotHW     atomic.Int64
+	spanTotal  atomic.Int64
+	fetches    atomic.Int64
+}
+
+// NewJobProfile starts a profile for jobID; the clock origin for every
+// timeline offset is the call time.
+func NewJobProfile(jobID string) *JobProfile {
+	return &JobProfile{
+		jobID:     jobID,
+		start:     time.Now(),
+		windows:   make(map[windowKey]*window),
+		hosts:     make(map[string]*Histogram),
+		hostBytes: make(map[string]int64),
+		firstByte: make(map[int]time.Time),
+	}
+}
+
+// JobID returns the profiled job's ID ("" on a nil receiver).
+func (p *JobProfile) JobID() string {
+	if p == nil {
+		return ""
+	}
+	return p.jobID
+}
+
+// Start returns the profile's clock origin.
+func (p *JobProfile) Start() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return p.start
+}
+
+// Mark extends the (phase, key) window to include t: the first Mark
+// opens the window, later Marks stretch its ends. Tasks call it at
+// entry and exit (and the shuffle path on every delivery), so a window
+// is exactly the wall-clock footprint of that task's phase.
+func (p *JobProfile) Mark(phase string, key int, t time.Time) {
+	if p == nil {
+		return
+	}
+	k := windowKey{phase, key}
+	p.mu.Lock()
+	w := p.windows[k]
+	if w == nil {
+		p.windows[k] = &window{start: t, end: t}
+	} else {
+		if t.Before(w.start) {
+			w.start = t
+		}
+		if t.After(w.end) {
+			w.end = t
+		}
+	}
+	p.mu.Unlock()
+}
+
+// FetchObserved records one delivered chunk: the per-host latency
+// histogram, per-host bytes, and the reduce task's first-byte time.
+func (p *JobProfile) FetchObserved(host string, reduce int, latency time.Duration, bytes int, at time.Time) {
+	if p == nil {
+		return
+	}
+	p.fetches.Add(1)
+	p.mu.Lock()
+	h := p.hosts[host]
+	if h == nil {
+		h = &Histogram{name: host}
+		p.hosts[host] = h
+	}
+	p.hostBytes[host] += int64(bytes)
+	if fb, ok := p.firstByte[reduce]; !ok || at.Before(fb) {
+		p.firstByte[reduce] = at
+	}
+	p.mu.Unlock()
+	h.Observe(latency)
+}
+
+// MergeStall adds time the merge spent blocked waiting for a chunk that
+// was not yet delivered — the "reduce waits on shuffle" residual the
+// overlapped design exists to shrink.
+func (p *JobProfile) MergeStall(d time.Duration) {
+	if p == nil || d <= 0 {
+		return
+	}
+	p.mergeStall.Add(int64(d))
+}
+
+// SlotOccupancy raises the ring-slot occupancy high-water mark.
+func (p *JobProfile) SlotOccupancy(inFlight int) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.slotHW.Load()
+		if int64(inFlight) <= cur || p.slotHW.CompareAndSwap(cur, int64(inFlight)) {
+			return
+		}
+	}
+}
+
+// AddSpan retains a completed fetch span (up to maxSpans; the rest are
+// counted and dropped).
+func (p *JobProfile) AddSpan(sp *FetchSpan) {
+	if p == nil || sp == nil {
+		return
+	}
+	p.spanTotal.Add(1)
+	p.mu.Lock()
+	if len(p.spans) < maxSpans {
+		p.spans = append(p.spans, sp)
+	}
+	p.mu.Unlock()
+}
+
+// Interval is one [start, end] segment on the report timeline, in
+// milliseconds from the job's start.
+type Interval struct {
+	Key     int     `json:"key"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+// PhaseTimeline is every window of one phase plus the length of their
+// union (the phase's distinct wall-clock footprint).
+type PhaseTimeline struct {
+	Phase   string     `json:"phase"`
+	Windows []Interval `json:"windows"`
+	UnionMs float64    `json:"union_ms"`
+}
+
+// Overlap reports how long two phases ran concurrently (length of the
+// intersection of their window unions).
+type Overlap struct {
+	A  string  `json:"a"`
+	B  string  `json:"b"`
+	Ms float64 `json:"ms"`
+}
+
+// HostStats summarizes fetch latency against one remote TaskTracker.
+type HostStats struct {
+	Host    string  `json:"host"`
+	Fetches int64   `json:"fetches"`
+	Bytes   int64   `json:"bytes"`
+	MeanUs  float64 `json:"mean_us"`
+	P50Us   float64 `json:"p50_us"`
+	P95Us   float64 `json:"p95_us"`
+	P99Us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+}
+
+// ReduceTTFB is one reduce task's time-to-first-byte: from the opening
+// of its shuffle window to its first delivered chunk.
+type ReduceTTFB struct {
+	Reduce int     `json:"reduce"`
+	Ms     float64 `json:"ms"`
+}
+
+// SpanOut is a FetchSpan rendered for the report.
+type SpanOut struct {
+	CorrID    string  `json:"corr_id"`
+	Host      string  `json:"host"`
+	Bytes     int     `json:"bytes"`
+	StartMs   float64 `json:"start_ms"`
+	QueueUs   float64 `json:"queue_us"`
+	SlotUs    float64 `json:"slot_us"`
+	RDMAUs    float64 `json:"rdma_us"`
+	DeliverUs float64 `json:"deliver_us"`
+	TotalUs   float64 `json:"total_us"`
+}
+
+// Report is the per-job shuffle profile, serializable as JSON and
+// renderable as text (Text). It is a value snapshot: taking it does not
+// stop the profile.
+type Report struct {
+	JobID      string  `json:"job_id"`
+	DurationMs float64 `json:"duration_ms"`
+
+	TTFBMs       float64      `json:"ttfb_ms"` // earliest first byte across reduces
+	ReduceTTFB   []ReduceTTFB `json:"reduce_ttfb"`
+	Hosts        []HostStats  `json:"hosts"`
+	SlotPeak     int64        `json:"slot_occupancy_peak"`
+	MergeStallMs float64      `json:"merge_stall_ms"`
+	Fetches      int64        `json:"fetches"`
+
+	Phases   []PhaseTimeline `json:"phases"`
+	Overlaps []Overlap       `json:"overlaps"`
+
+	Spans        []SpanOut `json:"spans"`
+	SpansDropped int64     `json:"spans_dropped"`
+}
+
+// Report snapshots the profile into a Report. Nil receiver → nil.
+func (p *JobProfile) Report() *Report {
+	if p == nil {
+		return nil
+	}
+	now := time.Now()
+	ms := func(t time.Time) float64 { return float64(t.Sub(p.start)) / float64(time.Millisecond) }
+
+	p.mu.Lock()
+	windows := make(map[windowKey]window, len(p.windows))
+	for k, w := range p.windows {
+		windows[k] = *w
+	}
+	hosts := make(map[string]*Histogram, len(p.hosts))
+	for h, hist := range p.hosts {
+		hosts[h] = hist
+	}
+	hostBytes := make(map[string]int64, len(p.hostBytes))
+	for h, b := range p.hostBytes {
+		hostBytes[h] = b
+	}
+	firstByte := make(map[int]time.Time, len(p.firstByte))
+	for r, t := range p.firstByte {
+		firstByte[r] = t
+	}
+	spans := append([]*FetchSpan(nil), p.spans...)
+	p.mu.Unlock()
+
+	rep := &Report{
+		JobID:        p.jobID,
+		DurationMs:   float64(now.Sub(p.start)) / float64(time.Millisecond),
+		SlotPeak:     p.slotHW.Load(),
+		MergeStallMs: float64(p.mergeStall.Load()) / float64(time.Millisecond),
+		Fetches:      p.fetches.Load(),
+		SpansDropped: p.spanTotal.Load() - int64(len(spans)),
+	}
+
+	// Phase timelines and overlap from window unions.
+	perPhase := map[string][]Interval{}
+	for k, w := range windows {
+		perPhase[k.phase] = append(perPhase[k.phase], Interval{Key: k.key, StartMs: ms(w.start), EndMs: ms(w.end)})
+	}
+	phaseNames := make([]string, 0, len(perPhase))
+	for name := range perPhase {
+		phaseNames = append(phaseNames, name)
+	}
+	sort.Strings(phaseNames)
+	unions := map[string][]Interval{}
+	for _, name := range phaseNames {
+		ivs := perPhase[name]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].StartMs != ivs[j].StartMs {
+				return ivs[i].StartMs < ivs[j].StartMs
+			}
+			return ivs[i].Key < ivs[j].Key
+		})
+		u := unionIntervals(ivs)
+		unions[name] = u
+		rep.Phases = append(rep.Phases, PhaseTimeline{Phase: name, Windows: ivs, UnionMs: intervalsLen(u)})
+	}
+	pairs := [][2]string{
+		{PhaseMap, PhaseShuffle},
+		{PhaseShuffle, PhaseMerge},
+		{PhaseShuffle, PhaseReduce},
+		{PhaseMerge, PhaseReduce},
+	}
+	for _, pr := range pairs {
+		ua, oka := unions[pr[0]]
+		ub, okb := unions[pr[1]]
+		if !oka || !okb {
+			continue
+		}
+		rep.Overlaps = append(rep.Overlaps, Overlap{A: pr[0], B: pr[1], Ms: intersectLen(ua, ub)})
+	}
+
+	// TTFB per reduce: first byte minus the reduce's shuffle-window open.
+	reduces := make([]int, 0, len(firstByte))
+	for r := range firstByte {
+		reduces = append(reduces, r)
+	}
+	sort.Ints(reduces)
+	first := true
+	for _, r := range reduces {
+		open, ok := windows[windowKey{PhaseShuffle, r}]
+		if !ok {
+			continue
+		}
+		ttfb := firstByte[r].Sub(open.start)
+		if ttfb < 0 {
+			ttfb = 0
+		}
+		v := float64(ttfb) / float64(time.Millisecond)
+		rep.ReduceTTFB = append(rep.ReduceTTFB, ReduceTTFB{Reduce: r, Ms: v})
+		if first || v < rep.TTFBMs {
+			rep.TTFBMs = v
+			first = false
+		}
+	}
+
+	// Per-host latency percentiles.
+	hostNames := make([]string, 0, len(hosts))
+	for h := range hosts {
+		hostNames = append(hostNames, h)
+	}
+	sort.Strings(hostNames)
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	for _, h := range hostNames {
+		s := hosts[h].Snapshot()
+		rep.Hosts = append(rep.Hosts, HostStats{
+			Host: h, Fetches: s.Count, Bytes: hostBytes[h],
+			MeanUs: us(s.Mean()), P50Us: us(s.P50), P95Us: us(s.P95), P99Us: us(s.P99), MaxUs: us(s.Max),
+		})
+	}
+
+	// Span sample, oldest first.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Enqueued.Before(spans[j].Enqueued) })
+	for _, sp := range spans {
+		rep.Spans = append(rep.Spans, SpanOut{
+			CorrID: sp.CorrID(p.jobID), Host: sp.Host, Bytes: sp.Bytes,
+			StartMs:   ms(sp.Enqueued),
+			QueueUs:   us(sp.Queue()),
+			SlotUs:    us(sp.SlotWait),
+			RDMAUs:    us(sp.RDMA()),
+			DeliverUs: us(sp.Deliver()),
+			TotalUs:   us(sp.Total()),
+		})
+	}
+	return rep
+}
+
+// unionIntervals merges sorted intervals into a disjoint cover.
+func unionIntervals(sorted []Interval) []Interval {
+	var out []Interval
+	for _, iv := range sorted {
+		if n := len(out); n > 0 && iv.StartMs <= out[n-1].EndMs {
+			if iv.EndMs > out[n-1].EndMs {
+				out[n-1].EndMs = iv.EndMs
+			}
+			continue
+		}
+		out = append(out, Interval{StartMs: iv.StartMs, EndMs: iv.EndMs})
+	}
+	return out
+}
+
+func intervalsLen(ivs []Interval) float64 {
+	var total float64
+	for _, iv := range ivs {
+		total += iv.EndMs - iv.StartMs
+	}
+	return total
+}
+
+// intersectLen returns the total length of the intersection of two
+// disjoint sorted interval sets.
+func intersectLen(a, b []Interval) float64 {
+	var total float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].StartMs
+		if b[j].StartMs > lo {
+			lo = b[j].StartMs
+		}
+		hi := a[i].EndMs
+		if b[j].EndMs < hi {
+			hi = b[j].EndMs
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+		if a[i].EndMs < b[j].EndMs {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}
+
+// OverlapMs returns the measured concurrency of phases a and b in
+// milliseconds (0 if the pair was not profiled).
+func (r *Report) OverlapMs(a, b string) float64 {
+	if r == nil {
+		return 0
+	}
+	for _, o := range r.Overlaps {
+		if (o.A == a && o.B == b) || (o.A == b && o.B == a) {
+			return o.Ms
+		}
+	}
+	return 0
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Text renders the human-readable profile: headline numbers, per-host
+// percentiles, the phase-overlap timeline, and a span sample.
+func (r *Report) Text() string {
+	if r == nil {
+		return "(no profile)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "shuffle profile — job %s (%.1f ms)\n", r.JobID, r.DurationMs)
+	fmt.Fprintf(&sb, "  time-to-first-byte     %8.2f ms (best of %d reduces)\n", r.TTFBMs, len(r.ReduceTTFB))
+	fmt.Fprintf(&sb, "  fetches delivered      %8d\n", r.Fetches)
+	fmt.Fprintf(&sb, "  ring-slot occupancy HW %8d\n", r.SlotPeak)
+	fmt.Fprintf(&sb, "  merge stall            %8.2f ms\n", r.MergeStallMs)
+	if len(r.Hosts) > 0 {
+		sb.WriteString("\n  per-host fetch latency (enqueue→deliver, µs):\n")
+		fmt.Fprintf(&sb, "    %-10s %8s %10s %10s %10s %10s %12s\n",
+			"host", "fetches", "p50", "p95", "p99", "max", "bytes")
+		for _, h := range r.Hosts {
+			fmt.Fprintf(&sb, "    %-10s %8d %10.1f %10.1f %10.1f %10.1f %12d\n",
+				h.Host, h.Fetches, h.P50Us, h.P95Us, h.P99Us, h.MaxUs, h.Bytes)
+		}
+	}
+	if len(r.Phases) > 0 {
+		sb.WriteString("\n  phase-overlap timeline:\n")
+		rows := make([]PhaseRow, 0, len(r.Phases))
+		order := []string{PhaseMap, PhaseShuffle, PhaseMerge, PhaseReduce}
+		seen := map[string]bool{}
+		add := func(pt PhaseTimeline) {
+			ivs := make([][2]float64, 0, len(pt.Windows))
+			for _, iv := range pt.Windows {
+				ivs = append(ivs, [2]float64{iv.StartMs, iv.EndMs})
+			}
+			rows = append(rows, PhaseRow{Label: pt.Phase, Intervals: ivs})
+		}
+		for _, name := range order {
+			for _, pt := range r.Phases {
+				if pt.Phase == name {
+					add(pt)
+					seen[name] = true
+				}
+			}
+		}
+		for _, pt := range r.Phases {
+			if !seen[pt.Phase] {
+				add(pt)
+			}
+		}
+		sb.WriteString(RenderPhaseRows(r.DurationMs, rows, "ms"))
+	}
+	if len(r.Overlaps) > 0 {
+		sb.WriteString("\n  measured overlap:\n")
+		for _, o := range r.Overlaps {
+			fmt.Fprintf(&sb, "    %-8s ∩ %-8s %10.2f ms\n", o.A, o.B, o.Ms)
+		}
+	}
+	if len(r.Spans) > 0 {
+		n := len(r.Spans)
+		show := n
+		if show > 8 {
+			show = 8
+		}
+		fmt.Fprintf(&sb, "\n  fetch spans (%d of %d sampled, %d dropped):\n", show, n, r.SpansDropped)
+		fmt.Fprintf(&sb, "    %-28s %-8s %9s %9s %9s %9s %9s\n",
+			"corr-id", "host", "queue µs", "slot µs", "rdma µs", "deliver", "total µs")
+		for _, sp := range r.Spans[:show] {
+			fmt.Fprintf(&sb, "    %-28s %-8s %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+				sp.CorrID, sp.Host, sp.QueueUs, sp.SlotUs, sp.RDMAUs, sp.DeliverUs, sp.TotalUs)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// timelineWidth is the character width of rendered timeline bars.
+const timelineWidth = 60
+
+// Bar is one contiguous labelled interval for RenderBars.
+type Bar struct {
+	Label    string
+	From, To float64
+}
+
+// RenderBars draws labelled single-interval bars on a shared axis of
+// length total, one row per bar — the Figure 3 timeline format shared by
+// the DES simulator (internal/sim) and the measured profile reports.
+// unit labels the numeric range at the end of each row.
+func RenderBars(total float64, bars []Bar, unit string) string {
+	var sb strings.Builder
+	for _, b := range bars {
+		a, z := scalePos(b.From, total), scalePos(b.To, total)
+		if z <= a {
+			z = a + 1
+			if z > timelineWidth {
+				a, z = timelineWidth-1, timelineWidth
+			}
+		}
+		fmt.Fprintf(&sb, "  %-14s |%s%s%s| %6.0f%s–%.0f%s\n",
+			b.Label,
+			strings.Repeat(" ", a), strings.Repeat("█", z-a), strings.Repeat(" ", timelineWidth-z),
+			b.From, unit, b.To, unit)
+	}
+	return sb.String()
+}
+
+// PhaseRow is one phase with possibly many disjoint activity intervals
+// (e.g. each map task's window) for RenderPhaseRows.
+type PhaseRow struct {
+	Label     string
+	Intervals [][2]float64
+}
+
+// RenderPhaseRows draws a multi-interval timeline: each row marks every
+// axis bucket covered by ANY of its intervals, so gaps in a phase's
+// activity stay visible instead of being smeared into one bar.
+func RenderPhaseRows(total float64, rows []PhaseRow, unit string) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		cells := make([]byte, timelineWidth)
+		for i := range cells {
+			cells[i] = ' '
+		}
+		lo, hi := total, 0.0
+		for _, iv := range row.Intervals {
+			a, z := scalePos(iv[0], total), scalePos(iv[1], total)
+			if z <= a {
+				z = a + 1
+				if z > timelineWidth {
+					a, z = timelineWidth-1, timelineWidth
+				}
+			}
+			for i := a; i < z; i++ {
+				cells[i] = 1 // marker sentinel
+			}
+			if iv[0] < lo {
+				lo = iv[0]
+			}
+			if iv[1] > hi {
+				hi = iv[1]
+			}
+		}
+		var line strings.Builder
+		for _, c := range cells {
+			if c == 1 {
+				line.WriteString("█")
+			} else {
+				line.WriteByte(' ')
+			}
+		}
+		if len(row.Intervals) == 0 {
+			lo, hi = 0, 0
+		}
+		fmt.Fprintf(&sb, "  %-14s |%s| %6.0f%s–%.0f%s\n", row.Label, line.String(), lo, unit, hi, unit)
+	}
+	return sb.String()
+}
+
+func scalePos(t, total float64) int {
+	if total <= 0 {
+		return 0
+	}
+	n := int(t / total * timelineWidth)
+	if n < 0 {
+		n = 0
+	}
+	if n > timelineWidth {
+		n = timelineWidth
+	}
+	return n
+}

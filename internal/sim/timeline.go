@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rdmamr/internal/fabric"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/storage"
 )
 
@@ -19,31 +20,14 @@ func Timeline(p Params) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	const width = 60
-	scale := func(t float64) int {
-		n := int(t / res.JobSeconds * width)
-		if n < 0 {
-			n = 0
-		}
-		if n > width {
-			n = width
-		}
-		return n
-	}
-	bar := func(name string, from, to float64) string {
-		a, b := scale(from), scale(to)
-		if b <= a {
-			b = a + 1
-		}
-		return fmt.Sprintf("  %-14s |%s%s%s| %6.0fs–%.0fs\n",
-			name, strings.Repeat(" ", a), strings.Repeat("█", b-a), strings.Repeat(" ", width-b), from, to)
-	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%v %v on %v/%v, %d nodes, %.0f GB — %.0fs total\n",
 		p.Design, p.Workload, p.Fabric, p.Storage, p.Nodes, p.DataBytes/1e9, res.JobSeconds)
-	sb.WriteString(bar("map", 0, res.MapPhaseEnd))
-	sb.WriteString(bar("shuffle/merge", res.FirstFetch, res.ShuffleEnd))
-	sb.WriteString(bar("reduce", res.FirstReduce, res.JobSeconds))
+	sb.WriteString(obs.RenderBars(res.JobSeconds, []obs.Bar{
+		{Label: "map", From: 0, To: res.MapPhaseEnd},
+		{Label: "shuffle/merge", From: res.FirstFetch, To: res.ShuffleEnd},
+		{Label: "reduce", From: res.FirstReduce, To: res.JobSeconds},
+	}, "s"))
 	return sb.String(), nil
 }
 

@@ -1,6 +1,11 @@
 // Package stats provides the lightweight counters and phase timers used
 // across rdmamr: shuffle byte counts, cache hit/miss ratios, disk traffic,
 // and per-phase wall times that EXPERIMENTS.md reports.
+//
+// Counters is now a facade over internal/obs: every named counter lives
+// in an obs.Registry, so the same values surface through the debug HTTP
+// endpoint and profile reports without any call site changing. All
+// historical counter names (shuffle.rdma.*, cache.*, ...) are preserved.
 package stats
 
 import (
@@ -9,55 +14,67 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rdmamr/internal/obs"
 )
 
-// Counters is a concurrency-safe named-counter set. The zero value is
-// ready to use.
+// Counters is a concurrency-safe named-counter set backed by an
+// obs.Registry. The zero value is ready to use (it lazily creates a
+// private registry); OnRegistry shares an existing one.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	once sync.Once
+	reg  *obs.Registry
+}
+
+// OnRegistry returns a Counters view writing into reg, so counter
+// updates are visible to everything else holding the registry (debug
+// HTTP endpoint, profiles). A nil reg behaves like the zero value.
+func OnRegistry(reg *obs.Registry) *Counters {
+	c := &Counters{}
+	if reg != nil {
+		c.reg = reg
+		c.once.Do(func() {})
+	}
+	return c
+}
+
+// Registry exposes the backing obs.Registry for components that want
+// richer instruments (gauges, histograms) alongside the counters.
+func (c *Counters) Registry() *obs.Registry {
+	c.once.Do(func() {
+		if c.reg == nil {
+			c.reg = obs.NewRegistry()
+		}
+	})
+	return c.reg
+}
+
+// Handle pre-resolves the named counter so hot paths can skip the
+// registry's name lookup on every increment.
+func (c *Counters) Handle(name string) *obs.Counter {
+	return c.Registry().Counter(name)
 }
 
 // Add increments name by delta.
 func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += delta
+	c.Registry().Counter(name).Add(delta)
 }
 
 // Max raises name to v if v exceeds its current value. Used for peak
 // gauges (e.g. the RDMA copier's outstanding-request high-water mark)
 // where Add's summing semantics would be meaningless.
 func (c *Counters) Max(name string, v int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	if v > c.m[name] {
-		c.m[name] = v
-	}
+	c.Registry().Counter(name).Max(v)
 }
 
 // Get returns the current value of name (0 if never touched).
 func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
+	return c.Registry().Counter(name).Get()
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
-	}
-	return out
+	return c.Registry().CounterSnapshot()
 }
 
 // Merge adds every counter from other into c.
@@ -111,6 +128,13 @@ func (p *Phases) Get(name string) time.Duration {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.spans[name]
+}
+
+// Merge adds every phase duration from other into p.
+func (p *Phases) Merge(other *Phases) {
+	for k, v := range other.Snapshot() {
+		p.Observe(k, v)
+	}
 }
 
 // Snapshot returns a copy of all phases.

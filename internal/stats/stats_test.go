@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"rdmamr/internal/obs"
+
 	"strings"
 	"sync"
 	"testing"
@@ -105,5 +107,54 @@ func TestPhases(t *testing.T) {
 	snap["map"] = 0
 	if p.Get("map") != 3*time.Second {
 		t.Fatal("snapshot aliases internal map")
+	}
+}
+
+func TestPhasesMerge(t *testing.T) {
+	var a, b Phases
+	a.Observe("map", time.Second)
+	b.Observe("map", 2*time.Second)
+	b.Observe("merge", 3*time.Second)
+	a.Merge(&b)
+	if a.Get("map") != 3*time.Second || a.Get("merge") != 3*time.Second {
+		t.Fatalf("merge: %v", a.Snapshot())
+	}
+	// Merging an empty Phases is a no-op; merging into empty copies all.
+	var c Phases
+	c.Merge(&a)
+	if c.Get("map") != 3*time.Second {
+		t.Fatalf("merge into zero: %v", c.Snapshot())
+	}
+	a.Merge(&Phases{})
+	if a.Get("map") != 3*time.Second {
+		t.Fatalf("merge of zero mutated: %v", a.Snapshot())
+	}
+}
+
+func TestCountersOnRegistryShares(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := OnRegistry(reg)
+	c.Add("shuffle.rdma.retries", 2)
+	if got := reg.Counter("shuffle.rdma.retries").Get(); got != 2 {
+		t.Fatalf("registry missed facade write: %d", got)
+	}
+	reg.Counter("shuffle.rdma.retries").Add(3)
+	if got := c.Get("shuffle.rdma.retries"); got != 5 {
+		t.Fatalf("facade missed registry write: %d", got)
+	}
+	if OnRegistry(nil).Get("x") != 0 {
+		t.Fatal("OnRegistry(nil) must behave like the zero value")
+	}
+}
+
+func TestCountersHandleAndRegistry(t *testing.T) {
+	var c Counters
+	h := c.Handle("hot")
+	h.Add(4)
+	if c.Get("hot") != 4 {
+		t.Fatalf("handle write invisible: %d", c.Get("hot"))
+	}
+	if c.Registry() == nil || c.Registry() != c.Registry() {
+		t.Fatal("Registry must be stable and non-nil")
 	}
 }

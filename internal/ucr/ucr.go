@@ -17,8 +17,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"rdmamr/internal/obs"
 	"rdmamr/internal/verbs"
 )
 
@@ -54,6 +56,58 @@ type Fabric struct {
 
 	mu       sync.Mutex
 	services map[string]*Listener
+
+	// metrics is the pre-resolved instrument set end-points inherit at
+	// Connect; nil (the default) means the data path never reads the
+	// clock. Atomic because SetRegistry may race concurrent dials.
+	metrics atomic.Pointer[fabricObs]
+}
+
+// fabricObs is the set of instrument handles a Fabric shares with every
+// end-point connected after SetRegistry. Handles resolve once, up
+// front, so the per-operation cost is a nil check plus — only when
+// attached — one clock read and an atomic histogram observation.
+type fabricObs struct {
+	hSend  *obs.Histogram // ucr.send: message post → send completion
+	hWrite *obs.Histogram // ucr.rdma.write: bulk write post → completion
+	hRead  *obs.Histogram // ucr.rdma.read: bulk read post → completion
+	cDials *obs.Counter   // ucr.dials: successful Connects
+	cMsgs  *obs.Counter   // ucr.recv.msgs: messages delivered by recvPump
+	cBytes *obs.Counter   // ucr.recv.bytes: payload bytes delivered
+}
+
+// SetRegistry attaches an observability registry to the fabric: every
+// end-point connected afterwards times its verbs operations into ucr.*
+// histograms, and the underlying network counts every work completion
+// under verbs.wc.*. A nil registry detaches both (end-points already
+// connected keep the handles they were born with). Detached is the
+// default, and its data-path cost is one nil check per operation.
+func (f *Fabric) SetRegistry(reg *obs.Registry) {
+	if reg == nil {
+		f.metrics.Store(nil)
+		f.net.SetCompletionObserver(nil)
+		return
+	}
+	f.metrics.Store(&fabricObs{
+		hSend:  reg.Histogram("ucr.send"),
+		hWrite: reg.Histogram("ucr.rdma.write"),
+		hRead:  reg.Histogram("ucr.rdma.read"),
+		cDials: reg.Counter("ucr.dials"),
+		cMsgs:  reg.Counter("ucr.recv.msgs"),
+		cBytes: reg.Counter("ucr.recv.bytes"),
+	})
+	// Completion-event accounting at the verbs layer: every WC any CQ
+	// on the fabric delivers, send or receive side, success or not.
+	wcTotal := reg.Counter("verbs.wc.total")
+	wcErrs := reg.Counter("verbs.wc.errors")
+	wcBytes := reg.Counter("verbs.wc.bytes")
+	f.net.SetCompletionObserver(func(_ string, wc verbs.WC) {
+		wcTotal.Add(1)
+		wcBytes.Add(int64(wc.ByteLen))
+		if wc.Status != verbs.WCSuccess {
+			wcErrs.Add(1)
+		}
+	})
 }
 
 // NewFabric returns a Fabric over a fresh in-process verbs network.
@@ -154,6 +208,10 @@ func (f *Fabric) Connect(ctx context.Context, dev *verbs.Device, remoteDev, serv
 		return nil, err
 	}
 	client.peer, server.peer = l.dev.Name(), dev.Name()
+	if m := f.metrics.Load(); m != nil {
+		client.metrics, server.metrics = m, m
+		m.cDials.Add(1)
+	}
 	select {
 	case l.backlog <- server:
 	case <-ctx.Done():
@@ -180,6 +238,10 @@ type EndPoint struct {
 	sendMu sync.Mutex
 
 	msgs chan []byte
+
+	// metrics is inherited from the fabric at Connect; nil means every
+	// instrumentation site below is a dead branch (no clock reads).
+	metrics *fabricObs
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -247,6 +309,10 @@ func (ep *EndPoint) recvPump() {
 		off := int(wc.WRID) * MaxMessage
 		payload := make([]byte, wc.ByteLen)
 		copy(payload, ep.ringMR.Bytes()[off:off+wc.ByteLen])
+		if m := ep.metrics; m != nil {
+			m.cMsgs.Add(1)
+			m.cBytes.Add(int64(wc.ByteLen))
+		}
 		if err := ep.qp.PostRecv(verbs.RecvWR{WRID: wc.WRID, SGE: verbs.SGE{MR: ep.ringMR, Offset: off, Length: MaxMessage}}); err != nil {
 			ep.failRecv(ep.classify(err))
 			return
@@ -306,6 +372,11 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 	}
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
+	m := ep.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	const rnrRetries = 200
 	for attempt := 0; ; attempt++ {
 		select {
@@ -329,6 +400,12 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 		}
 		switch wc.Status {
 		case verbs.WCSuccess:
+			// RNR retries count toward the latency: the histogram answers
+			// "how long did delivering this message take", not "how fast
+			// was the happy path".
+			if m != nil {
+				m.hSend.Observe(time.Since(t0))
+			}
 			return nil
 		case verbs.WCRNRRetryExceeded:
 			if attempt >= rnrRetries {
@@ -389,6 +466,11 @@ func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, ra
 		return ErrClosed
 	default:
 	}
+	m := ep.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	err := ep.qp.PostSend(verbs.SendWR{Opcode: op, SGE: sge, RemoteAddr: raddr, RKey: rkey})
 	if err != nil {
 		return ep.classify(err)
@@ -399,6 +481,13 @@ func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, ra
 	}
 	if wc.Status != verbs.WCSuccess {
 		return ep.classify(fmt.Errorf("%v failed: %v", op, wc.Status))
+	}
+	if m != nil {
+		if op == verbs.OpRDMARead {
+			m.hRead.Observe(time.Since(t0))
+		} else {
+			m.hWrite.Observe(time.Since(t0))
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rdmamr/internal/obs"
 	"rdmamr/internal/verbs"
 )
 
@@ -311,5 +312,116 @@ func TestMultipleEndpointsPerListener(t *testing.T) {
 	}
 	if got := servers[0].Peer(); got != "reducer0" {
 		t.Fatalf("peer = %q", got)
+	}
+}
+
+// TestFabricRegistryInstrumentation attaches an obs registry and checks
+// that dials, messages, RDMA operations, and verbs completions all land
+// in it — and that endpoints born before attach stay uninstrumented.
+func TestFabricRegistryInstrumentation(t *testing.T) {
+	f := NewFabric()
+	sdev, err := f.NewDevice("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdev, err := f.NewDevice("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := f.Listen(sdev, "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ctxT(t)
+
+	// Connect once with the fabric detached: the endpoint must carry no
+	// handles and the registry (attached later) must see none of it.
+	cold, err := f.Connect(ctx, cdev, "server", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSrv, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.metrics != nil || coldSrv.metrics != nil {
+		t.Fatal("endpoints connected before SetRegistry must stay uninstrumented")
+	}
+	cold.Close()
+	coldSrv.Close()
+
+	reg := obs.NewRegistry()
+	f.SetRegistry(reg)
+	cep, err := f.Connect(ctx, cdev, "server", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cep.Close()
+	defer sep.Close()
+
+	if err := cep.Send(ctx, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := sep.Recv(ctx); err != nil || string(msg) != "hello" {
+		t.Fatalf("recv: %q %v", msg, err)
+	}
+	buf := make([]byte, 256)
+	mr, err := sep.RegisterMemory(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := cep.RegisterMemory(bytes.Repeat([]byte{0xAB}, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cep.RDMAWrite(ctx, verbs.SGE{MR: src, Length: 256}, mr.Addr(), mr.RKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cep.RDMARead(ctx, verbs.SGE{MR: src, Length: 256}, mr.Addr(), mr.RKey()); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := reg.CounterSnapshot()
+	if counts["ucr.dials"] != 1 {
+		t.Fatalf("ucr.dials = %d, want 1 (pre-attach dial must not count)", counts["ucr.dials"])
+	}
+	if counts["ucr.recv.msgs"] != 1 || counts["ucr.recv.bytes"] != 5 {
+		t.Fatalf("recv accounting: msgs=%d bytes=%d", counts["ucr.recv.msgs"], counts["ucr.recv.bytes"])
+	}
+	if counts["verbs.wc.total"] < 4 {
+		t.Fatalf("verbs.wc.total = %d, want >= 4 (send, recv, write, read)", counts["verbs.wc.total"])
+	}
+	if counts["verbs.wc.errors"] != 0 {
+		t.Fatalf("verbs.wc.errors = %d on a clean run", counts["verbs.wc.errors"])
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"ucr.send", "ucr.rdma.write", "ucr.rdma.read"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count != 1 {
+			t.Fatalf("histogram %s: %+v (ok=%v), want exactly one observation", name, h, ok)
+		}
+	}
+
+	// Detach: completion observer gone, future connects uninstrumented.
+	f.SetRegistry(nil)
+	post, err := f.Connect(ctx, cdev, "server", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	postSrv, err := l.Accept(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Close()
+	defer postSrv.Close()
+	if post.metrics != nil {
+		t.Fatal("endpoint connected after detach is still instrumented")
+	}
+	if got := reg.CounterSnapshot()["ucr.dials"]; got != 1 {
+		t.Fatalf("detached dial counted: ucr.dials = %d", got)
 	}
 }

@@ -78,6 +78,10 @@ type CQ struct {
 	ch     chan WC
 	mu     sync.Mutex
 	closed bool
+	// net/dev route each completion through the network's observer (if
+	// one is installed) before delivery.
+	net *Network
+	dev string
 }
 
 // CreateCQ returns a completion queue with the given depth. A full CQ
@@ -88,7 +92,7 @@ func (d *Device) CreateCQ(depth int) *CQ {
 	if depth <= 0 {
 		depth = 64
 	}
-	return &CQ{ch: make(chan WC, depth)}
+	return &CQ{ch: make(chan WC, depth), net: d.net, dev: d.name}
 }
 
 // Poll retrieves up to max completions without blocking.
@@ -127,6 +131,9 @@ func (c *CQ) push(wc WC) {
 	c.mu.Unlock()
 	if closed {
 		return
+	}
+	if c.net != nil {
+		c.net.observeWC(c.dev, wc)
 	}
 	c.ch <- wc
 }

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdmamr/internal/fabric"
@@ -69,8 +70,8 @@ const (
 	WCRemoteAccessErr
 	WCRNRRetryExceeded // receiver not ready: SEND with no posted RECV
 	WCLocalProtErr
-	WCFlushErr         // QP destroyed with work outstanding
-	WCRetryExceeded    // transport retry counter exceeded: peer unreachable or packets lost
+	WCFlushErr      // QP destroyed with work outstanding
+	WCRetryExceeded // transport retry counter exceeded: peer unreachable or packets lost
 )
 
 func (s WCStatus) String() string {
@@ -164,6 +165,35 @@ type Network struct {
 	// nanoseconds). Zero means no injection even with a model set.
 	timeScale float64
 	faults    FaultInjector
+
+	// wcObs, when set, sees every work completion any CQ on the network
+	// delivers. Atomic so the per-completion load costs one pointer read
+	// (nil, the common case) instead of a lock.
+	wcObs atomic.Pointer[WCObserver]
+}
+
+// WCObserver is notified of every work completion generated on the
+// network — send side and receive side, success or failure — before it
+// is delivered to its CQ. Implementations must be safe for concurrent
+// use from every QP processor goroutine and must not block: a slow
+// observer stalls completion delivery exactly like a full CQ.
+type WCObserver func(dev string, wc WC)
+
+// SetCompletionObserver installs (or, with nil, removes) the network's
+// completion observer. Observability layers hang counters here; the
+// data path itself never depends on it.
+func (n *Network) SetCompletionObserver(fn WCObserver) {
+	if fn == nil {
+		n.wcObs.Store(nil)
+		return
+	}
+	n.wcObs.Store(&fn)
+}
+
+func (n *Network) observeWC(dev string, wc WC) {
+	if p := n.wcObs.Load(); p != nil {
+		(*p)(dev, wc)
+	}
 }
 
 // NewNetwork returns an empty network with no latency injection.

@@ -117,3 +117,20 @@ func mustEngine(t *testing.T, name string) rdmamr.ShuffleEngine {
 	}
 	return e
 }
+
+func TestProfiledSortFacade(t *testing.T) {
+	res, err := rdmamr.ProfiledSort(ctxT(t), 3, 2<<20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Profile
+	if rep == nil || rep.Fetches == 0 || len(rep.Hosts) == 0 {
+		t.Fatalf("thin report: %+v", rep)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdmamr.ProfiledSort(ctxT(t), 1, 1<<20, 1); err == nil {
+		t.Fatal("single-node profiled sort must be rejected")
+	}
+}
