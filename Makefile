@@ -3,9 +3,16 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench-depth fuzz profile-smoke bench-obs
+.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle fuzz profile-smoke bench-obs
 
-verify: vet build race chaos profile-smoke
+verify: fmt vet build race chaos profile-smoke
+
+# Fail on any file gofmt would rewrite.
+fmt:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +48,16 @@ profile-smoke:
 # allocate (0 B/op) or read the clock.
 bench-obs:
 	$(GO) test -run=NONE -bench=ObsOverheadDisabled ./internal/core/
+
+# Shuffle benchmark sweep → BENCH_shuffle.json: copier chunk-fetch
+# allocation profile, copier pipeline depth, and the D8 zero-copy
+# responder ablation (zerocopy vs staging arms).
+bench-shuffle:
+	$(GO) test -run=NONE -bench='AblationZeroCopy|FetchChunkAllocs' -benchtime=2000x ./internal/core/ > BENCH_shuffle.txt
+	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=200x . >> BENCH_shuffle.txt
+	$(GO) run ./cmd/benchjson < BENCH_shuffle.txt > BENCH_shuffle.json
+	@rm -f BENCH_shuffle.txt
+	@echo "wrote BENCH_shuffle.json"
 
 # D5 ablation: copier outstanding-request depth (bounce-buffer ring).
 bench-depth:

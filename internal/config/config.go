@@ -61,6 +61,13 @@ const (
 	// connection (and re-issues through the retry budget), so a silent
 	// peer cannot stall a bounce-buffer slot forever. 0 disables.
 	KeyRDMARequestTimeout = "mapred.rdma.request.timeout"
+	// KeyRDMAZeroCopy selects the responder's zero-copy send path: cached
+	// map outputs are served by scatter-gather RDMA straight from the
+	// registered memory region they already live in, with only the small
+	// response header staged. false restores the legacy staging-copy
+	// responder (the ablation arm), which copies every chunk into a pooled
+	// registered bounce buffer before posting.
+	KeyRDMAZeroCopy = "mapred.rdma.zerocopy.enabled"
 	// KeyObsProfile enables per-job shuffle profiling: phase-overlap
 	// windows, fetch spans, per-host latency histograms, TTFB. Off by
 	// default — the copier hot path then takes zero observability cost.
@@ -100,6 +107,7 @@ var defaults = map[string]string{
 	KeyRDMABackoffBase:        "2",     // ms
 	KeyRDMABackoffMax:         "200",   // ms
 	KeyRDMARequestTimeout:     "30000", // ms; 0 disables the deadline
+	KeyRDMAZeroCopy:           "true",
 	KeyObsProfile:             "false",
 	KeyObsHTTPAddr:            "",
 }

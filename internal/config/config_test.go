@@ -19,6 +19,9 @@ func TestDefaults(t *testing.T) {
 	if c.Int(KeyHTTPPacketBytes) != 65536 {
 		t.Fatal("default HTTP packet must be 64KB per paper §III-B.2")
 	}
+	if !c.Bool(KeyRDMAZeroCopy) {
+		t.Fatal("zero-copy responder should default on")
+	}
 }
 
 func TestZeroValueConfigServesDefaults(t *testing.T) {

@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+)
+
+// BenchmarkAblationZeroCopy measures the D8 ablation pair on cache-hit
+// serving: the zero-copy arm gathers each chunk straight from the
+// registered cache region (header from a pooled header region), the
+// staging arm copies every chunk into a pooled registered bounce buffer
+// first. Same wire traffic, same payload — the allocation and copy
+// behaviour is the difference under test.
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	recs := bigRecs(8, 8<<10) // ~64 KB partition, one packet per request
+	for _, arm := range []struct {
+		name string
+		zc   bool
+	}{
+		{"zerocopy", true},
+		{"staging", false},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			h := newProtoHarness(b, zcConf(arm.zc))
+			info := h.seedOutput(0, 0, recs)
+			prefetchInto(b, h, info, 0)
+			// Warm pools and verify single-chunk serving before timing.
+			warm := h.roundTrip(h.request(0, 0, 0, 1024))
+			if warm.Err != "" || !warm.EOF {
+				b.Fatalf("warmup: %+v", warm)
+			}
+			b.SetBytes(int64(warm.Bytes))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := h.roundTrip(h.request(0, 0, 0, 1024))
+				if resp.Err != "" || !resp.EOF {
+					b.Fatalf("chunk: %+v", resp)
+				}
+			}
+			b.StopTimer()
+			c := h.cluster.Counters()
+			if arm.zc && c.Get("shuffle.rdma.zerocopy.hits") == 0 {
+				b.Fatal("zero-copy arm never took the zero-copy path")
+			}
+			if !arm.zc && c.Get("shuffle.rdma.zerocopy.hits") != 0 {
+				b.Fatal("staging arm took the zero-copy path")
+			}
+		})
+	}
+}

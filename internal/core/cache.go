@@ -11,10 +11,13 @@ package core
 
 import (
 	"container/heap"
+	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"rdmamr/internal/stats"
+	"rdmamr/internal/verbs"
 )
 
 // CacheKey identifies one cached map output partition.
@@ -32,28 +35,108 @@ const (
 	PriorityDemand   = 1 // re-cache after a demand miss
 )
 
+// Registrar registers cache entry buffers with the RNIC so responders can
+// serve them by scatter-gather RDMA without a staging copy (D8). It is
+// satisfied by *verbs.Device.
+type Registrar interface {
+	RegisterMemory(buf []byte) (*verbs.MemoryRegion, error)
+}
+
+// cacheBody is the immutable backing store of one cache entry: the bytes,
+// the memory region registered over them (nil when no registrar is wired
+// or registration failed), and a reference count. The cache itself holds
+// one reference for as long as the entry is in the map; every pinned
+// CacheView holds another. The region is deregistered only when the last
+// reference drops, so an in-flight zero-copy send keeps its source bytes
+// registered even if the entry is evicted mid-transfer.
+type cacheBody struct {
+	data []byte
+	mr   *verbs.MemoryRegion
+	refs atomic.Int32
+}
+
+func (b *cacheBody) release() {
+	if n := b.refs.Add(-1); n == 0 {
+		if b.mr != nil {
+			_ = b.mr.Deregister()
+		}
+	} else if n < 0 {
+		panic("core: cacheBody over-released")
+	}
+}
+
+// CacheView is a pinned, read-only view of a cached partition. Bytes stay
+// valid and (when MR is non-nil) registered until Release. Views are not
+// safe for concurrent use by multiple goroutines.
+type CacheView struct {
+	body *cacheBody
+}
+
+// Bytes returns the cached run. Treat as read-only.
+func (v *CacheView) Bytes() []byte { return v.body.data }
+
+// MR returns the memory region registered over Bytes, or nil when the
+// entry was cached without registration (no registrar, or the device
+// rejected it); callers must then fall back to the staging path.
+func (v *CacheView) MR() *verbs.MemoryRegion { return v.body.mr }
+
+// Release drops the pin. Idempotent on the same view.
+func (v *CacheView) Release() {
+	if v.body == nil {
+		return
+	}
+	v.body.release()
+	v.body = nil
+}
+
 // PrefetchCache is the TaskTracker-side intermediate-data cache: a
 // byte-capacity-bounded store of map output partitions. Eviction policy
 // is configurable: "priority" (evict lowest priority, then least recently
 // demanded — the paper's adaptive mode) or "fifo" (insertion order, the
 // ablation baseline).
+//
+// The key space is partitioned across independently locked shards (shard
+// count derived from capacity) so responder threads serving different
+// partitions do not serialize on one mutex; each shard owns a slice of
+// the byte budget. Small caches collapse to a single shard and keep the
+// exact global eviction semantics.
 type PrefetchCache struct {
+	policy    string
+	counters  *stats.Counters
+	shards    []*cacheShard
+	regMu     sync.Mutex
+	registrar Registrar
+}
+
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
-	policy   string
 	entries  map[CacheKey]*cacheEntry
 	seq      uint64
-	counters *stats.Counters
 }
 
 type cacheEntry struct {
 	key      CacheKey
-	data     []byte
+	body     *cacheBody
 	priority int
 	inserted uint64 // seq at insert (FIFO order)
 	lastUse  uint64 // seq at last hit (recency)
 	index    int    // heap index
+}
+
+// shardsFor sizes the shard array: one shard per 64 MB of capacity,
+// clamped to [1, 16]. The paper-default 256 MB cache gets 4 shards;
+// test-sized caches get 1 and retain single-lock semantics.
+func shardsFor(capacity int64) int {
+	n := int(capacity / (64 << 20))
+	if n < 1 {
+		return 1
+	}
+	if n > 16 {
+		return 16
+	}
+	return n
 }
 
 // NewPrefetchCache returns a cache bounded to capacity bytes. policy is
@@ -65,79 +148,150 @@ func NewPrefetchCache(capacity int64, policy string, counters *stats.Counters) *
 	if policy != "priority" && policy != "fifo" {
 		policy = "priority"
 	}
-	return &PrefetchCache{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[CacheKey]*cacheEntry),
-		counters: counters,
+	n := shardsFor(capacity)
+	c := &PrefetchCache{policy: policy, counters: counters, shards: make([]*cacheShard, n)}
+	per := capacity / int64(n)
+	for i := range c.shards {
+		cap := per
+		if i == 0 {
+			cap += capacity - per*int64(n) // shard 0 absorbs the remainder
+		}
+		c.shards[i] = &cacheShard{capacity: cap, entries: make(map[CacheKey]*cacheEntry)}
 	}
+	return c
+}
+
+// SetRegistrar wires the device used to register entries at Put time.
+// Entries inserted before the registrar is set (or while it is nil) are
+// cached unregistered and served through the staging path.
+func (c *PrefetchCache) SetRegistrar(r Registrar) {
+	c.regMu.Lock()
+	c.registrar = r
+	c.regMu.Unlock()
+}
+
+func (c *PrefetchCache) getRegistrar() Registrar {
+	c.regMu.Lock()
+	defer c.regMu.Unlock()
+	return c.registrar
+}
+
+func (c *PrefetchCache) shard(key CacheKey) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key.JobID))
+	var b [8]byte
+	b[0], b[1], b[2], b[3] = byte(key.MapID), byte(key.MapID>>8), byte(key.MapID>>16), byte(key.MapID>>24)
+	b[4], b[5], b[6], b[7] = byte(key.Partition), byte(key.Partition>>8), byte(key.Partition>>16), byte(key.Partition>>24)
+	_, _ = h.Write(b[:])
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
 // Get returns the cached partition and whether it was present, recording
-// a hit or miss. The returned slice must be treated as read-only.
+// a hit or miss. The returned slice must be treated as read-only; its
+// bytes remain valid (bodies are immutable) but its registration may
+// lapse after eviction — use Acquire for the zero-copy path.
 func (c *PrefetchCache) Get(key CacheKey) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
 		c.counters.Add("cache.misses", 1)
 		return nil, false
 	}
-	c.seq++
-	e.lastUse = c.seq
+	s.seq++
+	e.lastUse = s.seq
 	c.counters.Add("cache.hits", 1)
-	return e.data, true
+	return e.body.data, true
+}
+
+// Acquire is Get returning a pinned view: the entry's bytes stay
+// registered until the view is released, even across eviction or
+// RemoveJob. Responders serving zero-copy sends hold the view until the
+// RDMA write and header send have completed.
+func (c *PrefetchCache) Acquire(key CacheKey) (*CacheView, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		c.counters.Add("cache.misses", 1)
+		return nil, false
+	}
+	s.seq++
+	e.lastUse = s.seq
+	e.body.refs.Add(1) // safe: map presence implies the cache's own ref
+	c.counters.Add("cache.hits", 1)
+	return &CacheView{body: e.body}, true
 }
 
 // Contains reports presence without counting a hit or miss (used by the
 // prefetcher to skip redundant work).
 func (c *PrefetchCache) Contains(key CacheKey) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
 	return ok
 }
 
 // Put inserts a partition at the given priority, evicting lower-value
 // entries as needed ("depending on heap size availability it can limit
 // the amount of data to be cached"). It reports whether the entry was
-// admitted: an entry larger than the whole cache, or one that would
-// require evicting strictly more valuable entries, is rejected.
+// admitted: an entry larger than the whole cache (shard), or one that
+// would require evicting strictly more valuable entries, is rejected.
+// When a registrar is wired the bytes are registered here, once, so every
+// subsequent request against this entry can be served zero-copy.
 func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
 	size := int64(len(data))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.capacity {
+	body := &cacheBody{data: data}
+	body.refs.Store(1) // the cache's own reference
+	if r := c.getRegistrar(); r != nil && len(data) > 0 {
+		if mr, err := r.RegisterMemory(data); err == nil {
+			body.mr = mr
+		}
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.capacity {
 		c.counters.Add("cache.rejected", 1)
+		body.release()
 		return false
 	}
-	if old, ok := c.entries[key]; ok {
-		// Refresh in place; keep the higher priority.
-		c.used += size - int64(len(old.data))
-		old.data = data
+	if old, ok := s.entries[key]; ok {
+		// Refresh by body swap; keep the higher priority. The old body
+		// is released (pinned readers keep it alive) rather than mutated.
+		s.used += size - int64(len(old.body.data))
+		old.body.release()
+		old.body = body
 		if priority > old.priority {
 			old.priority = priority
 		}
-		c.seq++
-		old.lastUse = c.seq
-		c.evictLocked(nil)
+		s.seq++
+		old.lastUse = s.seq
+		s.evictLocked(c, nil)
 		return true
 	}
-	c.seq++
-	e := &cacheEntry{key: key, data: data, priority: priority, inserted: c.seq, lastUse: c.seq}
+	s.seq++
+	e := &cacheEntry{key: key, body: body, priority: priority, inserted: s.seq, lastUse: s.seq}
 	// Evict until the new entry fits, but never evict entries more
 	// valuable than the incoming one.
-	for c.used+size > c.capacity {
-		victim := c.victimLocked()
+	for s.used+size > s.capacity {
+		victim := s.victimLocked(c)
 		if victim == nil || c.less(e, victim) {
 			c.counters.Add("cache.rejected", 1)
+			body.release()
 			return false
 		}
-		c.removeLocked(victim)
+		s.removeLocked(victim)
 		c.counters.Add("cache.evictions", 1)
 	}
-	c.entries[key] = e
-	c.used += size
+	s.entries[key] = e
+	s.used += size
 	c.counters.Add("cache.inserted", 1)
 	return true
 }
@@ -145,9 +299,10 @@ func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
 // Promote raises an entry's priority (after a demand miss on a sibling
 // partition, successive requests favor keeping this map's data).
 func (c *PrefetchCache) Promote(key CacheKey, priority int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok && priority > e.priority {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok && priority > e.priority {
 		e.priority = priority
 	}
 }
@@ -164,10 +319,10 @@ func (c *PrefetchCache) less(a, b *cacheEntry) bool {
 	return a.lastUse < b.lastUse
 }
 
-// victimLocked returns the least valuable entry (nil when empty).
-func (c *PrefetchCache) victimLocked() *cacheEntry {
+// victimLocked returns the shard's least valuable entry (nil when empty).
+func (s *cacheShard) victimLocked(c *PrefetchCache) *cacheEntry {
 	var victim *cacheEntry
-	for _, e := range c.entries {
+	for _, e := range s.entries {
 		if victim == nil || c.less(e, victim) {
 			victim = e
 		}
@@ -175,47 +330,59 @@ func (c *PrefetchCache) victimLocked() *cacheEntry {
 	return victim
 }
 
-func (c *PrefetchCache) removeLocked(e *cacheEntry) {
-	delete(c.entries, e.key)
-	c.used -= int64(len(e.data))
+func (s *cacheShard) removeLocked(e *cacheEntry) {
+	delete(s.entries, e.key)
+	s.used -= int64(len(e.body.data))
+	e.body.release()
 }
 
-// evictLocked trims to capacity (after in-place refresh growth). protect
-// is never evicted.
-func (c *PrefetchCache) evictLocked(protect *cacheEntry) {
-	for c.used > c.capacity {
-		victim := c.victimLocked()
+// evictLocked trims the shard to capacity (after in-place refresh
+// growth). protect is never evicted.
+func (s *cacheShard) evictLocked(c *PrefetchCache, protect *cacheEntry) {
+	for s.used > s.capacity {
+		victim := s.victimLocked(c)
 		if victim == nil || victim == protect {
 			return
 		}
-		c.removeLocked(victim)
+		s.removeLocked(victim)
 		c.counters.Add("cache.evictions", 1)
 	}
 }
 
 // RemoveJob drops every entry belonging to jobID (job completion).
+// Entries pinned by in-flight sends stay registered until released.
 func (c *PrefetchCache) RemoveJob(jobID string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k, e := range c.entries {
-		if k.JobID == jobID {
-			c.removeLocked(e)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.JobID == jobID {
+				s.removeLocked(e)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // Used returns the current cached byte total.
 func (c *PrefetchCache) Used() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
+	var total int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.used
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Len returns the number of cached entries.
 func (c *PrefetchCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // jobPrefix reports whether key belongs to the given job (helper for

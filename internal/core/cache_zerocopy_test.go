@@ -1,0 +1,229 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rdmamr/internal/verbs"
+)
+
+// trackingRegistrar registers on a real emulated device and remembers
+// every region it handed out, so tests can assert exactly when each one
+// was deregistered.
+type trackingRegistrar struct {
+	dev *verbs.Device
+	mu  sync.Mutex
+	mrs []*verbs.MemoryRegion
+}
+
+func newTrackingRegistrar(t *testing.T) *trackingRegistrar {
+	t.Helper()
+	dev, err := verbs.NewNetwork().NewDevice("cache-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trackingRegistrar{dev: dev}
+}
+
+func (r *trackingRegistrar) RegisterMemory(buf []byte) (*verbs.MemoryRegion, error) {
+	mr, err := r.dev.RegisterMemory(buf)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.mrs = append(r.mrs, mr)
+	r.mu.Unlock()
+	return mr, nil
+}
+
+func (r *trackingRegistrar) liveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, mr := range r.mrs {
+		if !mr.Dead() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCachePutRegistersEntries(t *testing.T) {
+	reg := newTrackingRegistrar(t)
+	cache := NewPrefetchCache(1000, "priority", nil)
+	cache.SetRegistrar(reg)
+	if !cache.Put(key(0, 0), []byte("registered bytes"), PriorityPrefetch) {
+		t.Fatal("put rejected")
+	}
+	v, ok := cache.Acquire(key(0, 0))
+	if !ok {
+		t.Fatal("acquire missed")
+	}
+	defer v.Release()
+	if v.MR() == nil {
+		t.Fatal("cached entry has no memory region despite registrar")
+	}
+	if !bytes.Equal(v.MR().Bytes(), []byte("registered bytes")) {
+		t.Fatal("region does not cover the entry bytes")
+	}
+}
+
+func TestCacheNoRegistrarServesNilMR(t *testing.T) {
+	cache := NewPrefetchCache(1000, "priority", nil)
+	cache.Put(key(0, 0), []byte("plain"), PriorityPrefetch)
+	v, ok := cache.Acquire(key(0, 0))
+	if !ok {
+		t.Fatal("acquire missed")
+	}
+	defer v.Release()
+	if v.MR() != nil {
+		t.Fatal("unexpected region without registrar")
+	}
+	if string(v.Bytes()) != "plain" {
+		t.Fatalf("bytes = %q", v.Bytes())
+	}
+}
+
+// TestCachePinnedEntrySurvivesEviction: an in-flight send's view keeps
+// the bytes valid and the region registered after the entry is evicted;
+// deregistration happens only on the last Release.
+func TestCachePinnedEntrySurvivesEviction(t *testing.T) {
+	reg := newTrackingRegistrar(t)
+	cache := NewPrefetchCache(100, "priority", nil)
+	cache.SetRegistrar(reg)
+	cache.Put(key(0, 0), bytes.Repeat([]byte{'x'}, 60), PriorityPrefetch)
+	v, ok := cache.Acquire(key(0, 0))
+	if !ok {
+		t.Fatal("acquire missed")
+	}
+	mr := v.MR()
+	// Force eviction of the pinned entry.
+	cache.Put(key(1, 0), make([]byte, 80), PriorityDemand)
+	if cache.Contains(key(0, 0)) {
+		t.Fatal("entry not evicted")
+	}
+	if mr.Dead() {
+		t.Fatal("region deregistered while pinned")
+	}
+	for _, b := range v.Bytes() {
+		if b != 'x' {
+			t.Fatal("pinned bytes corrupted after eviction")
+		}
+	}
+	v.Release()
+	if !mr.Dead() {
+		t.Fatal("region survived last release")
+	}
+	v.Release() // idempotent
+}
+
+func TestCachePinnedEntrySurvivesRemoveJob(t *testing.T) {
+	reg := newTrackingRegistrar(t)
+	cache := NewPrefetchCache(1000, "priority", nil)
+	cache.SetRegistrar(reg)
+	cache.Put(key(0, 0), []byte("job data"), PriorityPrefetch)
+	v1, _ := cache.Acquire(key(0, 0))
+	v2, _ := cache.Acquire(key(0, 0))
+	mr := v1.MR()
+	cache.RemoveJob("job")
+	if cache.Len() != 0 {
+		t.Fatal("job not removed")
+	}
+	if mr.Dead() {
+		t.Fatal("region deregistered with two pins outstanding")
+	}
+	v1.Release()
+	if mr.Dead() {
+		t.Fatal("region deregistered with one pin outstanding")
+	}
+	v2.Release()
+	if !mr.Dead() {
+		t.Fatal("region survived last release")
+	}
+}
+
+func TestCacheRefreshKeepsOldBodyForPinnedReaders(t *testing.T) {
+	reg := newTrackingRegistrar(t)
+	cache := NewPrefetchCache(1000, "priority", nil)
+	cache.SetRegistrar(reg)
+	cache.Put(key(0, 0), []byte("old-bytes"), PriorityPrefetch)
+	v, _ := cache.Acquire(key(0, 0))
+	oldMR := v.MR()
+	cache.Put(key(0, 0), []byte("new-bytes!"), PriorityDemand)
+	if string(v.Bytes()) != "old-bytes" {
+		t.Fatalf("pinned view mutated by refresh: %q", v.Bytes())
+	}
+	if oldMR.Dead() {
+		t.Fatal("old region deregistered while pinned")
+	}
+	if got, _ := cache.Get(key(0, 0)); string(got) != "new-bytes!" {
+		t.Fatalf("refresh lost: %q", got)
+	}
+	v.Release()
+	if !oldMR.Dead() {
+		t.Fatal("old region leaked after release")
+	}
+}
+
+// TestCacheZeroCopyStress races pinned readers against evicting writers
+// and RemoveJob (run under -race): every view's bytes stay intact for the
+// life of the pin, and when the dust settles the only live regions are
+// the entries still resident in the cache.
+func TestCacheZeroCopyStress(t *testing.T) {
+	reg := newTrackingRegistrar(t)
+	cache := NewPrefetchCache(4096, "priority", nil)
+	cache.SetRegistrar(reg)
+	const (
+		readers = 6
+		writers = 4
+		iters   = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := CacheKey{JobID: fmt.Sprintf("j%d", i%3), MapID: w, Partition: i % 5}
+				data := bytes.Repeat([]byte{byte('a' + w)}, 64+i%128)
+				cache.Put(k, data, i%2)
+				if i%37 == 0 {
+					cache.RemoveJob(fmt.Sprintf("j%d", i%3))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := CacheKey{JobID: fmt.Sprintf("j%d", i%3), MapID: i % writers, Partition: i % 5}
+				v, ok := cache.Acquire(k)
+				if !ok {
+					continue
+				}
+				b := v.Bytes()
+				if len(b) > 0 {
+					first := b[0]
+					for _, c := range b {
+						if c != first {
+							t.Errorf("pinned view bytes not uniform: %q vs %q", c, first)
+							break
+						}
+					}
+				}
+				if mr := v.MR(); mr != nil && mr.Dead() {
+					t.Error("pinned view holds a dead region")
+				}
+				v.Release()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if live, resident := reg.liveCount(), cache.Len(); live != resident {
+		t.Fatalf("%d live regions but %d resident entries: deregistration leak", live, resident)
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -89,6 +90,56 @@ func TestRDMATeraSortEndToEnd(t *testing.T) {
 	// many packets are required.
 	if res.Counters["shuffle.rdma.packets"] < 20 {
 		t.Fatalf("suspiciously few packets: %d", res.Counters["shuffle.rdma.packets"])
+	}
+}
+
+// TestZeroCopyAblationBitForBit is the D8 acceptance run: the same
+// seeded TeraSort executed with the zero-copy responder on and off must
+// produce byte-identical output files. The zerocopy=false arm is the
+// legacy staging responder, so any divergence means the scatter-gather
+// path changed what goes over the wire.
+func TestZeroCopyAblationBitForBit(t *testing.T) {
+	outputs := make(map[bool]map[string][]byte)
+	for _, zc := range []bool{true, false} {
+		conf := rdmaConf()
+		conf.SetBool(config.KeyRDMAZeroCopy, zc)
+		c := newRDMACluster(t, 3, conf)
+		res := runTeraSort(t, c, 1500, 6)
+		if zc && res.Counters["shuffle.rdma.zerocopy.hits"] == 0 {
+			t.Fatal("zero-copy arm never served from cache memory")
+		}
+		if !zc && res.Counters["shuffle.rdma.zerocopy.hits"] != 0 {
+			t.Fatal("ablation arm took the zero-copy path")
+		}
+		if n := res.Counters["shuffle.rdma.stage.outstanding"]; n != 0 {
+			t.Fatalf("zc=%v: %d staging regions leaked", zc, n)
+		}
+		files := make(map[string][]byte)
+		fs := c.FS()
+		for _, path := range fs.List("/terasort-1500-6/out") {
+			data, err := fs.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[path] = data
+		}
+		if len(files) == 0 {
+			t.Fatal("no output files")
+		}
+		outputs[zc] = files
+	}
+	on, off := outputs[true], outputs[false]
+	if len(on) != len(off) {
+		t.Fatalf("output file counts differ: %d vs %d", len(on), len(off))
+	}
+	for path, want := range off {
+		got, ok := on[path]
+		if !ok {
+			t.Fatalf("zero-copy arm missing output file %s", path)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("output %s differs between ablation arms", path)
+		}
 	}
 }
 

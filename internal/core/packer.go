@@ -13,6 +13,21 @@ type PackResult struct {
 	EOF     bool // no records remain after this chunk
 }
 
+// Range is one scatter-gather descriptor produced by PackDescriptors:
+// a [Off, Off+Len) byte window into the packed body. Offsets are
+// absolute positions within the body passed to PackDescriptors, so the
+// responder can address them against the memory region registered over
+// the containing run.
+type Range struct {
+	Off int
+	Len int
+}
+
+// descTargetLen is the coalescing target for descriptor entries: record
+// boundaries are merged into ranges of roughly this size so a packet
+// consumes a handful of SGEs instead of one per record.
+const descTargetLen = 32 << 10
+
 // Pack selects whole records from body[offset:] for one shuffle packet.
 //
 // sizeAware is design decision D4 (§III-C.3, §IV-C): the OSU design
@@ -27,8 +42,30 @@ type PackResult struct {
 // one record is always packed when any remain, so progress is guaranteed
 // even when the first record exceeds softLimit.
 func Pack(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeAware bool) (PackResult, error) {
+	res, _, err := packWalk(body, offset, softLimit, hardLimit, maxRecords, sizeAware, 0, nil)
+	return res, err
+}
+
+// PackDescriptors is Pack in descriptor mode: it makes the identical
+// chunking decision (same PackResult for the same inputs) but also emits
+// the scatter-gather ranges covering the chunk, split only at record
+// boundaries, coalesced toward descTargetLen, and never more than maxSGE
+// entries (the final entry absorbs any overflow). ranges is an optional
+// scratch slice reused to avoid per-packet allocation. The concatenation
+// of the returned ranges is byte-identical to
+// body[offset : offset+res.Bytes].
+func PackDescriptors(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeAware bool, maxSGE int, ranges []Range) (PackResult, []Range, error) {
+	if maxSGE < 1 {
+		maxSGE = 1
+	}
+	return packWalk(body, offset, softLimit, hardLimit, maxRecords, sizeAware, maxSGE, ranges[:0])
+}
+
+// packWalk is the single record-boundary walk behind both packing modes.
+// maxSGE == 0 means byte mode: no descriptors are collected.
+func packWalk(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeAware bool, maxSGE int, ranges []Range) (PackResult, []Range, error) {
 	if offset < 0 || offset > int64(len(body)) {
-		return PackResult{}, fmt.Errorf("core: pack offset %d outside body of %d", offset, len(body))
+		return PackResult{}, nil, fmt.Errorf("core: pack offset %d outside body of %d", offset, len(body))
 	}
 	if softLimit > hardLimit {
 		softLimit = hardLimit
@@ -38,13 +75,13 @@ func Pack(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeA
 	}
 	rest := body[offset:]
 	if len(rest) == 0 {
-		return PackResult{EOF: true}, nil
+		return PackResult{EOF: true}, ranges, nil
 	}
 	var res PackResult
 	for res.Records < maxRecords && res.Bytes < len(rest) {
 		n, err := kv.NextRecordSize(rest[res.Bytes:])
 		if err != nil {
-			return PackResult{}, fmt.Errorf("core: corrupt record at offset %d: %w", offset+int64(res.Bytes), err)
+			return PackResult{}, nil, fmt.Errorf("core: corrupt record at offset %d: %w", offset+int64(res.Bytes), err)
 		}
 		if res.Records > 0 {
 			// Stop before exceeding the budget that applies to this mode.
@@ -56,11 +93,19 @@ func Pack(body []byte, offset int64, softLimit, hardLimit, maxRecords int, sizeA
 				break
 			}
 		} else if n > hardLimit {
-			return PackResult{}, fmt.Errorf("core: record of %d bytes exceeds copier buffer of %d", n, hardLimit)
+			return PackResult{}, nil, fmt.Errorf("core: record of %d bytes exceeds copier buffer of %d", n, hardLimit)
+		}
+		if maxSGE > 0 {
+			last := len(ranges) - 1
+			if last >= 0 && (ranges[last].Len < descTargetLen || len(ranges) == maxSGE) {
+				ranges[last].Len += n
+			} else {
+				ranges = append(ranges, Range{Off: int(offset) + res.Bytes, Len: n})
+			}
 		}
 		res.Bytes += n
 		res.Records++
 	}
 	res.EOF = int(offset)+res.Bytes == len(body)
-	return res, nil
+	return res, ranges, nil
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rdmamr/internal/kv"
+)
+
+// descConcat materializes the byte stream described by ranges.
+func descConcat(body []byte, ranges []Range) []byte {
+	var out []byte
+	for _, r := range ranges {
+		out = append(out, body[r.Off:r.Off+r.Len]...)
+	}
+	return out
+}
+
+// checkDescriptors verifies the descriptor-mode invariants for one call:
+// identical PackResult to legacy Pack, byte-identical concatenation,
+// contiguity, record-boundary splits, and the maxSGE cap.
+func checkDescriptors(t *testing.T, body []byte, offset int64, soft, hard, maxRecords int, aware bool, maxSGE int) (PackResult, []Range) {
+	t.Helper()
+	legacy, legacyErr := Pack(body, offset, soft, hard, maxRecords, aware)
+	res, ranges, err := PackDescriptors(body, offset, soft, hard, maxRecords, aware, maxSGE, nil)
+	if (err == nil) != (legacyErr == nil) {
+		t.Fatalf("error disagreement: legacy=%v descriptor=%v", legacyErr, err)
+	}
+	if err != nil {
+		return res, nil
+	}
+	if res != legacy {
+		t.Fatalf("PackResult disagreement: legacy=%+v descriptor=%+v", legacy, res)
+	}
+	if len(ranges) > maxSGE && maxSGE >= 1 {
+		t.Fatalf("%d ranges exceed maxSGE=%d", len(ranges), maxSGE)
+	}
+	want := body[offset : offset+int64(res.Bytes)]
+	if got := descConcat(body, ranges); !bytes.Equal(got, want) {
+		t.Fatalf("descriptor concatenation diverges from legacy slice (%d vs %d bytes)", len(got), len(want))
+	}
+	next := int(offset)
+	for i, r := range ranges {
+		if r.Off != next || r.Len <= 0 {
+			t.Fatalf("range %d = %+v not contiguous from %d", i, r, next)
+		}
+		// Every range must start and end on a record boundary.
+		if _, err := kv.DecodeAll(body[r.Off : r.Off+r.Len]); err != nil {
+			t.Fatalf("range %d = %+v does not cover whole records: %v", i, r, err)
+		}
+		next += r.Len
+	}
+	return res, ranges
+}
+
+func TestPackDescriptorsMatchesLegacyBasic(t *testing.T) {
+	body := encodeN(100, 100, 100, 100)
+	res, ranges := checkDescriptors(t, body, 0, len(body)/2, 1<<20, 100, true, 16)
+	if res.Records != 2 || len(ranges) != 1 {
+		t.Fatalf("res=%+v ranges=%v", res, ranges)
+	}
+	// Continue from the middle of the body: offsets stay absolute.
+	res2, ranges2 := checkDescriptors(t, body, int64(res.Bytes), 1<<20, 1<<20, 100, true, 16)
+	if !res2.EOF || ranges2[0].Off != res.Bytes {
+		t.Fatalf("res2=%+v ranges2=%v", res2, ranges2)
+	}
+}
+
+func TestPackDescriptorsSplitOnlyAtRecordBoundaries(t *testing.T) {
+	// Records bigger than descTargetLen: one range per record.
+	body := encodeN(descTargetLen, descTargetLen, descTargetLen)
+	res, ranges := checkDescriptors(t, body, 0, 1<<20, 1<<20, 100, true, 16)
+	if res.Records != 3 || len(ranges) != 3 {
+		t.Fatalf("res=%+v ranges=%v", res, ranges)
+	}
+}
+
+func TestPackDescriptorsCoalesceSmallRecords(t *testing.T) {
+	// 1000 tiny records coalesce toward descTargetLen instead of one
+	// SGE per record.
+	sizes := make([]int, 1000)
+	for i := range sizes {
+		sizes[i] = 16
+	}
+	body := encodeN(sizes...)
+	res, ranges := checkDescriptors(t, body, 0, 1<<20, 1<<20, 2000, true, 16)
+	if res.Records != 1000 {
+		t.Fatalf("res=%+v", res)
+	}
+	if len(ranges) != 1 {
+		t.Fatalf("%d ranges for %d bytes of tiny records, want 1", len(ranges), res.Bytes)
+	}
+}
+
+func TestPackDescriptorsMaxSGEOverflowAbsorbed(t *testing.T) {
+	// More descTargetLen-sized records than SGE slots: the final entry
+	// absorbs the tail rather than the packer shrinking the chunk.
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = descTargetLen
+	}
+	body := encodeN(sizes...)
+	res, ranges := checkDescriptors(t, body, 0, 1<<30, 1<<30, 100, true, 3)
+	if res.Records != 8 || len(ranges) != 3 {
+		t.Fatalf("res=%+v len(ranges)=%d", res, len(ranges))
+	}
+}
+
+func TestPackDescriptorsScratchReuse(t *testing.T) {
+	body := encodeN(10, 10, 10)
+	scratch := make([]Range, 0, 8)
+	_, ranges, err := PackDescriptors(body, 0, 1<<20, 1<<20, 100, true, 16, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ranges[0] != &scratch[:1][0] {
+		t.Fatal("scratch slice not reused")
+	}
+}
+
+// TestPackDescriptorsEquivalenceProperty: for random record mixes and
+// every (soft, maxRecords, sizeAware, maxSGE) combination, descriptor
+// mode and legacy byte mode walk the body identically chunk by chunk and
+// the descriptor concatenation reproduces the legacy byte stream.
+func TestPackDescriptorsEquivalenceProperty(t *testing.T) {
+	f := func(sizesRaw []uint16, softRaw uint16, maxRecRaw uint8, aware bool, sgeRaw uint8) bool {
+		if len(sizesRaw) == 0 {
+			return true
+		}
+		if len(sizesRaw) > 30 {
+			sizesRaw = sizesRaw[:30]
+		}
+		sizes := make([]int, len(sizesRaw))
+		for i, s := range sizesRaw {
+			sizes[i] = int(s % 3000)
+		}
+		body := encodeN(sizes...)
+		soft := int(softRaw%8192) + 16
+		hard := 1 << 20
+		maxRec := int(maxRecRaw%9) + 1
+		maxSGE := int(sgeRaw%15) + 1
+		offset := int64(0)
+		for i := 0; ; i++ {
+			if i > len(sizes)+5 {
+				return false
+			}
+			res, _ := checkDescriptors(t, body, offset, soft, hard, maxRec, aware, maxSGE)
+			offset += int64(res.Bytes)
+			if res.EOF {
+				return offset == int64(len(body))
+			}
+			if res.Bytes == 0 {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzPackDescriptorsEquivalence drives both packing modes over
+// arbitrary (possibly corrupt) bodies and parameters: they must agree on
+// error, result, and bytes.
+func FuzzPackDescriptorsEquivalence(f *testing.F) {
+	f.Add(encodeN(10, 2000, 5), int64(0), 512, uint8(4), true, uint8(4))
+	f.Add(encodeN(100), int64(1), 16, uint8(1), false, uint8(1))
+	f.Add([]byte{0xff, 0x01, 0x02}, int64(0), 64, uint8(3), true, uint8(16))
+	f.Fuzz(func(t *testing.T, body []byte, offset int64, soft int, maxRec uint8, aware bool, sge uint8) {
+		hard := 1 << 20
+		maxSGE := int(sge%uint8(16)) + 1
+		legacy, legacyErr := Pack(body, offset, soft, hard, int(maxRec), aware)
+		res, ranges, err := PackDescriptors(body, offset, soft, hard, int(maxRec), aware, maxSGE, nil)
+		if (err == nil) != (legacyErr == nil) {
+			t.Fatalf("error disagreement: legacy=%v descriptor=%v", legacyErr, err)
+		}
+		if err != nil {
+			return
+		}
+		if res != legacy {
+			t.Fatalf("result disagreement: legacy=%+v descriptor=%+v", legacy, res)
+		}
+		want := body[offset : offset+int64(res.Bytes)]
+		if got := descConcat(body, ranges); !bytes.Equal(got, want) {
+			t.Fatal("descriptor bytes diverge from legacy bytes")
+		}
+	})
+}

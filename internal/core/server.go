@@ -29,6 +29,7 @@ type trackerServer struct {
 	prefetcher *MapOutputPrefetcher
 	cacheOn    bool
 	sizeAware  bool
+	zeroCopy   bool
 	packetSize int
 
 	// reqQ is the DataRequestQueue: "used to hold all the requests from
@@ -39,6 +40,15 @@ type trackerServer struct {
 	// is per-server (therefore per-device), so a pooled region can never
 	// surface on a different tracker's device.
 	stagePool sync.Pool // of *verbs.MemoryRegion
+
+	// hdrPool recycles small registered regions the zero-copy path encodes
+	// response headers into, so the header send is gathered from registered
+	// memory without a per-response allocation or registration.
+	hdrPool sync.Pool // of *verbs.MemoryRegion
+
+	// descPool recycles descriptor scratch (pack ranges + SGE lists) across
+	// zero-copy responses.
+	descPool sync.Pool // of *descScratch
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -71,12 +81,20 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		cache:      NewPrefetchCache(conf.Int(config.KeyPrefetchCacheCap), conf.Get(config.KeyCachePriorityMode), tt.Counters()),
 		cacheOn:    conf.Bool(config.KeyCachingEnabled),
 		sizeAware:  conf.Bool(config.KeySizeAwarePacking),
+		zeroCopy:   conf.Bool(config.KeyRDMAZeroCopy),
 		packetSize: int(conf.Int(config.KeyRDMAPacketBytes)),
 		reqQ:       make(chan *pendingRequest, 1024),
 		ctx:        ctx,
 		cancel:     cancel,
 	}
 	s.prefetcher = NewMapOutputPrefetcher(tt, s.cache, int(conf.Int(config.KeyPrefetchThreads)))
+	if s.zeroCopy && s.cacheOn {
+		// D8: register cache entries at Put time so responders can serve
+		// them by scatter-gather RDMA straight from cache memory. The
+		// ablation arm (zerocopy=false) leaves entries unregistered and
+		// every response goes through the staging copy.
+		s.cache.SetRegistrar(tt.Device())
+	}
 
 	// RDMAListener: accept incoming copier connections, "adds the
 	// connection to a pre-established queue, and starts an RDMAReceiver".
@@ -178,8 +196,21 @@ func (s *trackerServer) serve(p *pendingRequest) {
 	}
 	defer p.mu.Unlock()
 	resp := s.buildResponse(p)
-	if resp.payload != nil {
-		if err := p.ep.RDMAWrite(s.ctx, resp.payload.sge(), p.req.RemoteAddr, p.req.RKey); err != nil {
+	// release on every exit: returns the staging region to its pool, drops
+	// the zero-copy pin, and recycles descriptor scratch. Centralizing it
+	// here (rather than per-branch) is what keeps the staging pool
+	// leak-free across RDMA-write failures and header-send failures alike.
+	defer resp.release(s)
+	if resp.payload != nil || len(resp.sges) > 0 {
+		var err error
+		if len(resp.sges) > 0 {
+			// Zero-copy arm: gather the chunk straight out of the pinned
+			// cache region — no staging copy ever happens for these bytes.
+			err = p.ep.WriteSG(s.ctx, resp.sges, p.req.RemoteAddr, p.req.RKey)
+		} else {
+			err = p.ep.RDMAWrite(s.ctx, resp.payload.sge(), p.req.RemoteAddr, p.req.RKey)
+		}
+		if err != nil {
 			// The data exists — only the delivery failed. Transient tells
 			// the copier to re-issue instead of re-running the map.
 			resp.header.Err = fmt.Sprintf("rdma write: %v", err)
@@ -189,17 +220,88 @@ func (s *trackerServer) serve(p *pendingRequest) {
 			c := s.tt.Counters()
 			c.Add("shuffle.rdma.bytes", int64(resp.header.Bytes))
 			c.Add("shuffle.rdma.packets", 1)
+			if len(resp.sges) > 0 {
+				c.Add("shuffle.rdma.zerocopy.pinned.bytes", int64(resp.header.Bytes))
+			}
 		}
 	}
-	_ = p.ep.Send(s.ctx, resp.header.Encode())
-	if resp.payload != nil {
-		resp.payload.release()
+	s.sendHeader(p.ep, &resp.header)
+}
+
+// sendHeader delivers the response header. With zero-copy enabled it is
+// encoded into a pooled registered region and gather-sent from there;
+// otherwise (or when an oversized error string overflows the pooled
+// region) it falls back to the allocating encode + staged send.
+func (s *trackerServer) sendHeader(ep *ucr.EndPoint, h *wire.DataResponse) {
+	if s.zeroCopy {
+		hmr := s.headerMR()
+		if hmr != nil {
+			buf := h.EncodeAppend(hmr.Bytes()[:0])
+			if len(buf) <= hmr.Len() {
+				_ = ep.SendSG(s.ctx, []verbs.SGE{{MR: hmr, Length: len(buf)}})
+				s.hdrPool.Put(hmr)
+				return
+			}
+			s.hdrPool.Put(hmr)
+		}
 	}
+	_ = ep.Send(s.ctx, h.Encode())
+}
+
+// headerMR returns a pooled registered header region (nil if the device
+// refuses registration — the caller then uses the staged send).
+func (s *trackerServer) headerMR() *verbs.MemoryRegion {
+	if v := s.hdrPool.Get(); v != nil {
+		return v.(*verbs.MemoryRegion)
+	}
+	mr, err := s.tt.Device().RegisterMemory(make([]byte, 4096))
+	if err != nil {
+		return nil
+	}
+	return mr
+}
+
+// descScratch is the reusable per-response descriptor state of the
+// zero-copy path: the packer's range list and the SGE list posted to the
+// fabric.
+type descScratch struct {
+	ranges []Range
+	sges   []verbs.SGE
+}
+
+func (s *trackerServer) getScratch() *descScratch {
+	if v := s.descPool.Get(); v != nil {
+		return v.(*descScratch)
+	}
+	return &descScratch{}
 }
 
 type builtResponse struct {
 	header  wire.DataResponse
-	payload *stagedPayload
+	payload *stagedPayload // staging arm
+	view    *CacheView     // zero-copy arm: pin on the cache region
+	sges    []verbs.SGE    // zero-copy arm: gather list (aliases scratch)
+	scratch *descScratch
+}
+
+// release frees whatever the response holds: staging region back to the
+// pool, cache pin dropped (deregistration deferred to the last pin),
+// descriptor scratch recycled. Safe to call once per response on every
+// path out of serve.
+func (r *builtResponse) release(s *trackerServer) {
+	if r.payload != nil {
+		r.payload.release()
+		r.payload = nil
+	}
+	if r.view != nil {
+		r.view.Release()
+		r.view = nil
+	}
+	if r.scratch != nil {
+		r.sges = nil
+		s.descPool.Put(r.scratch)
+		r.scratch = nil
+	}
 }
 
 // stagedPayload is a registered staging buffer holding the packed chunk.
@@ -222,6 +324,7 @@ func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
 		mr := v.(*verbs.MemoryRegion)
 		if mr.Len() >= len(data) {
 			copy(mr.Bytes(), data)
+			s.tt.Counters().Add("shuffle.rdma.stage.outstanding", 1)
 			return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
 		}
 		// Too small for this request: drop it and allocate.
@@ -236,10 +339,16 @@ func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
 		return nil, err
 	}
 	copy(mr.Bytes(), data)
+	s.tt.Counters().Add("shuffle.rdma.stage.outstanding", 1)
 	return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
 }
 
+// release returns the staging region to the pool. Every stage() is paired
+// with exactly one release via builtResponse.release; the
+// shuffle.rdma.stage.outstanding counter must therefore read zero
+// whenever the responder pool is idle (asserted by the server tests).
 func (sp *stagedPayload) release() {
+	sp.srv.tt.Counters().Add("shuffle.rdma.stage.outstanding", -1)
 	sp.srv.stagePool.Put(sp.mr)
 }
 
@@ -262,6 +371,16 @@ func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
 		header.Err = err.Error()
 		header.Transient = true
 		return builtResponse{header: header}
+	}
+
+	if s.zeroCopy && s.cacheOn {
+		if resp, ok := s.buildZeroCopy(p, header); ok {
+			s.tt.Counters().Add("shuffle.rdma.zerocopy.hits", 1)
+			return resp
+		}
+		// Cache miss, unregistered body, or corrupt framing: serve this
+		// request through the staging copy below.
+		s.tt.Counters().Add("shuffle.rdma.zerocopy.fallbacks", 1)
 	}
 
 	run, err := s.lookup(CacheKey{JobID: req.JobID, MapID: int(req.MapID), Partition: int(req.ReduceID)})
@@ -289,6 +408,63 @@ func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
 		return failTransient(err)
 	}
 	return builtResponse{header: header, payload: payload}
+}
+
+// buildZeroCopy attempts the D8 zero-copy response: pin the cached run,
+// pack the chunk in descriptor mode, and point scatter-gather entries at
+// record-boundary ranges of the region registered over the run at Put
+// time. No payload byte is copied server-side. Returns ok=false when the
+// request cannot be served this way (cache miss, entry cached without a
+// region, corrupt framing, bad offset) — the caller falls back to the
+// staging path, which owns error reporting.
+func (s *trackerServer) buildZeroCopy(p *pendingRequest, header wire.DataResponse) (builtResponse, bool) {
+	req := p.req
+	key := CacheKey{JobID: req.JobID, MapID: int(req.MapID), Partition: int(req.ReduceID)}
+	// Contains first so a cold partition does not count a cache miss here
+	// and a second one in the fallback lookup.
+	if !s.cache.Contains(key) {
+		return builtResponse{}, false
+	}
+	view, ok := s.cache.Acquire(key)
+	if !ok {
+		return builtResponse{}, false
+	}
+	mr := view.MR()
+	if mr == nil {
+		view.Release()
+		return builtResponse{}, false
+	}
+	run := view.Bytes()
+	start, end, _, err := kv.RunBodySpan(run)
+	if err != nil {
+		view.Release()
+		return builtResponse{}, false
+	}
+	sc := s.getScratch()
+	res, ranges, err := PackDescriptors(run[start:end], req.Offset, s.packetSize,
+		int(req.MaxBytes), int(req.MaxRecords), s.sizeAware, verbs.MaxSGE, sc.ranges)
+	sc.ranges = ranges
+	if err != nil {
+		view.Release()
+		s.descPool.Put(sc)
+		return builtResponse{}, false
+	}
+	header.Bytes = int32(res.Bytes)
+	header.Records = int32(res.Records)
+	header.EOF = res.EOF
+	if res.Bytes == 0 {
+		view.Release()
+		s.descPool.Put(sc)
+		return builtResponse{header: header}, true
+	}
+	sges := sc.sges[:0]
+	for _, r := range ranges {
+		// Range offsets are relative to the record body; the SGE addresses
+		// the run-wide region, hence the +start rebase.
+		sges = append(sges, verbs.SGE{MR: mr, Offset: start + r.Off, Length: r.Len})
+	}
+	sc.sges = sges
+	return builtResponse{header: header, view: view, sges: sges, scratch: sc}, true
 }
 
 // lookup resolves a partition: PrefetchCache when enabled (demand-missing

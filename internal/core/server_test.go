@@ -19,14 +19,14 @@ import (
 // speaking the wire protocol directly — no reduce-side machinery — so
 // the request/response contract can be probed including error paths.
 type protoHarness struct {
-	t       *testing.T
+	t       testing.TB
 	cluster *mapred.Cluster
 	ep      *ucr.EndPoint
 	mr      *verbs.MemoryRegion
 	jobID   string
 }
 
-func newProtoHarness(t *testing.T, conf *config.Config) *protoHarness {
+func newProtoHarness(t testing.TB, conf *config.Config) *protoHarness {
 	t.Helper()
 	if conf == nil {
 		conf = config.New()
@@ -250,12 +250,12 @@ func TestProtocolCacheServesAfterAnnounce(t *testing.T) {
 
 // findServer returns node0's shuffle server (the cluster exposes them
 // index-aligned with Trackers for diagnostics).
-func findServer(t *testing.T, h *protoHarness) mapred.TrackerServer {
+func findServer(t testing.TB, h *protoHarness) mapred.TrackerServer {
 	t.Helper()
 	return h.cluster.Servers()[0]
 }
 
-func waitUntil(t *testing.T, cond func() bool) {
+func waitUntil(t testing.TB, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -309,11 +309,24 @@ func (wb *writerBuffer) Write(p []byte) (int, error) {
 // run, without copying. Shuffle responders use this to slice whole
 // records out of a cached run at arbitrary record boundaries.
 func RunBody(run []byte) (body []byte, count uint64, err error) {
-	rr, err := NewRunReader(run)
+	start, end, count, err := RunBodySpan(run)
 	if err != nil {
 		return nil, 0, err
 	}
-	return run[4 : len(run)-12], rr.count, nil
+	return run[start:end], count, nil
+}
+
+// RunBodySpan returns the [start, end) byte range of the record body
+// within an encoded run, plus the record count. Zero-copy responders
+// need the positions — not just the subslice — because their
+// scatter-gather entries address offsets into the memory region that
+// was registered over the whole run.
+func RunBodySpan(run []byte) (start, end int, count uint64, err error) {
+	rr, err := NewRunReader(run)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return 4, len(run) - 12, rr.count, nil
 }
 
 // NextRecordSize returns the encoded size of the record starting at the

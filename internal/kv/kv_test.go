@@ -393,6 +393,25 @@ func TestRunBody(t *testing.T) {
 	}
 }
 
+func TestRunBodySpan(t *testing.T) {
+	recs := mkRecs("a", "1", "bb", "22")
+	run := WriteRun(recs)
+	start, end, count, err := RunBodySpan(run)
+	if err != nil || count != 2 {
+		t.Fatalf("RunBodySpan: count=%d err=%v", count, err)
+	}
+	body, _, err := RunBody(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(run[start:end], body) {
+		t.Fatalf("span [%d:%d] does not frame the body", start, end)
+	}
+	if _, _, _, err := RunBodySpan([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
 func TestNextRecordSize(t *testing.T) {
 	recs := mkRecs("key", "value")
 	body := EncodeAll(recs)

@@ -131,7 +131,14 @@ type DataResponse struct {
 
 // Encode serializes the response.
 func (r *DataResponse) Encode() []byte {
-	buf := make([]byte, 0, 40+len(r.Err))
+	return r.EncodeAppend(make([]byte, 0, 40+len(r.Err)))
+}
+
+// EncodeAppend serializes the response into buf (reusing its capacity)
+// and returns the extended slice. Zero-copy responders encode straight
+// into a pooled registered header region so the header send allocates
+// nothing.
+func (r *DataResponse) EncodeAppend(buf []byte) []byte {
 	buf = append(buf, TypeDataResponse)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.MapID))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.ReduceID))

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 )
@@ -115,6 +116,29 @@ func TestEncodeAppendReusesBuffer(t *testing.T) {
 	got, err := DecodeDataRequest(b)
 	if err != nil || got.Tag != 9 || got.JobID != "j" {
 		t.Fatalf("round trip via scratch: %+v %v", got, err)
+	}
+}
+
+func TestResponseEncodeAppendMatchesEncode(t *testing.T) {
+	r := &DataResponse{
+		MapID: 3, ReduceID: 1, Offset: 77, Bytes: 1024, Records: 12,
+		EOF: true, Err: "transient pressure", Transient: true, Tag: 5,
+	}
+	scratch := make([]byte, 0, 128)
+	a := r.EncodeAppend(scratch[:0])
+	b := r.EncodeAppend(scratch[:0])
+	if &a[0] != &b[0] {
+		t.Fatal("EncodeAppend did not reuse the scratch buffer")
+	}
+	if !bytes.Equal(a, r.Encode()) {
+		t.Fatal("EncodeAppend bytes diverge from Encode")
+	}
+	got, err := DecodeDataResponse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Fatalf("round trip: %+v != %+v", got, r)
 	}
 }
 

@@ -366,12 +366,45 @@ func (ep *EndPoint) Device() *verbs.Device { return ep.dev }
 // RNR NAK retry of a reliable-connected QP: the peer's receive pump
 // re-posts ring buffers continuously, so brief exhaustion under bursts
 // is transient.
+//
+// The payload is copied once into the end-point's registered send region
+// — the bounce the gather path (SendSG) exists to avoid.
 func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 	if len(payload) > MaxMessage {
 		return fmt.Errorf("%w: %d bytes", ErrMessageTooLarge, len(payload))
 	}
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
+	copy(ep.sendMR.Bytes(), payload)
+	return ep.sendLocked(ctx, verbs.SendWR{
+		Opcode: verbs.OpSend,
+		SGE:    verbs.SGE{MR: ep.sendMR, Length: len(payload)},
+	})
+}
+
+// SendSG transmits one message gathered from the caller's registered
+// regions, without staging through the end-point's send buffer: the
+// fabric gathers the scatter-gather list into a single wire message of
+// the summed length (≤ MaxMessage). The SGL's regions must stay valid
+// and unmodified until SendSG returns — RNR retries re-post the same
+// list. Safe for concurrent use; sends are serialized.
+func (ep *EndPoint) SendSG(ctx context.Context, sgl []verbs.SGE) error {
+	total := 0
+	for _, sge := range sgl {
+		total += sge.Length
+	}
+	if total > MaxMessage {
+		return fmt.Errorf("%w: %d bytes gathered", ErrMessageTooLarge, total)
+	}
+	ep.sendMu.Lock()
+	defer ep.sendMu.Unlock()
+	return ep.sendLocked(ctx, verbs.SendWR{Opcode: verbs.OpSend, SGL: sgl})
+}
+
+// sendLocked runs the post→completion→RNR-retry loop for one SEND work
+// request. Caller holds sendMu; the WR's buffers must remain stable
+// across retries.
+func (ep *EndPoint) sendLocked(ctx context.Context, wr verbs.SendWR) error {
 	m := ep.metrics
 	var t0 time.Time
 	if m != nil {
@@ -384,11 +417,7 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 			return ErrClosed
 		default:
 		}
-		copy(ep.sendMR.Bytes(), payload)
-		err := ep.qp.PostSend(verbs.SendWR{
-			Opcode: verbs.OpSend,
-			SGE:    verbs.SGE{MR: ep.sendMR, Length: len(payload)},
-		})
+		err := ep.qp.PostSend(wr)
 		if err != nil {
 			// Posting fails only on a dead QP: ours after Close, or one
 			// the fabric severed.
@@ -450,15 +479,24 @@ func (ep *EndPoint) RegisterMemory(buf []byte) (*verbs.MemoryRegion, error) {
 // by (raddr, rkey), blocking until the completion. This is the shuffle
 // bulk data path: no receive is consumed and no copy crosses a kernel.
 func (ep *EndPoint) RDMAWrite(ctx context.Context, sge verbs.SGE, raddr uint64, rkey uint32) error {
-	return ep.rdma(ctx, verbs.OpRDMAWrite, sge, raddr, rkey)
+	return ep.rdma(ctx, verbs.SendWR{Opcode: verbs.OpRDMAWrite, SGE: sge, RemoteAddr: raddr, RKey: rkey})
+}
+
+// WriteSG gathers the scatter-gather list into one RDMA write against the
+// remote region addressed by (raddr, rkey) — the zero-copy responder path:
+// payload SGEs point straight into pinned cache regions and no staging
+// copy is made on either side. The SGL's regions must stay valid until
+// WriteSG returns.
+func (ep *EndPoint) WriteSG(ctx context.Context, sgl []verbs.SGE, raddr uint64, rkey uint32) error {
+	return ep.rdma(ctx, verbs.SendWR{Opcode: verbs.OpRDMAWrite, SGL: sgl, RemoteAddr: raddr, RKey: rkey})
 }
 
 // RDMARead fetches remote bytes into the local SGE, blocking until done.
 func (ep *EndPoint) RDMARead(ctx context.Context, sge verbs.SGE, raddr uint64, rkey uint32) error {
-	return ep.rdma(ctx, verbs.OpRDMARead, sge, raddr, rkey)
+	return ep.rdma(ctx, verbs.SendWR{Opcode: verbs.OpRDMARead, SGE: sge, RemoteAddr: raddr, RKey: rkey})
 }
 
-func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, raddr uint64, rkey uint32) error {
+func (ep *EndPoint) rdma(ctx context.Context, wr verbs.SendWR) error {
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
 	select {
@@ -471,7 +509,7 @@ func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, ra
 	if m != nil {
 		t0 = time.Now()
 	}
-	err := ep.qp.PostSend(verbs.SendWR{Opcode: op, SGE: sge, RemoteAddr: raddr, RKey: rkey})
+	err := ep.qp.PostSend(wr)
 	if err != nil {
 		return ep.classify(err)
 	}
@@ -480,10 +518,10 @@ func (ep *EndPoint) rdma(ctx context.Context, op verbs.Opcode, sge verbs.SGE, ra
 		return err
 	}
 	if wc.Status != verbs.WCSuccess {
-		return ep.classify(fmt.Errorf("%v failed: %v", op, wc.Status))
+		return ep.classify(fmt.Errorf("%v failed: %v", wr.Opcode, wc.Status))
 	}
 	if m != nil {
-		if op == verbs.OpRDMARead {
+		if wr.Opcode == verbs.OpRDMARead {
 			m.hRead.Observe(time.Since(t0))
 		} else {
 			m.hWrite.Observe(time.Since(t0))

@@ -54,16 +54,54 @@ func (s SGE) slice() ([]byte, error) {
 	return s.MR.buf[s.Offset : s.Offset+s.Length], nil
 }
 
+// MaxSGE is the largest scatter-gather list one work request may carry —
+// the emulated HCA's max_send_sge capability (real adapters advertise a
+// comparable, similarly small limit).
+const MaxSGE = 16
+
 // SendWR is a send-queue work request.
 type SendWR struct {
 	WRID   uint64
 	Opcode Opcode
 	SGE    SGE
+	// SGL, when non-empty, is the scatter-gather list of the request and
+	// takes precedence over SGE. The entries are gathered at the fabric
+	// boundary into one wire message: the latency/fault models and the
+	// receiver all see a single transfer of the summed length, exactly as
+	// an HCA gathers a multi-SGE work request into one packet stream.
+	SGL []SGE
 	// RemoteAddr/RKey address the target region for RDMA READ/WRITE.
 	RemoteAddr uint64
 	RKey       uint32
 	// Imm carries immediate data on SEND.
 	Imm uint32
+}
+
+// sgl returns the effective scatter-gather list without copying: the
+// explicit SGL when present, otherwise the single SGE viewed through the
+// caller-provided one-element array (kept off the heap on the fast path).
+func (wr *SendWR) sgl(one *[1]SGE) []SGE {
+	if len(wr.SGL) > 0 {
+		return wr.SGL
+	}
+	one[0] = wr.SGE
+	return one[:]
+}
+
+// checkSGL validates every entry of the effective list against its
+// region bounds and the MaxSGE capability, returning the total length.
+func checkSGL(sgl []SGE) (int, error) {
+	if len(sgl) > MaxSGE {
+		return 0, fmt.Errorf("%w: %d entries exceed MaxSGE=%d", ErrBadSGE, len(sgl), MaxSGE)
+	}
+	total := 0
+	for _, sge := range sgl {
+		if _, err := sge.slice(); err != nil {
+			return 0, err
+		}
+		total += sge.Length
+	}
+	return total, nil
 }
 
 // RecvWR is a receive-queue work request; incoming SENDs land in its SGE.
@@ -231,7 +269,8 @@ func (qp *QueuePair) PostRecv(wr RecvWR) error {
 
 // PostSend posts a send-queue work request. The QP must be RTS.
 func (qp *QueuePair) PostSend(wr SendWR) error {
-	if _, err := wr.SGE.slice(); err != nil {
+	var one [1]SGE
+	if _, err := checkSGL(wr.sgl(&one)); err != nil {
 		return err
 	}
 	qp.mu.Lock()
@@ -307,7 +346,13 @@ func (qp *QueuePair) process() {
 }
 
 func (qp *QueuePair) execute(wr SendWR) {
-	local, err := wr.SGE.slice()
+	// Gather list resolution: the fabric executes the work request as ONE
+	// wire message of the summed length — fault verdicts, injected latency,
+	// and the receiver's completion all see the total, never per-SGE
+	// fragments, mirroring how an HCA's DMA engine gathers before the wire.
+	var one [1]SGE
+	sgl := wr.sgl(&one)
+	total, err := checkSGL(sgl)
 	if err != nil {
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: wr.Opcode, QPN: qp.qpn})
 		return
@@ -331,7 +376,7 @@ func (qp *QueuePair) execute(wr SendWR) {
 	// FaultFailCompletion delivers the data but reports failure.
 	okStatus := WCSuccess
 	if fi := qp.dev.net.faultInjector(); fi != nil {
-		switch v := fi.SendVerdict(qp.dev.name, peerName, wr.Opcode, len(local)); v.Action {
+		switch v := fi.SendVerdict(qp.dev.name, peerName, wr.Opcode, total); v.Action {
 		case FaultDelay:
 			time.Sleep(v.Delay)
 		case FaultDropSend:
@@ -351,41 +396,61 @@ func (qp *QueuePair) execute(wr SendWR) {
 			return
 		}
 	}
-	qp.dev.net.injectDelay(len(local))
+	qp.dev.net.injectDelay(total)
 
 	switch wr.Opcode {
 	case OpSend:
-		qp.executeSend(wr, local, peer, peerQPN, okStatus)
+		qp.executeSend(wr, sgl, total, peer, peerQPN, okStatus)
 	case OpRDMAWrite:
 		peer.mu.Lock()
-		dst, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
+		dst, ok := peer.resolve(wr.RKey, wr.RemoteAddr, total)
 		if ok {
-			copy(dst, local)
+			gatherInto(dst, sgl)
 		}
 		peer.mu.Unlock()
 		if !ok {
 			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 			return
 		}
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: total, QPN: qp.qpn})
 	case OpRDMARead:
 		peer.mu.Lock()
-		src, ok := peer.resolve(wr.RKey, wr.RemoteAddr, len(local))
+		src, ok := peer.resolve(wr.RKey, wr.RemoteAddr, total)
 		if ok {
-			copy(local, src)
+			scatterFrom(src, sgl)
 		}
 		peer.mu.Unlock()
 		if !ok {
 			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 			return
 		}
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(local), QPN: qp.qpn})
+		qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: total, QPN: qp.qpn})
 	default:
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCLocalProtErr, Opcode: wr.Opcode, QPN: qp.qpn})
 	}
 }
 
-func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQPN uint32, okStatus WCStatus) {
+// gatherInto concatenates the SGL's segments into dst (already sized to
+// the summed length by resolve).
+func gatherInto(dst []byte, sgl []SGE) {
+	for _, sge := range sgl {
+		seg, _ := sge.slice() // validated by checkSGL
+		copy(dst, seg)
+		dst = dst[len(seg):]
+	}
+}
+
+// scatterFrom splits src across the SGL's segments in order (RDMA READ
+// with a scatter list).
+func scatterFrom(src []byte, sgl []SGE) {
+	for _, sge := range sgl {
+		seg, _ := sge.slice()
+		copy(seg, src)
+		src = src[len(seg):]
+	}
+}
+
+func (qp *QueuePair) executeSend(wr SendWR, sgl []SGE, total int, peer *Device, peerQPN uint32, okStatus WCStatus) {
 	peer.mu.Lock()
 	rqp, ok := peer.qps[peerQPN]
 	peer.mu.Unlock()
@@ -416,16 +481,16 @@ func (qp *QueuePair) executeSend(wr SendWR, payload []byte, peer *Device, peerQP
 	rqp.mu.Unlock()
 
 	dst, err := recv.SGE.slice()
-	if err != nil || len(dst) < len(payload) {
+	if err != nil || len(dst) < total {
 		// Receive buffer too small: local length error on the responder,
 		// remote op error on the requester.
 		rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCLocalProtErr, QPN: rqp.qpn})
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRemoteAccessErr, Opcode: wr.Opcode, QPN: qp.qpn})
 		return
 	}
-	copy(dst, payload)
-	rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCSuccess, ByteLen: len(payload), QPN: rqp.qpn, Imm: wr.Imm})
-	qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.qpn})
+	gatherInto(dst, sgl)
+	rqp.recvCQ.push(WC{WRID: recv.WRID, Status: WCSuccess, ByteLen: total, QPN: rqp.qpn, Imm: wr.Imm})
+	qp.sendCQ.push(WC{WRID: wr.WRID, Status: okStatus, Opcode: wr.Opcode, ByteLen: total, QPN: qp.qpn})
 }
 
 // Close shuts the device down, destroying its QPs.

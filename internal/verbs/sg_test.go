@@ -1,0 +1,175 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sgRegions registers three small regions on dev holding distinct marker
+// bytes, for composing gather lists across regions.
+func sgRegions(t *testing.T, d *Device) (*MemoryRegion, *MemoryRegion, *MemoryRegion) {
+	t.Helper()
+	a, b, c := mustMR(t, d, 16), mustMR(t, d, 16), mustMR(t, d, 16)
+	for i := range a.Bytes() {
+		a.Bytes()[i] = 'a'
+		b.Bytes()[i] = 'b'
+		c.Bytes()[i] = 'c'
+	}
+	return a, b, c
+}
+
+func TestSendGatherList(t *testing.T) {
+	qpA, qpB, cqA, cqB := pair(t)
+	a, b, c := sgRegions(t, qpA.dev)
+	dst := mustMR(t, qpB.dev, 64)
+
+	if err := qpB.PostRecv(RecvWR{WRID: 7, SGE: SGE{MR: dst, Length: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	// Gather three discontiguous regions (with offsets) into one message.
+	err := qpA.PostSend(SendWR{WRID: 1, Opcode: OpSend, SGL: []SGE{
+		{MR: a, Offset: 2, Length: 4},
+		{MR: b, Offset: 0, Length: 3},
+		{MR: c, Offset: 8, Length: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := waitWC(t, cqA)
+	if send.Status != WCSuccess || send.ByteLen != 12 {
+		t.Fatalf("send completion: %+v", send)
+	}
+	recv := waitWC(t, cqB)
+	if recv.Status != WCSuccess || recv.ByteLen != 12 {
+		t.Fatalf("recv completion: %+v", recv)
+	}
+	if got, want := dst.Bytes()[:12], []byte("aaaabbbccccc"); !bytes.Equal(got, want) {
+		t.Fatalf("gathered payload = %q, want %q", got, want)
+	}
+}
+
+func TestRDMAWriteGatherList(t *testing.T) {
+	qpA, qpB, cqA, _ := pair(t)
+	a, b, _ := sgRegions(t, qpA.dev)
+	dst := mustMR(t, qpB.dev, 64)
+
+	err := qpA.PostSend(SendWR{WRID: 2, Opcode: OpRDMAWrite,
+		SGL:        []SGE{{MR: a, Length: 5}, {MR: b, Offset: 4, Length: 6}},
+		RemoteAddr: dst.Addr() + 3, RKey: dst.RKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, cqA)
+	if wc.Status != WCSuccess || wc.ByteLen != 11 {
+		t.Fatalf("write completion: %+v", wc)
+	}
+	if got, want := dst.Bytes()[3:14], []byte("aaaaabbbbbb"); !bytes.Equal(got, want) {
+		t.Fatalf("written payload = %q, want %q", got, want)
+	}
+}
+
+func TestRDMAReadScatterList(t *testing.T) {
+	qpA, qpB, cqA, _ := pair(t)
+	src := mustMR(t, qpB.dev, 32)
+	copy(src.Bytes(), "0123456789abcdef")
+	d1, d2 := mustMR(t, qpA.dev, 8), mustMR(t, qpA.dev, 16)
+
+	err := qpA.PostSend(SendWR{WRID: 3, Opcode: OpRDMARead,
+		SGL:        []SGE{{MR: d1, Length: 6}, {MR: d2, Offset: 2, Length: 10}},
+		RemoteAddr: src.Addr(), RKey: src.RKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, cqA)
+	if wc.Status != WCSuccess || wc.ByteLen != 16 {
+		t.Fatalf("read completion: %+v", wc)
+	}
+	if !bytes.Equal(d1.Bytes()[:6], []byte("012345")) {
+		t.Fatalf("first scatter segment = %q", d1.Bytes()[:6])
+	}
+	if !bytes.Equal(d2.Bytes()[2:12], []byte("6789abcdef")) {
+		t.Fatalf("second scatter segment = %q", d2.Bytes()[2:12])
+	}
+}
+
+func TestSGLOutOfBoundsRejected(t *testing.T) {
+	qpA, _, _, _ := pair(t)
+	a := mustMR(t, qpA.dev, 16)
+	err := qpA.PostSend(SendWR{Opcode: OpSend, SGL: []SGE{
+		{MR: a, Length: 8},
+		{MR: a, Offset: 10, Length: 8}, // past the end
+	}})
+	if err == nil {
+		t.Fatal("out-of-bounds SGE accepted")
+	}
+}
+
+func TestSGLTooManyEntriesRejected(t *testing.T) {
+	qpA, _, _, _ := pair(t)
+	a := mustMR(t, qpA.dev, MaxSGE+2)
+	sgl := make([]SGE, MaxSGE+1)
+	for i := range sgl {
+		sgl[i] = SGE{MR: a, Offset: i, Length: 1}
+	}
+	if err := qpA.PostSend(SendWR{Opcode: OpSend, SGL: sgl}); err == nil {
+		t.Fatalf("SGL of %d entries accepted (MaxSGE=%d)", len(sgl), MaxSGE)
+	}
+}
+
+func TestSGLWriteTotalBoundsChecked(t *testing.T) {
+	// The gathered total, not any single SGE, must fit the remote region.
+	qpA, qpB, cqA, _ := pair(t)
+	a, b, _ := sgRegions(t, qpA.dev)
+	dst := mustMR(t, qpB.dev, 10)
+	err := qpA.PostSend(SendWR{Opcode: OpRDMAWrite,
+		SGL:        []SGE{{MR: a, Length: 8}, {MR: b, Length: 8}},
+		RemoteAddr: dst.Addr(), RKey: dst.RKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, cqA)
+	if wc.Status != WCRemoteAccessErr {
+		t.Fatalf("16-byte gather into 10-byte region completed: %+v", wc)
+	}
+}
+
+func TestSendGatherIntoSmallRecvFails(t *testing.T) {
+	qpA, qpB, cqA, cqB := pair(t)
+	a, b, _ := sgRegions(t, qpA.dev)
+	dst := mustMR(t, qpB.dev, 64)
+	if err := qpB.PostRecv(RecvWR{WRID: 9, SGE: SGE{MR: dst, Length: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	err := qpA.PostSend(SendWR{Opcode: OpSend,
+		SGL: []SGE{{MR: a, Length: 8}, {MR: b, Length: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc := waitWC(t, cqA); wc.Status != WCRemoteAccessErr {
+		t.Fatalf("sender completion: %+v", wc)
+	}
+	if wc := waitWC(t, cqB); wc.Status != WCLocalProtErr {
+		t.Fatalf("receiver completion: %+v", wc)
+	}
+}
+
+func TestMemoryRegionDead(t *testing.T) {
+	net := NewNetwork()
+	d, err := net.NewDevice("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := mustMR(t, d, 8)
+	if mr.Dead() {
+		t.Fatal("fresh region reports dead")
+	}
+	if err := mr.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Dead() {
+		t.Fatal("deregistered region reports alive")
+	}
+}

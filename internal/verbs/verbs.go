@@ -348,6 +348,15 @@ func (mr *MemoryRegion) Deregister() error {
 	return nil
 }
 
+// Dead reports whether the region has been deregistered. Cache pinning
+// tests use it to assert that deregistration is deferred while responses
+// are in flight.
+func (mr *MemoryRegion) Dead() bool {
+	mr.devMu.Lock()
+	defer mr.devMu.Unlock()
+	return mr.dead
+}
+
 // LKey returns the local protection key.
 func (mr *MemoryRegion) LKey() uint32 { return mr.lkey }
 
