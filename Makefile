@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle fuzz profile-smoke bench-obs
+.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke bench-obs
 
-verify: fmt vet build race chaos profile-smoke
+verify: fmt vet build race chaos profile-smoke bench-smoke
 
 # Fail on any file gofmt would rewrite.
 fmt:
@@ -50,14 +50,23 @@ bench-obs:
 	$(GO) test -run=NONE -bench=ObsOverheadDisabled ./internal/core/
 
 # Shuffle benchmark sweep → BENCH_shuffle.json: copier chunk-fetch
-# allocation profile, copier pipeline depth, and the D8 zero-copy
-# responder ablation (zerocopy vs staging arms).
+# allocation profile, copier pipeline depth, the D8 zero-copy responder
+# ablation (zerocopy vs staging arms), and the D9 three-arm fetch
+# ablation (read vs zerocopy vs staging, with responder busy-time and
+# send counts per fetch).
 bench-shuffle:
-	$(GO) test -run=NONE -bench='AblationZeroCopy|FetchChunkAllocs' -benchtime=2000x ./internal/core/ > BENCH_shuffle.txt
+	$(GO) test -run=NONE -bench='AblationZeroCopy|AblationFetchArm|FetchChunkAllocs' -benchtime=2000x ./internal/core/ > BENCH_shuffle.txt
 	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=200x . >> BENCH_shuffle.txt
 	$(GO) run ./cmd/benchjson < BENCH_shuffle.txt > BENCH_shuffle.json
 	@rm -f BENCH_shuffle.txt
 	@echo "wrote BENCH_shuffle.json"
+
+# One-iteration smoke pass over every shuffle benchmark: the gate is
+# that the harnesses build, run, and their internal assertions (e.g.
+# "the read arm actually issued READs") hold — not the numbers.
+bench-smoke:
+	$(GO) test -run=NONE -bench='AblationFetchArm|AblationZeroCopy|FetchChunkAllocs' -benchtime=1x ./internal/core/
+	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=1x .
 
 # D5 ablation: copier outstanding-request depth (bounce-buffer ring).
 bench-depth:

@@ -11,8 +11,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
+
+	"rdmamr/internal/config"
 )
 
 // Result is one parsed benchmark line.
@@ -28,16 +32,36 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Report is the whole run.
+// Report is the whole run, stamped with enough provenance to compare
+// BENCH_shuffle.json files across commits: the git SHA the numbers were
+// produced at, when, and the resolved (defaults included) configuration
+// every benchmark inherits unless it overrides a key.
 type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"benchmarks"`
+	Goos      string            `json:"goos,omitempty"`
+	Goarch    string            `json:"goarch,omitempty"`
+	CPU       string            `json:"cpu,omitempty"`
+	GitSHA    string            `json:"git_sha,omitempty"`
+	Generated string            `json:"generated,omitempty"`
+	Config    map[string]string `json:"config,omitempty"`
+	Results   []Result          `json:"benchmarks"`
+}
+
+// gitSHA resolves the current commit; empty (and omitted from the JSON)
+// when the tree is not a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
-	var rep Report
+	rep := Report{
+		GitSHA:    gitSHA(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Config:    config.New().Snapshot(),
+	}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -68,6 +68,24 @@ const (
 	// responder (the ablation arm), which copies every chunk into a pooled
 	// registered bounce buffer before posting.
 	KeyRDMAZeroCopy = "mapred.rdma.zerocopy.enabled"
+	// KeyRDMAFetchArm names the shuffle fetch arm explicitly:
+	//   "read"     — one-sided arm: the responder publishes a descriptor
+	//                manifest over the pinned cache body and the copier
+	//                RDMA-READs payloads itself (falling back to the
+	//                zerocopy write path for anything not manifest-served);
+	//   "zerocopy" — responder-driven scatter-gather RDMA writes from the
+	//                pinned cache (the D8 path);
+	//   "staging"  — legacy staging-copy responder (the ablation arm).
+	// Unset (the default) derives the arm from KeyRDMAZeroCopy for
+	// backward compatibility: true → zerocopy, false → staging. When set,
+	// this key wins over KeyRDMAZeroCopy.
+	KeyRDMAFetchArm = "mapred.rdma.fetch.arm"
+	// KeyRDMAReadLeaseTimeout bounds, in milliseconds, how long a
+	// responder keeps a manifest's cache body pinned waiting for the
+	// copier to READ it. Expiry unpins the body; late READs then fail
+	// with a clean remote-access error and the copier falls back to the
+	// write path.
+	KeyRDMAReadLeaseTimeout = "mapred.rdma.read.lease.timeout"
 	// KeyObsProfile enables per-job shuffle profiling: phase-overlap
 	// windows, fetch spans, per-host latency histograms, TTFB. Off by
 	// default — the copier hot path then takes zero observability cost.
@@ -108,8 +126,33 @@ var defaults = map[string]string{
 	KeyRDMABackoffMax:         "200",   // ms
 	KeyRDMARequestTimeout:     "30000", // ms; 0 disables the deadline
 	KeyRDMAZeroCopy:           "true",
+	KeyRDMAFetchArm:           "", // "" = follow KeyRDMAZeroCopy
+	KeyRDMAReadLeaseTimeout:   "30000",
 	KeyObsProfile:             "false",
 	KeyObsHTTPAddr:            "",
+}
+
+// Fetch arm values for KeyRDMAFetchArm.
+const (
+	FetchArmRead     = "read"
+	FetchArmZeroCopy = "zerocopy"
+	FetchArmStaging  = "staging"
+)
+
+// FetchArm resolves the effective shuffle fetch arm: the explicit
+// KeyRDMAFetchArm value when set, otherwise derived from KeyRDMAZeroCopy
+// (true → zerocopy, false → staging) so configurations predating the
+// read arm keep their behaviour. Unknown values resolve like unset;
+// Validate rejects them.
+func (c *Config) FetchArm() string {
+	switch v := strings.TrimSpace(c.Get(KeyRDMAFetchArm)); v {
+	case FetchArmRead, FetchArmZeroCopy, FetchArmStaging:
+		return v
+	}
+	if c.Bool(KeyRDMAZeroCopy) {
+		return FetchArmZeroCopy
+	}
+	return FetchArmStaging
 }
 
 // Config is a concurrency-safe key/value configuration. The zero value is
@@ -222,6 +265,26 @@ func DefaultFor(key string) (string, bool) {
 	return v, ok
 }
 
+// Snapshot returns the effective value of every known key — registered
+// defaults overlaid with explicit sets, plus any explicitly-set keys this
+// package does not know. Bench tooling stamps result files with it so a
+// recorded number is attributable to the exact configuration that
+// produced it. Works on a nil receiver (pure defaults).
+func (c *Config) Snapshot() map[string]string {
+	out := make(map[string]string, len(defaults))
+	for k, v := range defaults {
+		out[k] = v
+	}
+	if c != nil {
+		c.mu.RLock()
+		for k, v := range c.vals {
+			out[k] = v
+		}
+		c.mu.RUnlock()
+	}
+	return out
+}
+
 // Validate checks cross-key consistency and value sanity for the keys this
 // package knows about, returning a descriptive error for the first
 // violation found.
@@ -268,6 +331,14 @@ func (c *Config) Validate() error {
 	}
 	if mode := c.Get(KeyCachePriorityMode); mode != "priority" && mode != "fifo" {
 		return fmt.Errorf("config: %s must be priority or fifo, got %q", KeyCachePriorityMode, mode)
+	}
+	switch arm := strings.TrimSpace(c.Get(KeyRDMAFetchArm)); arm {
+	case "", FetchArmRead, FetchArmZeroCopy, FetchArmStaging:
+	default:
+		return fmt.Errorf("config: %s must be read, zerocopy, or staging, got %q", KeyRDMAFetchArm, arm)
+	}
+	if v := c.Int(KeyRDMAReadLeaseTimeout); v < 1 || v > 600000 {
+		return fmt.Errorf("config: %s = %d outside [1, 600000] ms", KeyRDMAReadLeaseTimeout, v)
 	}
 	if c.Bool(KeyCachingEnabled) && !c.Bool(KeyRDMAEnabled) {
 		// Caching is part of the RDMA design; allowed but meaningless

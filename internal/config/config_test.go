@@ -196,3 +196,68 @@ func TestValidateRobustnessKeys(t *testing.T) {
 		t.Fatal("backoff.max < backoff.base accepted")
 	}
 }
+
+func TestFetchArmResolution(t *testing.T) {
+	c := New()
+	if arm := c.FetchArm(); arm != FetchArmZeroCopy {
+		t.Fatalf("default arm = %q, want zerocopy (zerocopy.enabled defaults true)", arm)
+	}
+	c.SetBool(KeyRDMAZeroCopy, false)
+	if arm := c.FetchArm(); arm != FetchArmStaging {
+		t.Fatalf("zerocopy=false arm = %q, want staging", arm)
+	}
+	// The explicit key wins over the legacy boolean.
+	c.Set(KeyRDMAFetchArm, FetchArmRead)
+	if arm := c.FetchArm(); arm != FetchArmRead {
+		t.Fatalf("explicit read arm = %q", arm)
+	}
+	c.Set(KeyRDMAFetchArm, " zerocopy ")
+	if arm := c.FetchArm(); arm != FetchArmZeroCopy {
+		t.Fatalf("whitespace-padded arm = %q, want zerocopy", arm)
+	}
+	// Nil config resolves like defaults.
+	var nilConf *Config
+	if arm := nilConf.FetchArm(); arm != FetchArmZeroCopy {
+		t.Fatalf("nil config arm = %q", arm)
+	}
+}
+
+func TestValidateFetchArmAndLease(t *testing.T) {
+	c := New()
+	c.Set(KeyRDMAFetchArm, "pigeon")
+	if err := c.Validate(); err == nil {
+		t.Fatal("unknown fetch arm accepted")
+	}
+	c.Set(KeyRDMAFetchArm, FetchArmRead)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("read arm rejected: %v", err)
+	}
+	c.SetInt(KeyRDMAReadLeaseTimeout, 0)
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero lease timeout accepted")
+	}
+	c.SetInt(KeyRDMAReadLeaseTimeout, 50)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("sane lease timeout rejected: %v", err)
+	}
+}
+
+func TestSnapshotCoversDefaultsAndOverrides(t *testing.T) {
+	c := New()
+	c.Set(KeyRDMAFetchArm, FetchArmRead)
+	c.Set("x.custom.key", "7")
+	snap := c.Snapshot()
+	if snap[KeyRDMAFetchArm] != FetchArmRead {
+		t.Fatalf("snapshot missed override: %q", snap[KeyRDMAFetchArm])
+	}
+	if snap[KeyRDMAPacketBytes] != "131072" {
+		t.Fatalf("snapshot missed default: %q", snap[KeyRDMAPacketBytes])
+	}
+	if snap["x.custom.key"] != "7" {
+		t.Fatal("snapshot missed unknown explicit key")
+	}
+	var nilConf *Config
+	if nilSnap := nilConf.Snapshot(); nilSnap[KeyRDMAZeroCopy] != "true" {
+		t.Fatal("nil snapshot missing defaults")
+	}
+}

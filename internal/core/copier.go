@@ -179,6 +179,38 @@ type chunkReq struct {
 	// re-issued request keeps its original enq, so the span covers the
 	// full latency the reducer observed, retries included.
 	enq time.Time
+	// noRead forces the two-sided path for this request. Set after a READ
+	// against this offset faulted (lease expired, entry evicted): the
+	// re-issue must not ask for another manifest, or an aggressively
+	// evicting tracker could bounce the same chunk between arms forever.
+	// Survives takePending re-issues by riding in the request itself.
+	noRead bool
+}
+
+// readPlan is the copier-side life of one descriptor manifest (D9): the
+// remaining chunks the copier may READ under the manifest's lease, in
+// offset order. A plan dies by exhaustion (every chunk taken), by
+// mismatch (the segment asked for an offset other than the head — a
+// retry or recovery changed the stream), or by a READ fault. The last
+// in-flight chunk of a dead plan sends the eager LeaseRelease so the
+// server drops its pin before the deadline.
+type readPlan struct {
+	mapID    int
+	leaseID  uint64
+	rkey     uint32
+	chunks   []wire.ReadChunk // not yet taken; head is the next offset
+	pending  int              // chunks taken but not yet completed
+	released bool
+}
+
+// readJob is one chunk the read pump pulls one-sided: the slot it owns
+// (already registered in hc.pending), the owning request, the manifest
+// chunk describing the remote ranges, and the plan it came from.
+type readJob struct {
+	slot  uint32
+	req   chunkReq
+	entry wire.ReadChunk
+	plan  *readPlan
 }
 
 // hostPeer is the fetcher's long-lived handle on one TaskTracker. It
@@ -238,9 +270,14 @@ type hostConn struct {
 	// failures start a fresh streak.
 	progress atomic.Bool
 
+	// readCh feeds the read pumps. Capacity is depth: a job owns a slot,
+	// so there can never be more queued jobs than slots.
+	readCh chan readJob
+
 	mu       sync.Mutex
 	pending  map[uint32]pendingSlot // slot tag → in-flight request
 	unsent   []chunkReq             // claimed by sendLoop but never sent
+	plans    map[int]*readPlan      // mapID → live manifest plan
 	inFlight int
 	tainted  bool // protocol/transport failure: ring must not be pooled
 	failErr  error
@@ -289,6 +326,77 @@ func (hc *hostConn) takePending() []chunkReq {
 	hc.unsent = nil
 	hc.inFlight = 0
 	return reqs
+}
+
+// planTake matches a request against the host's live plan for its map:
+// a hit pops the head chunk for a one-sided READ in place of a wire
+// request. A mismatch (retry or recovery moved the stream) abandons the
+// plan — its chunks describe offsets this segment will never ask for
+// again in order. staleID is the lease to release when an abandoned
+// plan has nothing in flight; the caller sends it outside the lock.
+func (hc *hostConn) planTake(mapID int, offset int64) (entry wire.ReadChunk, plan *readPlan, staleID uint64, ok bool) {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	p := hc.plans[mapID]
+	if p == nil {
+		return wire.ReadChunk{}, nil, 0, false
+	}
+	if len(p.chunks) == 0 || p.chunks[0].Offset != offset {
+		delete(hc.plans, mapID)
+		if p.pending == 0 && !p.released {
+			p.released = true
+			staleID = p.leaseID
+		}
+		return wire.ReadChunk{}, nil, staleID, false
+	}
+	entry = p.chunks[0]
+	p.chunks = p.chunks[1:]
+	p.pending++
+	if len(p.chunks) == 0 {
+		// Exhausted: detach now so the next request for this map sends a
+		// fresh read-capable wire request. The lease releases when the
+		// last in-flight chunk completes.
+		delete(hc.plans, mapID)
+	}
+	return entry, p, 0, true
+}
+
+// detachPlan abandons a plan (READ fault, replacement by a newer
+// manifest) and returns the lease to release if nothing is in flight.
+func (hc *hostConn) detachPlan(p *readPlan) uint64 {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	if hc.plans[p.mapID] == p {
+		delete(hc.plans, p.mapID)
+	}
+	if p.pending == 0 && !p.released {
+		p.released = true
+		return p.leaseID
+	}
+	return 0
+}
+
+// planDone retires one in-flight chunk and returns the lease to release
+// when the plan is drained or abandoned with nothing else in flight.
+func (hc *hostConn) planDone(p *readPlan) uint64 {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	p.pending--
+	if p.pending == 0 && hc.plans[p.mapID] != p && !p.released {
+		p.released = true
+		return p.leaseID
+	}
+	return 0
+}
+
+// releaseLease eagerly retires a server-side lease. Best-effort: on a
+// dying connection the send fails and the server's janitor collects the
+// lease at its deadline instead.
+func (hc *hostConn) releaseLease(ctx context.Context, id uint64) {
+	if id == 0 {
+		return
+	}
+	_ = hc.ep.Send(ctx, (&wire.LeaseRelease{LeaseID: id}).Encode())
 }
 
 // ringPools caches registered fetch rings per device so successive
@@ -404,6 +512,8 @@ func (f *fetcher) dialConn(ctx context.Context, host string) (*hostConn, error) 
 		slotSize: f.slotSize, depth: f.depth,
 		free:    make(chan uint32, f.depth),
 		pending: make(map[uint32]pendingSlot, f.depth),
+		readCh:  make(chan readJob, f.depth),
+		plans:   make(map[int]*readPlan),
 		failed:  make(chan struct{}),
 	}
 	for s := 0; s < f.depth; s++ {
@@ -513,6 +623,16 @@ func (f *fetcher) runConn(ctx context.Context, p *hostPeer, hc *hostConn, orphan
 	wg.Add(2)
 	go func() { defer wg.Done(); f.sendLoop(cctx, p, hc, orphans) }()
 	go func() { defer wg.Done(); f.recvLoop(cctx, p, hc) }()
+	if f.readArm {
+		// One pump per slot: every queued readJob owns a slot, so depth
+		// pumps drain the channel at full pipeline depth. They join the
+		// same group as the wire pumps — takePending runs only after every
+		// goroutine that could touch hc.pending has parked.
+		for i := 0; i < hc.depth; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); f.readPump(cctx, p, hc) }()
+		}
+	}
 	if f.reqTimeout > 0 {
 		wg.Add(1)
 		go func() { defer wg.Done(); f.watchdog(cctx, p, hc) }()
@@ -631,6 +751,23 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 		hc.mu.Unlock()
 		f.cOutPeak.Max(int64(depthNow))
 		f.prof.SlotOccupancy(depthNow)
+		if f.readArm && !req.noRead {
+			entry, plan, staleID, hit := hc.planTake(req.mapID, req.offset)
+			hc.releaseLease(cctx, staleID)
+			if hit {
+				// The live manifest already covers this offset: hand the
+				// slot to a read pump and send nothing. This is the arm's
+				// payoff — one responder message per plan, not per chunk.
+				select {
+				case hc.readCh <- readJob{slot: slot, req: req, entry: entry, plan: plan}:
+				case <-cctx.Done():
+					// The request is in hc.pending; takePending re-issues it.
+					hc.stashUnsent(orphans...)
+					return
+				}
+				continue
+			}
+		}
 		wreq := wire.DataRequest{
 			JobID:      f.task.Job.ID,
 			MapID:      int32(req.mapID),
@@ -641,6 +778,9 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 			RemoteAddr: hc.ring.Addr() + uint64(slot)*uint64(hc.slotSize),
 			RKey:       hc.ring.RKey(),
 			Tag:        slot,
+		}
+		if f.readArm && !req.noRead {
+			wreq.Flags = wire.FlagFetchRead
 		}
 		scratch = wreq.EncodeAppend(scratch[:0])
 		if err := hc.ep.Send(cctx, scratch); err != nil {
@@ -677,6 +817,22 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 				hc.abort(fmt.Errorf("core: response from %s: %w", p.host, err))
 			}
 			return
+		}
+		if len(msg) > 0 && msg[0] == wire.TypeReadManifest {
+			if !f.readArm {
+				hc.abort(fmt.Errorf("core: %s: %w: unsolicited read manifest", p.host, errProtocol))
+				return
+			}
+			m, err := wire.DecodeReadManifest(msg)
+			if err != nil {
+				hc.abort(fmt.Errorf("core: %s: %w: %v", p.host, errProtocol, err))
+				return
+			}
+			if err := f.installPlan(cctx, hc, m); err != nil {
+				hc.abort(fmt.Errorf("core: %s: %w", p.host, err))
+				return
+			}
+			continue
 		}
 		resp, err := wire.DecodeDataResponse(msg)
 		if err != nil {
@@ -754,6 +910,168 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 	}
 }
 
+// installPlan accepts a descriptor manifest answering the request in
+// slot m.Tag: chunk 0 is dispatched to a read pump immediately and the
+// rest become the host's live plan for that map, consumed by planTake as
+// the segment walks forward. The pending entry stays registered — the
+// read pump, not a wire response, completes it. Returns an error (a
+// protocol violation aborting the connection) when the manifest does not
+// match what the slot asked for.
+func (f *fetcher) installPlan(cctx context.Context, hc *hostConn, m *wire.ReadManifest) error {
+	hc.mu.Lock()
+	ps, ok := hc.pending[m.Tag]
+	if !ok {
+		hc.mu.Unlock()
+		return fmt.Errorf("%w: manifest for unknown slot tag %d", errProtocol, m.Tag)
+	}
+	if len(m.Chunks) == 0 || m.Chunks[0].Offset != ps.req.offset || int(m.MapID) != ps.req.mapID {
+		hc.mu.Unlock()
+		return fmt.Errorf("%w: manifest does not cover map %d offset %d", errProtocol, ps.req.mapID, ps.req.offset)
+	}
+	plan := &readPlan{mapID: ps.req.mapID, leaseID: m.LeaseID, rkey: m.RKey, chunks: m.Chunks[1:], pending: 1}
+	stale := hc.plans[plan.mapID]
+	if len(plan.chunks) > 0 {
+		hc.plans[plan.mapID] = plan
+	}
+	hc.mu.Unlock()
+	if stale != nil {
+		hc.releaseLease(cctx, hc.detachPlan(stale))
+	}
+	select {
+	case hc.readCh <- readJob{slot: m.Tag, req: ps.req, entry: m.Chunks[0], plan: plan}:
+	case <-cctx.Done():
+	}
+	return nil
+}
+
+// readPump executes one-sided fetches: each job READs its manifest
+// chunk's remote ranges straight into the job's ring slot — the
+// responder is not involved at all — then completes the slot exactly
+// like a wire response would have.
+func (f *fetcher) readPump(cctx context.Context, p *hostPeer, hc *hostConn) {
+	for {
+		select {
+		case <-cctx.Done():
+			return
+		case job := <-hc.readCh:
+			f.executeRead(cctx, p, hc, job)
+		}
+	}
+}
+
+// executeRead issues the RDMA READs for one manifest chunk. Remote
+// ranges are record-boundary descriptors over the pinned cache region;
+// contiguous ones coalesce into a single READ. The local destination is
+// the slot, filled front to back, so the payload lands exactly as an
+// RDMA-written response would have.
+func (f *fetcher) executeRead(cctx context.Context, p *hostPeer, hc *hostConn, job readJob) {
+	entry := job.entry
+	n := int(entry.Bytes)
+	total := 0
+	for _, r := range entry.Ranges {
+		total += int(r.Len)
+	}
+	if n < 0 || n > hc.slotSize || total != n {
+		hc.abort(fmt.Errorf("core: %s: %w: manifest chunk claims %d bytes, ranges sum %d (slot %d)",
+			p.host, errProtocol, n, total, hc.slotSize))
+		return
+	}
+	base := int(job.slot) * hc.slotSize
+	reads := 0
+	var sgl [1]verbs.SGE
+	for i, local := 0, 0; i < len(entry.Ranges); {
+		// Coalesce remote-contiguous descriptors: one READ per span.
+		addr := entry.Ranges[i].Addr
+		span := int(entry.Ranges[i].Len)
+		i++
+		for i < len(entry.Ranges) && entry.Ranges[i].Addr == addr+uint64(span) {
+			span += int(entry.Ranges[i].Len)
+			i++
+		}
+		sgl[0] = verbs.SGE{MR: hc.ring, Offset: base + local, Length: span}
+		if err := hc.ep.ReadSG(cctx, sgl[:], addr, job.plan.rkey); err != nil {
+			f.readFailed(cctx, p, hc, job, err)
+			return
+		}
+		local += span
+		reads++
+	}
+	hc.mu.Lock()
+	ps, ok := hc.pending[job.slot]
+	if ok {
+		delete(hc.pending, job.slot)
+		hc.inFlight--
+	}
+	hc.mu.Unlock()
+	if !ok {
+		// Torn down underneath us; takePending owns the request now.
+		return
+	}
+	counters := f.task.Local.Counters()
+	var payload []byte
+	if n > 0 {
+		payload = getPayload(n, counters)
+		copy(payload, hc.ring.Bytes()[base:base+n])
+	}
+	f.cReadIssued.Add(int64(reads))
+	f.cReadBytes.Add(int64(n))
+	f.cRecvBytes.Add(int64(n))
+	if !hc.progress.Swap(true) {
+		p.health.recordSuccess()
+	}
+	ck := chunk{data: payload, eof: entry.EOF, next: entry.Offset + int64(n), off: job.req.offset}
+	if f.prof != nil {
+		ck.span = &obs.FetchSpan{
+			Host: p.host, Reduce: f.task.ReduceID, MapID: job.req.mapID,
+			Offset: job.req.offset, Bytes: n, Retries: job.req.retries,
+			Enqueued: job.req.enq, Sent: ps.issued, Received: time.Now(),
+			SlotWait: ps.slotWait,
+		}
+	}
+	hc.free <- job.slot
+	hc.releaseLease(cctx, hc.planDone(job.plan))
+	deliver(f.runCtx, job.req.seg, ck)
+}
+
+// readFailed handles a failed READ. A remote-access fault means the
+// lease expired or the entry was evicted and its region deregistered —
+// the bytes were never written, nothing is corrupt — so the request
+// falls back to the two-sided path (noRead) without consuming retry
+// budget. Anything else is a transport failure: abort the connection and
+// let the supervisor re-issue everything idempotently.
+func (f *fetcher) readFailed(cctx context.Context, p *hostPeer, hc *hostConn, job readJob, err error) {
+	if cctx.Err() != nil {
+		return // teardown: takePending re-issues the pending request
+	}
+	f.cReadFallbacks.Add(1)
+	hc.releaseLease(cctx, hc.detachPlan(job.plan))
+	hc.releaseLease(cctx, hc.planDone(job.plan))
+	if !errors.Is(err, ucr.ErrRemoteAccess) {
+		hc.abort(fmt.Errorf("core: read from %s: %w", p.host, err))
+		return
+	}
+	hc.mu.Lock()
+	_, ok := hc.pending[job.slot]
+	if ok {
+		delete(hc.pending, job.slot)
+		hc.inFlight--
+	}
+	hc.mu.Unlock()
+	if !ok {
+		return
+	}
+	hc.free <- job.slot
+	req := job.req
+	req.noRead = true
+	select {
+	case p.reqCh <- req:
+	default:
+		// Queue sized for one request per segment; unreachable in
+		// practice, but never block a read pump.
+		go func(r chunkReq) { _ = p.enqueue(f.runCtx, r) }(req)
+	}
+}
+
 // watchdog enforces the per-request deadline: any pending request older
 // than mapred.rdma.request.timeout fails the connection, so a silent
 // peer cannot pin a bounce-buffer slot (and its segment) forever.
@@ -826,6 +1144,9 @@ type fetcher struct {
 	kvPerPacket int
 	slotSize    int
 	depth       int
+	// readArm: fetch requests advertise read-capability and cache-resident
+	// chunks are pulled by one-sided RDMA READ (D9).
+	readArm bool
 
 	// Robustness policy (see DESIGN.md D6).
 	connectRetries int
@@ -840,12 +1161,15 @@ type fetcher struct {
 
 	// Pre-resolved counter handles: the pumps increment these per packet,
 	// so they skip the registry's name lookup.
-	cRetries    *obs.Counter
-	cReconnects *obs.Counter
-	cDeadline   *obs.Counter
-	cSlotStalls *obs.Counter
-	cRecvBytes  *obs.Counter
-	cOutPeak    *obs.Counter
+	cRetries       *obs.Counter
+	cReconnects    *obs.Counter
+	cDeadline      *obs.Counter
+	cSlotStalls    *obs.Counter
+	cRecvBytes     *obs.Counter
+	cOutPeak       *obs.Counter
+	cReadIssued    *obs.Counter
+	cReadBytes     *obs.Counter
+	cReadFallbacks *obs.Counter
 
 	mu    sync.Mutex
 	peers map[string]*hostPeer
@@ -879,6 +1203,7 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	c := task.Local.Counters()
 	f := &fetcher{
 		task:           task,
+		readArm:        conf.FetchArm() == config.FetchArmRead,
 		overlap:        conf.Bool(config.KeyOverlapReduce),
 		kvPerPacket:    int(conf.Int(config.KeyKVPairsPerPacket)),
 		slotSize:       packet + 64<<10,
@@ -897,6 +1222,9 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	f.cSlotStalls = c.Handle("shuffle.rdma.slot.stalls")
 	f.cRecvBytes = c.Handle("shuffle.rdma.recv.bytes")
 	f.cOutPeak = c.Handle("shuffle.rdma.outstanding.peak")
+	f.cReadIssued = c.Handle("shuffle.rdma.read.issued")
+	f.cReadBytes = c.Handle("shuffle.rdma.read.bytes")
+	f.cReadFallbacks = c.Handle("shuffle.rdma.read.fallbacks")
 	return f
 }
 

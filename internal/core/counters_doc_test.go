@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var counterNameRe = regexp.MustCompile(`shuffle\.rdma\.[a-z][a-z0-9._]*[a-z0-9]`)
+
+// TestCounterNamesMatchDocs pins the counter namespace to the README's
+// "Shuffle counter reference" table: every `shuffle.rdma.*` name used by
+// this package's non-test sources must be documented, and every name the
+// README mentions must exist in the sources. Rename a counter — or add
+// one — and this fails until the table is updated, so dashboards built
+// on the documented names never silently break.
+func TestCounterNamesMatchDocs(t *testing.T) {
+	inCode := map[string]bool{}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range counterNameRe.FindAllString(string(src), -1) {
+			inCode[m] = true
+		}
+	}
+	if len(inCode) == 0 {
+		t.Fatal("no shuffle.rdma.* counters found in package sources")
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDocs := map[string]bool{}
+	for _, m := range counterNameRe.FindAllString(string(readme), -1) {
+		inDocs[m] = true
+	}
+
+	var undocumented, phantom []string
+	for name := range inCode {
+		if !inDocs[name] {
+			undocumented = append(undocumented, name)
+		}
+	}
+	for name := range inDocs {
+		if !inCode[name] {
+			phantom = append(phantom, name)
+		}
+	}
+	sort.Strings(undocumented)
+	sort.Strings(phantom)
+	if len(undocumented) > 0 {
+		t.Errorf("counters used in code but missing from README's reference table: %v", undocumented)
+	}
+	if len(phantom) > 0 {
+		t.Errorf("counters documented in README but absent from the code: %v", phantom)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/fabric"
+)
+
+// readConf is stressConf with the D9 one-sided fetch arm selected.
+func readConf(depth int64) *config.Config {
+	conf := stressConf(depth)
+	conf.Set(config.KeyRDMAFetchArm, config.FetchArmRead)
+	return conf
+}
+
+func waitFor(t testing.TB, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+// TestRingReadArmServesFromCache: once every partition is cache-resident,
+// a full fetcher lifetime on the read arm moves the entire shuffle by
+// one-sided READs — zero two-sided data packets, zero fallbacks — and
+// releases every lease when done.
+func TestRingReadArmServesFromCache(t *testing.T) {
+	poisonReleasedPayloads.Store(true)
+	defer poisonReleasedPayloads.Store(false)
+
+	h := newRingHarness(t, readConf(4), 8, 100)
+	srv, ok := h.cluster.Servers()[0].(*trackerServer)
+	if !ok {
+		t.Fatalf("server is %T, want *trackerServer", h.cluster.Servers()[0])
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Cold pass: demand misses re-cache every partition in the background.
+	h.fetch(ctx)
+	c := h.tt.Counters()
+	waitFor(t, func() bool { return c.Get("cache.inserted") >= int64(h.numMaps) })
+
+	packets := c.Get("shuffle.rdma.packets")
+	issued := c.Get("shuffle.rdma.read.issued")
+	manifests := c.Get("shuffle.rdma.read.manifests")
+
+	// Warm pass: everything is cache-resident, so the responder publishes
+	// manifests and never touches a payload byte.
+	h.fetch(ctx)
+
+	if got := c.Get("shuffle.rdma.read.issued"); got <= issued {
+		t.Fatalf("read.issued = %d before, %d after: warm pass issued no READs", issued, got)
+	}
+	if got := c.Get("shuffle.rdma.read.manifests"); got < manifests+int64(h.numMaps) {
+		t.Fatalf("manifests %d → %d for %d cached maps", manifests, got, h.numMaps)
+	}
+	if got := c.Get("shuffle.rdma.packets"); got != packets {
+		t.Fatalf("warm pass sent %d two-sided data packets", got-packets)
+	}
+	if n := c.Get("shuffle.rdma.read.fallbacks"); n != 0 {
+		t.Fatalf("%d fallbacks on an undisturbed warm fetch", n)
+	}
+	// Eager LeaseRelease from the copier drains the responder's table
+	// without waiting out the 30s deadline.
+	waitFor(t, func() bool { return srv.leases.live() == 0 })
+	if c.Get("shuffle.rdma.read.lease.expired") != 0 {
+		t.Fatal("janitor expired leases the copier should have released")
+	}
+}
+
+// TestRingReadArmEvictionChurn races published manifests against cache
+// eviction and forced lease teardown (under -race): a 5ms lease TTL plus
+// a goroutine hammering JobComplete + lease drain guarantees READs land
+// on deregistered memory mid-plan. Every such fault must degrade to the
+// two-sided fallback — the merged stream stays byte-exact on every round
+// (released-buffer poison turns any stale read into visible corruption)
+// and nothing hangs or leaks.
+func TestRingReadArmEvictionChurn(t *testing.T) {
+	poisonReleasedPayloads.Store(true)
+	defer poisonReleasedPayloads.Store(false)
+
+	conf := readConf(4)
+	conf.SetInt(config.KeyRDMAReadLeaseTimeout, 5)
+	h := newRingHarness(t, conf, 8, 400)
+	srv, ok := h.cluster.Servers()[0].(*trackerServer)
+	if !ok {
+		t.Fatalf("server is %T, want *trackerServer", h.cluster.Servers()[0])
+	}
+	// Amplify modeled verbs latency into real sleeps so a plan's READs
+	// stretch over milliseconds and the eviction window stays open.
+	h.tt.Fabric().Network().SetLatencyModel(fabric.Models(fabric.IBVerbs), 0.05)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	h.fetch(ctx) // seed the cache
+	waitFor(t, func() bool { return h.tt.Counters().Get("cache.inserted") >= 1 })
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				// Strike only while a plan is outstanding: evict every
+				// cached partition, then drop the lease pins — the copier's
+				// remaining READs now target deregistered memory. Between
+				// strikes the cache re-warms, so manifests keep flowing.
+				if srv.leases.live() > 0 {
+					srv.JobComplete(h.job)
+					srv.leases.drain()
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	c := h.tt.Counters()
+	rounds := 0
+	for ; rounds < 25; rounds++ {
+		h.fetch(ctx) // byte-exact merge is the hard assertion
+		if c.Get("shuffle.rdma.read.fallbacks") >= 1 && rounds >= 2 {
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	if c.Get("shuffle.rdma.read.fallbacks") == 0 {
+		t.Fatalf("no READ fallback in %d churn rounds; eviction race never exercised", rounds)
+	}
+	if c.Get("shuffle.rdma.read.issued") == 0 {
+		t.Fatal("churn rounds never took the read arm at all")
+	}
+	waitFor(t, func() bool { return srv.leases.live() == 0 })
+}
+
+// BenchmarkAblationFetchArm is the D9 ablation: identical warm-cache
+// shuffles on the staging, zerocopy, and read arms. Beyond ns/op the
+// interesting numbers are responder-side: resp-ns/MB (responder busy
+// time per megabyte delivered, from shuffle.rdma.responder.busy.ns) and
+// resp-sends/op (two-sided data packets plus manifests the responder had
+// to send per fetch) — the read arm's claim is one manifest per plan
+// instead of one send per chunk, with payload bytes moved entirely by
+// reducer-issued READs.
+func BenchmarkAblationFetchArm(b *testing.B) {
+	for _, arm := range []string{config.FetchArmStaging, config.FetchArmZeroCopy, config.FetchArmRead} {
+		b.Run(arm, func(b *testing.B) {
+			conf := stressConf(4)
+			conf.Set(config.KeyRDMAFetchArm, arm)
+			h := newRingHarness(b, conf, 8, 200)
+			ctx := context.Background()
+			h.fetch(ctx) // warm the pools and, on cached arms, the cache
+			if arm != config.FetchArmStaging {
+				waitFor(b, func() bool { return h.tt.Counters().Get("cache.inserted") >= int64(h.numMaps) })
+			}
+			c := h.tt.Counters()
+			busy := c.Get("shuffle.rdma.responder.busy.ns")
+			sends := c.Get("shuffle.rdma.packets") + c.Get("shuffle.rdma.read.manifests")
+			delivered := c.Get("shuffle.rdma.recv.bytes")
+			issued := c.Get("shuffle.rdma.read.issued")
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.fetch(ctx)
+			}
+			b.StopTimer()
+
+			dBusy := c.Get("shuffle.rdma.responder.busy.ns") - busy
+			dSends := c.Get("shuffle.rdma.packets") + c.Get("shuffle.rdma.read.manifests") - sends
+			dBytes := c.Get("shuffle.rdma.recv.bytes") - delivered
+			if arm == config.FetchArmRead && c.Get("shuffle.rdma.read.issued") == issued {
+				b.Fatal("read arm issued no READs; the ablation is not measuring the one-sided path")
+			}
+			if mb := float64(dBytes) / float64(1<<20); mb > 0 {
+				b.ReportMetric(float64(dBusy)/mb, "resp-ns/MB")
+			}
+			if b.N > 0 {
+				b.ReportMetric(float64(dSends)/float64(b.N), "resp-sends/op")
+			}
+		})
+	}
+}

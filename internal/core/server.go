@@ -32,6 +32,15 @@ type trackerServer struct {
 	zeroCopy   bool
 	packetSize int
 
+	// readArm enables the D9 one-sided fetch arm: read-capable requests
+	// against cache-resident runs are answered with a descriptor manifest
+	// and the copier pulls the payload by RDMA READ — no responder CPU
+	// touches the bytes. Leases bound how long published descriptors pin
+	// cache memory.
+	readArm  bool
+	leaseTTL time.Duration
+	leases   *leaseTable
+
 	// reqQ is the DataRequestQueue: "used to hold all the requests from
 	// ReduceTasks ... until one of the RDMAResponders take it".
 	reqQ chan *pendingRequest
@@ -75,18 +84,24 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	arm := conf.FetchArm()
 	s := &trackerServer{
 		tt:         tt,
 		listener:   l,
 		cache:      NewPrefetchCache(conf.Int(config.KeyPrefetchCacheCap), conf.Get(config.KeyCachePriorityMode), tt.Counters()),
 		cacheOn:    conf.Bool(config.KeyCachingEnabled),
 		sizeAware:  conf.Bool(config.KeySizeAwarePacking),
-		zeroCopy:   conf.Bool(config.KeyRDMAZeroCopy),
+		zeroCopy:   arm != config.FetchArmStaging,
 		packetSize: int(conf.Int(config.KeyRDMAPacketBytes)),
+		leaseTTL:   time.Duration(conf.Int(config.KeyRDMAReadLeaseTimeout)) * time.Millisecond,
+		leases:     newLeaseTable(),
 		reqQ:       make(chan *pendingRequest, 1024),
 		ctx:        ctx,
 		cancel:     cancel,
 	}
+	// The READ arm serves only cache-resident, registered runs; without the
+	// cache there is nothing to publish descriptors against.
+	s.readArm = arm == config.FetchArmRead && s.cacheOn
 	s.prefetcher = NewMapOutputPrefetcher(tt, s.cache, int(conf.Int(config.KeyPrefetchThreads)))
 	if s.zeroCopy && s.cacheOn {
 		// D8: register cache entries at Put time so responders can serve
@@ -100,6 +115,11 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 	// connection to a pre-established queue, and starts an RDMAReceiver".
 	s.wg.Add(1)
 	go s.acceptLoop()
+
+	if s.readArm {
+		s.wg.Add(1)
+		go s.leaseJanitor()
+	}
 
 	// RDMAResponder pool: "a pool of threads that wait on
 	// DataRequestQueue for incoming requests".
@@ -145,6 +165,17 @@ func (s *trackerServer) receiver(ep *ucr.EndPoint) {
 		msg, err := ep.Recv(s.ctx)
 		if err != nil {
 			return // connection closed by copier or server shutdown
+		}
+		if len(msg) > 0 && msg[0] == wire.TypeLeaseRelease {
+			// Copiers retire drained or abandoned read plans eagerly so the
+			// pin drops before the deadline; a release for an
+			// already-expired lease is a harmless miss.
+			if lr, err := wire.DecodeLeaseRelease(msg); err == nil {
+				s.leases.release(lr.LeaseID)
+			} else {
+				s.tt.Counters().Add("shuffle.rdma.bad.requests", 1)
+			}
+			continue
 		}
 		req, err := wire.DecodeDataRequest(msg)
 		if err != nil {
@@ -195,6 +226,21 @@ func (s *trackerServer) serve(p *pendingRequest) {
 		}
 	}
 	defer p.mu.Unlock()
+	// Responder occupancy: wall time a responder spends on this request,
+	// the denominator of the READ arm's "responder CPU per byte" claim.
+	// Two clock reads per request, always on.
+	t0 := time.Now()
+	defer func() {
+		s.tt.Counters().Add("shuffle.rdma.responder.busy.ns", time.Since(t0).Nanoseconds())
+	}()
+	if s.readArm && p.req.Flags&wire.FlagFetchRead != 0 {
+		// D9 one-sided arm: answer with a descriptor manifest when the run
+		// is cache-resident and registered; anything else falls through to
+		// the two-sided paths, which own all error reporting.
+		if s.serveManifest(p) {
+			return
+		}
+	}
 	resp := s.buildResponse(p)
 	// release on every exit: returns the staging region to its pool, drops
 	// the zero-copy pin, and recycles descriptor scratch. Centralizing it
@@ -467,6 +513,133 @@ func (s *trackerServer) buildZeroCopy(p *pendingRequest, header wire.DataRespons
 	return builtResponse{header: header, view: view, sges: sges, scratch: sc}, true
 }
 
+// maxManifestChunks caps one manifest's descriptor plan. The encoded-size
+// budget (the pooled 4096-byte header region) is the binding limit for
+// range-dense runs; the count cap bounds plan length for trivially small
+// chunks so a lease never covers an unbounded amount of future work.
+const maxManifestChunks = 64
+
+// serveManifest attempts the D9 one-sided response: pin the cached run,
+// walk it with the descriptor packer from the requested offset, and send
+// the copier a manifest of (rkey, addr, len) ranges it READs directly —
+// the responder never touches a payload byte and sends exactly one
+// message for the whole plan. The pin is held by a deadline-bounded lease
+// until the copier releases it (or the janitor expires it). Returns false
+// when the request cannot be served this way — cache miss, unregistered
+// body, corrupt framing — and the two-sided paths take over.
+func (s *trackerServer) serveManifest(p *pendingRequest) bool {
+	req := p.req
+	key := CacheKey{JobID: req.JobID, MapID: int(req.MapID), Partition: int(req.ReduceID)}
+	if !s.cache.Contains(key) {
+		return false
+	}
+	view, ok := s.cache.Acquire(key)
+	if !ok {
+		return false
+	}
+	mr := view.MR()
+	if mr == nil {
+		view.Release()
+		return false
+	}
+	run := view.Bytes()
+	start, end, _, err := kv.RunBodySpan(run)
+	if err != nil {
+		view.Release()
+		return false
+	}
+	m := wire.ReadManifest{
+		MapID: req.MapID, ReduceID: req.ReduceID, Offset: req.Offset,
+		Tag: req.Tag, RKey: mr.RKey(),
+	}
+	sc := s.getScratch()
+	defer s.descPool.Put(sc)
+	offset := req.Offset
+	for len(m.Chunks) < maxManifestChunks {
+		res, ranges, err := PackDescriptors(run[start:end], offset, s.packetSize,
+			int(req.MaxBytes), int(req.MaxRecords), s.sizeAware, verbs.MaxSGE, sc.ranges)
+		sc.ranges = ranges
+		if err != nil {
+			if len(m.Chunks) == 0 {
+				// Bad offset or corrupt framing on the very first chunk:
+				// let the two-sided path report it.
+				view.Release()
+				return false
+			}
+			break
+		}
+		ch := wire.ReadChunk{
+			Offset: offset, Bytes: int32(res.Bytes), Records: int32(res.Records), EOF: res.EOF,
+			Ranges: make([]wire.ReadRange, 0, len(ranges)),
+		}
+		for _, r := range ranges {
+			// Range offsets are relative to the record body; the remote
+			// address targets the run-wide region, hence the +start rebase.
+			ch.Ranges = append(ch.Ranges, wire.ReadRange{Addr: mr.Addr() + uint64(start+r.Off), Len: int32(r.Len)})
+		}
+		m.Chunks = append(m.Chunks, ch)
+		if m.EncodedSize() > 4096 && len(m.Chunks) > 1 {
+			// Over the header-region budget: the copier re-requests from
+			// the first uncovered offset and gets a fresh manifest.
+			m.Chunks = m.Chunks[:len(m.Chunks)-1]
+			break
+		}
+		offset += int64(res.Bytes)
+		if res.EOF {
+			break
+		}
+	}
+	m.LeaseID = s.leases.grant(view, s.leaseTTL)
+	if err := s.sendManifest(p.ep, &m); err != nil {
+		// The connection is dying; drop the pin now rather than waiting
+		// out the lease deadline. The copier re-issues after reconnect.
+		s.leases.release(m.LeaseID)
+		return true
+	}
+	s.tt.Counters().Add("shuffle.rdma.read.manifests", 1)
+	return true
+}
+
+// sendManifest delivers a descriptor manifest, gather-sent from a pooled
+// registered header region when one is available.
+func (s *trackerServer) sendManifest(ep *ucr.EndPoint, m *wire.ReadManifest) error {
+	if hmr := s.headerMR(); hmr != nil {
+		buf := m.EncodeAppend(hmr.Bytes()[:0])
+		if len(buf) <= hmr.Len() {
+			err := ep.SendSG(s.ctx, []verbs.SGE{{MR: hmr, Length: len(buf)}})
+			s.hdrPool.Put(hmr)
+			return err
+		}
+		s.hdrPool.Put(hmr)
+	}
+	return ep.Send(s.ctx, m.Encode())
+}
+
+// leaseJanitor expires read leases whose copiers went quiet: a dead or
+// wedged peer must not pin cache memory (and its registration) forever.
+func (s *trackerServer) leaseJanitor() {
+	defer s.wg.Done()
+	tick := s.leaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case now := <-t.C:
+			if n := s.leases.expire(now); n > 0 {
+				s.tt.Counters().Add("shuffle.rdma.read.lease.expired", int64(n))
+			}
+		}
+	}
+}
+
 // lookup resolves a partition: PrefetchCache when enabled (demand-missing
 // partitions are fetched from disk and queued for priority re-caching),
 // or directly from disk.
@@ -534,5 +707,8 @@ func (s *trackerServer) Close() error {
 	}
 	s.prefetcher.Close()
 	s.wg.Wait()
+	// With receivers and the janitor stopped, no new leases can appear;
+	// drop whatever pins remain so cache regions deregister.
+	s.leases.drain()
 	return nil
 }

@@ -2,6 +2,7 @@ package ucr
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 
@@ -75,6 +76,60 @@ func TestWriteSGGathersIntoRemote(t *testing.T) {
 	}
 	if got, want := dst.Bytes()[1:9], []byte("zerocopy"); !bytes.Equal(got, want) {
 		t.Fatalf("remote buffer = %q, want %q", got, want)
+	}
+}
+
+func TestReadSGScattersFromRemote(t *testing.T) {
+	cep, sep := connected(t)
+	ctx := ctxT(t)
+	src, err := sep.RegisterMemory([]byte("..manifest-payload.."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := cep.RegisterMemory(make([]byte, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := cep.RegisterMemory(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cep.ReadSG(ctx, []verbs.SGE{
+		{MR: d1, Length: 8},
+		{MR: d2, Offset: 2, Length: 8},
+	}, src.Addr()+2, src.RKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(append([]byte{}, d1.Bytes()[:8]...), d2.Bytes()[2:10]...); !bytes.Equal(got, []byte("manifest-payload")) {
+		t.Fatalf("scattered read = %q, want %q", got, "manifest-payload")
+	}
+}
+
+func TestReadSGDeadRegionIsRemoteAccess(t *testing.T) {
+	cep, sep := connected(t)
+	ctx := ctxT(t)
+	src, err := sep.RegisterMemory(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := cep.RegisterMemory(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, rkey := src.Addr(), src.RKey()
+	if err := src.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	err = cep.ReadSG(ctx, []verbs.SGE{{MR: dst, Length: 32}}, addr, rkey)
+	if err == nil {
+		t.Fatal("read from deregistered region succeeded")
+	}
+	if !errors.Is(err, ErrRemoteAccess) {
+		t.Fatalf("error %v does not match ErrRemoteAccess", err)
+	}
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("error %v does not match ErrTransport (classifier contract)", err)
 	}
 }
 

@@ -47,6 +47,14 @@ var (
 	// and worth a reconnect, versus ErrClosed which is an ordinary
 	// shutdown.
 	ErrTransport = errors.New("ucr: transport failure")
+	// ErrRemoteAccess qualifies an ErrTransport from an RDMA operation
+	// whose completion reported a remote protection fault: the rkey was
+	// wrong, the range fell outside the region, or the region was
+	// deregistered (an expired descriptor lease, an evicted cache body).
+	// The connection itself is still healthy — callers that advertise
+	// remote ranges (the one-sided READ arm) key on it to fall back to a
+	// responder-driven path instead of tearing the connection down.
+	ErrRemoteAccess = errors.New("ucr: remote access fault")
 )
 
 // Fabric wraps a verbs.Network with the service registry that stands in
@@ -496,6 +504,17 @@ func (ep *EndPoint) RDMARead(ctx context.Context, sge verbs.SGE, raddr uint64, r
 	return ep.rdma(ctx, verbs.SendWR{Opcode: verbs.OpRDMARead, SGE: sge, RemoteAddr: raddr, RKey: rkey})
 }
 
+// ReadSG fetches the remote bytes at (raddr, rkey) by one RDMA READ,
+// scattering them across the local SGL in order — the one-sided fetch
+// arm: the copier pulls a descriptor-advertised chunk straight into its
+// ring region, split at the record-boundary ranges the manifest carried,
+// with no responder involvement. A READ whose completion reports a
+// remote protection fault (expired lease, evicted body, bad rkey)
+// returns an error matching both ErrRemoteAccess and ErrTransport.
+func (ep *EndPoint) ReadSG(ctx context.Context, sgl []verbs.SGE, raddr uint64, rkey uint32) error {
+	return ep.rdma(ctx, verbs.SendWR{Opcode: verbs.OpRDMARead, SGL: sgl, RemoteAddr: raddr, RKey: rkey})
+}
+
 func (ep *EndPoint) rdma(ctx context.Context, wr verbs.SendWR) error {
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
@@ -518,6 +537,14 @@ func (ep *EndPoint) rdma(ctx context.Context, wr verbs.SendWR) error {
 		return err
 	}
 	if wc.Status != verbs.WCSuccess {
+		if wc.Status == verbs.WCRemoteAccessErr && !ep.isClosed() {
+			// A remote protection fault on a live connection: the peer's
+			// region vanished or the address/rkey never matched. Still
+			// ErrTransport for the generic transient classifier, but
+			// additionally ErrRemoteAccess so READ-arm callers can fall
+			// back without abandoning the connection.
+			return fmt.Errorf("%w: %w: %v failed: %v", ErrTransport, ErrRemoteAccess, wr.Opcode, wc.Status)
+		}
 		return ep.classify(fmt.Errorf("%v failed: %v", wr.Opcode, wc.Status))
 	}
 	if m != nil {

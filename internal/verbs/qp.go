@@ -110,6 +110,28 @@ type RecvWR struct {
 	SGE  SGE
 }
 
+// ReadWR is an RDMA READ work request: fetch the remote bytes at
+// [RemoteAddr, RemoteAddr+n) from the region the peer advertised under
+// RKey, scattering them across the local SGL in order (n is the summed
+// SGL length). The requester's QP executes it one-sidedly — no remote
+// receive is consumed and no remote software runs; protection (rkey
+// match, bounds, region liveness) is enforced at the target HCA, so a
+// READ against a deregistered or never-advertised range completes with
+// WCRemoteAccessErr and moves no bytes.
+type ReadWR struct {
+	WRID       uint64
+	SGL        []SGE
+	RemoteAddr uint64
+	RKey       uint32
+}
+
+// PostRead posts an RDMA READ work request. The QP must be RTS; the
+// completion (status, total byte length) arrives on the send CQ like any
+// other send-queue work request.
+func (qp *QueuePair) PostRead(wr ReadWR) error {
+	return qp.PostSend(SendWR{WRID: wr.WRID, Opcode: OpRDMARead, SGL: wr.SGL, RemoteAddr: wr.RemoteAddr, RKey: wr.RKey})
+}
+
 // CQ is a completion queue. Completions are delivered in generation order
 // and retrieved by Poll (non-blocking) or Wait (blocking).
 type CQ struct {

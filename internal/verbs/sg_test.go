@@ -94,6 +94,49 @@ func TestRDMAReadScatterList(t *testing.T) {
 	}
 }
 
+func TestPostReadScattersRemoteBytes(t *testing.T) {
+	qpA, qpB, cqA, _ := pair(t)
+	src := mustMR(t, qpB.dev, 32)
+	copy(src.Bytes(), "the quick brown fox")
+	d1, d2 := mustMR(t, qpA.dev, 8), mustMR(t, qpA.dev, 16)
+
+	err := qpA.PostRead(ReadWR{WRID: 11, SGL: []SGE{
+		{MR: d1, Length: 4},
+		{MR: d2, Offset: 1, Length: 11},
+	}, RemoteAddr: src.Addr() + 4, RKey: src.RKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := waitWC(t, cqA)
+	if wc.Status != WCSuccess || wc.ByteLen != 15 {
+		t.Fatalf("read completion: %+v", wc)
+	}
+	if !bytes.Equal(d1.Bytes()[:4], []byte("quic")) {
+		t.Fatalf("first scatter segment = %q", d1.Bytes()[:4])
+	}
+	if !bytes.Equal(d2.Bytes()[1:12], []byte("k brown fox")) {
+		t.Fatalf("second scatter segment = %q", d2.Bytes()[1:12])
+	}
+}
+
+func TestPostReadDeregisteredRegionFails(t *testing.T) {
+	qpA, qpB, cqA, _ := pair(t)
+	src := mustMR(t, qpB.dev, 16)
+	dst := mustMR(t, qpA.dev, 16)
+	addr, rkey := src.Addr(), src.RKey()
+	if err := src.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	err := qpA.PostRead(ReadWR{WRID: 12, SGL: []SGE{{MR: dst, Length: 16}},
+		RemoteAddr: addr, RKey: rkey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc := waitWC(t, cqA); wc.Status != WCRemoteAccessErr {
+		t.Fatalf("read from dead region completed: %+v", wc)
+	}
+}
+
 func TestSGLOutOfBoundsRejected(t *testing.T) {
 	qpA, _, _, _ := pair(t)
 	a := mustMR(t, qpA.dev, 16)
