@@ -26,15 +26,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# D6 self-healing gate: seeded fault injection (QP severs, dropped and
-# delayed sends, dead trackers, lost map outputs) under the race
+# D6 + D10 self-healing gate: seeded fault injection (QP severs,
+# dropped and delayed sends, dead trackers, lost map outputs) plus
+# scripted whole-node death (kill mid-shuffle without revive, composed
+# with transport faults, and kill-then-revive), all under the race
 # detector. Seeds are fixed in the tests for reproducibility; set
 # RDMAMR_CHAOS_SEED to sweep other fault interleavings of the
 # multi-host acceptance run. -count=1 defeats the test cache so the
 # gate always executes.
 chaos:
 	$(GO) test -race -count=1 -run 'TestCopierHealsFromSeveredQP|TestCopierRequestDeadlineReissues|TestCopierLegacyEscalationNoRetries|TestCopierSeededChaosMultiHost|TestCopierBlacklistSharedAcrossFetchers' ./internal/core/
-	$(GO) test -race -count=1 -run 'TestFaultMatrix' ./internal/faultinject/
+	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestNodeDeath|TestRecoveryExhaustionFailsJob' ./internal/faultinject/
+	$(GO) test -race -count=1 -run 'TestNodeSchedule' ./internal/chaos/
 
 # D7 observability gate: run a real profiled Sort on the OSU-IB engine,
 # emit the shuffle report as JSON, re-parse it, and fail unless fetch

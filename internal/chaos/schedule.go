@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"rdmamr/internal/mapred"
+)
+
+// TrackerKiller is the cluster-side surface a node schedule drives:
+// simulated node death and restart. *mapred.Cluster satisfies it.
+type TrackerKiller interface {
+	KillTracker(host string) error
+	ReviveTracker(host string) error
+}
+
+// NodeCrash scripts one node death: when the cluster-wide count of
+// map-output announcements reaches AfterOutputs, the target tracker is
+// killed — its heartbeats stop, its shuffle server shuts down, and (when
+// an Injector is attached) every subsequent dial toward it is refused.
+// The scheduler notices at heartbeat expiry and decommissions the node.
+type NodeCrash struct {
+	// Host names the tracker to kill; "" means the host announcing the
+	// triggering output — by construction a node holding at least one
+	// completed map output, so the kill always exercises re-hosting.
+	Host string
+	// AfterOutputs is the announcement count that triggers the crash
+	// (1 = kill at the first completed map).
+	AfterOutputs int
+	// Revive, when > 0, restarts the tracker this long after the kill —
+	// the node rejoins the heartbeat ring and its slot workers take new
+	// work.
+	Revive time.Duration
+}
+
+// NodeSchedule wraps a shuffle engine with a deterministic node-crash
+// script, composing node-level death with whatever transport faults an
+// Injector is already producing. The cluster is built after its engine,
+// so the killer is attached afterwards with SetKiller; crashes whose
+// trigger count passes while no killer is attached fire as soon as one
+// is.
+type NodeSchedule struct {
+	inner mapred.ShuffleEngine
+	inj   *Injector // optional: also refuse dials toward the dead host
+	plan  []NodeCrash
+
+	mu      sync.Mutex
+	killer  TrackerKiller
+	outputs int
+	fired   []bool
+	kills   []string
+	wg      sync.WaitGroup
+}
+
+// WrapNodeSchedule scripts the given crashes over inner. inj may be nil
+// when no transport-level fault injection is wanted.
+func WrapNodeSchedule(inner mapred.ShuffleEngine, inj *Injector, crashes ...NodeCrash) *NodeSchedule {
+	return &NodeSchedule{
+		inner: inner, inj: inj, plan: crashes,
+		fired: make([]bool, len(crashes)),
+	}
+}
+
+// SetKiller attaches the cluster the schedule kills trackers on. Call it
+// after mapred.NewCluster and before RunJob.
+func (e *NodeSchedule) SetKiller(k TrackerKiller) {
+	e.mu.Lock()
+	e.killer = k
+	e.mu.Unlock()
+}
+
+// Kills returns the hosts killed so far, in firing order.
+func (e *NodeSchedule) Kills() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.kills...)
+}
+
+// Wait blocks until every fired kill (and its scheduled revive) has
+// finished executing — call before tearing the cluster down.
+func (e *NodeSchedule) Wait() { e.wg.Wait() }
+
+// noteOutput advances the announcement count and fires due crashes. The
+// kill runs on its own goroutine: KillTracker shuts down the very server
+// that may be delivering this announcement, so firing inline could
+// deadlock an engine that announces under a lock its Close also takes.
+func (e *NodeSchedule) noteOutput(announcer string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.outputs++
+	if e.killer == nil {
+		return
+	}
+	for i, cr := range e.plan {
+		if e.fired[i] || e.outputs < cr.AfterOutputs {
+			continue
+		}
+		e.fired[i] = true
+		host := cr.Host
+		if host == "" {
+			host = announcer
+		}
+		e.kills = append(e.kills, host)
+		killer := e.killer
+		e.wg.Add(1)
+		go func(host string, revive time.Duration) {
+			defer e.wg.Done()
+			if e.inj != nil {
+				e.inj.KillPeer(host)
+			}
+			if err := killer.KillTracker(host); err != nil {
+				// Refused (last live tracker): restore dialability so the
+				// run degrades to "no crash" instead of a half-dead host.
+				if e.inj != nil {
+					e.inj.RevivePeer(host)
+				}
+				return
+			}
+			if revive <= 0 {
+				return
+			}
+			time.Sleep(revive)
+			if e.inj != nil {
+				e.inj.RevivePeer(host)
+			}
+			_ = killer.ReviveTracker(host)
+		}(host, cr.Revive)
+	}
+}
+
+// Name implements mapred.ShuffleEngine.
+func (e *NodeSchedule) Name() string { return e.inner.Name() + "+nodeschedule" }
+
+// StartTracker implements mapred.ShuffleEngine.
+func (e *NodeSchedule) StartTracker(tt *mapred.TaskTracker) (mapred.TrackerServer, error) {
+	inner, err := e.inner.StartTracker(tt)
+	if err != nil {
+		return nil, err
+	}
+	return &scheduleServer{engine: e, host: tt.Host(), inner: inner}, nil
+}
+
+// NewReduceFetcher implements mapred.ShuffleEngine.
+func (e *NodeSchedule) NewReduceFetcher(task mapred.ReduceTaskInfo) (mapred.ReduceFetcher, error) {
+	return e.inner.NewReduceFetcher(task)
+}
+
+type scheduleServer struct {
+	engine *NodeSchedule
+	host   string
+	inner  mapred.TrackerServer
+}
+
+// MapOutputReady implements mapred.TrackerServer: deliver first (the
+// inner engine may start prefetching), then advance the crash script.
+func (s *scheduleServer) MapOutputReady(job mapred.JobInfo, mapID int) {
+	s.inner.MapOutputReady(job, mapID)
+	s.engine.noteOutput(s.host)
+}
+
+// JobComplete implements mapred.TrackerServer.
+func (s *scheduleServer) JobComplete(job mapred.JobInfo) { s.inner.JobComplete(job) }
+
+// Close implements mapred.TrackerServer.
+func (s *scheduleServer) Close() error { return s.inner.Close() }

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeKiller struct {
+	mu      sync.Mutex
+	killed  []string
+	revived []string
+	refuse  bool
+}
+
+func (k *fakeKiller) KillTracker(host string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.refuse {
+		return errors.New("refused")
+	}
+	k.killed = append(k.killed, host)
+	return nil
+}
+
+func (k *fakeKiller) ReviveTracker(host string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.revived = append(k.revived, host)
+	return nil
+}
+
+func (k *fakeKiller) snapshot() (killed, revived []string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]string(nil), k.killed...), append([]string(nil), k.revived...)
+}
+
+func TestNodeScheduleFiresAtOutputCount(t *testing.T) {
+	inj := New(Config{})
+	k := &fakeKiller{}
+	e := WrapNodeSchedule(nil, inj, NodeCrash{Host: "node2", AfterOutputs: 3})
+	e.SetKiller(k)
+
+	e.noteOutput("node0")
+	e.noteOutput("node1")
+	if killed, _ := k.snapshot(); len(killed) != 0 {
+		t.Fatalf("fired early: %v", killed)
+	}
+	e.noteOutput("node0")
+	e.Wait()
+	killed, _ := k.snapshot()
+	if len(killed) != 1 || killed[0] != "node2" {
+		t.Fatalf("killed = %v, want [node2]", killed)
+	}
+	if got := e.Kills(); len(got) != 1 || got[0] != "node2" {
+		t.Fatalf("Kills() = %v", got)
+	}
+	// The transport layer refuses dials toward the dead host.
+	if !inj.DialRefused("node0", "node2") {
+		t.Fatal("injector should refuse dials to the killed peer")
+	}
+	// The script is one-shot: more outputs don't re-fire.
+	e.noteOutput("node1")
+	e.Wait()
+	if killed, _ := k.snapshot(); len(killed) != 1 {
+		t.Fatalf("crash re-fired: %v", killed)
+	}
+}
+
+func TestNodeScheduleKillsAnnouncingHost(t *testing.T) {
+	k := &fakeKiller{}
+	e := WrapNodeSchedule(nil, nil, NodeCrash{AfterOutputs: 2})
+	e.SetKiller(k)
+
+	e.noteOutput("node3")
+	e.noteOutput("node1")
+	e.Wait()
+	if killed, _ := k.snapshot(); len(killed) != 1 || killed[0] != "node1" {
+		t.Fatalf("killed = %v, want the announcing host node1", killed)
+	}
+}
+
+func TestNodeScheduleRevives(t *testing.T) {
+	inj := New(Config{})
+	k := &fakeKiller{}
+	e := WrapNodeSchedule(nil, inj, NodeCrash{Host: "node1", AfterOutputs: 1, Revive: 5 * time.Millisecond})
+	e.SetKiller(k)
+
+	e.noteOutput("node0")
+	e.Wait()
+	killed, revived := k.snapshot()
+	if len(killed) != 1 || len(revived) != 1 || revived[0] != "node1" {
+		t.Fatalf("killed = %v revived = %v", killed, revived)
+	}
+	if inj.DialRefused("node0", "node1") {
+		t.Fatal("revived peer must accept dials again")
+	}
+}
+
+func TestNodeScheduleRefusedKillRestoresDialability(t *testing.T) {
+	inj := New(Config{})
+	k := &fakeKiller{refuse: true}
+	e := WrapNodeSchedule(nil, inj, NodeCrash{Host: "node0", AfterOutputs: 1})
+	e.SetKiller(k)
+
+	e.noteOutput("node0")
+	e.Wait()
+	if inj.DialRefused("node1", "node0") {
+		t.Fatal("a refused kill must leave the peer dialable")
+	}
+}
+
+func TestNodeScheduleWaitsForKiller(t *testing.T) {
+	k := &fakeKiller{}
+	e := WrapNodeSchedule(nil, nil, NodeCrash{Host: "node1", AfterOutputs: 1})
+
+	// Trigger count passes with no killer attached: nothing fires...
+	e.noteOutput("node0")
+	e.Wait()
+	if killed, _ := k.snapshot(); len(killed) != 0 {
+		t.Fatalf("fired without a killer: %v", killed)
+	}
+	// ...but the crash is still pending and fires on the next output
+	// once a killer exists.
+	e.SetKiller(k)
+	e.noteOutput("node2")
+	e.Wait()
+	if killed, _ := k.snapshot(); len(killed) != 1 || killed[0] != "node1" {
+		t.Fatalf("killed = %v, want [node1]", killed)
+	}
+}

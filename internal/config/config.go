@@ -86,6 +86,23 @@ const (
 	// with a clean remote-access error and the copier falls back to the
 	// write path.
 	KeyRDMAReadLeaseTimeout = "mapred.rdma.read.lease.timeout"
+	// KeyTrackerExpiry is the TaskTracker liveness window in
+	// milliseconds: a tracker whose last heartbeat is older than this is
+	// declared dead and decommissioned — its running attempts are
+	// rescheduled and its completed map outputs proactively re-executed.
+	// Mirrors Hadoop's mapred.tasktracker.expiry.interval (default 10 s
+	// here; Hadoop ships 600 s).
+	KeyTrackerExpiry = "mapred.tasktracker.expiry.interval"
+	// KeyMapMaxAttempts / KeyReduceMaxAttempts bound how many times one
+	// map / reduce task may be attempted (original + retries, Hadoop
+	// semantics) before the job fails.
+	KeyMapMaxAttempts    = "mapred.map.max.attempts"
+	KeyReduceMaxAttempts = "mapred.reduce.max.attempts"
+	// KeySpeculativeReduces enables backup attempts for straggling
+	// reduces, mirroring KeySpeculativeMaps. The output-commit protocol
+	// (attempt-scoped temp files + atomic rename, first committer wins)
+	// makes duplicate reduce attempts safe.
+	KeySpeculativeReduces = "mapred.reduce.tasks.speculative.execution"
 	// KeyObsProfile enables per-job shuffle profiling: phase-overlap
 	// windows, fetch spans, per-host latency histograms, TTFB. Off by
 	// default — the copier hot path then takes zero observability cost.
@@ -128,6 +145,10 @@ var defaults = map[string]string{
 	KeyRDMAZeroCopy:           "true",
 	KeyRDMAFetchArm:           "", // "" = follow KeyRDMAZeroCopy
 	KeyRDMAReadLeaseTimeout:   "30000",
+	KeyTrackerExpiry:          "10000", // ms
+	KeyMapMaxAttempts:         "4",
+	KeyReduceMaxAttempts:      "4",
+	KeySpeculativeReduces:     "false",
 	KeyObsProfile:             "false",
 	KeyObsHTTPAddr:            "",
 }
@@ -339,6 +360,14 @@ func (c *Config) Validate() error {
 	}
 	if v := c.Int(KeyRDMAReadLeaseTimeout); v < 1 || v > 600000 {
 		return fmt.Errorf("config: %s = %d outside [1, 600000] ms", KeyRDMAReadLeaseTimeout, v)
+	}
+	if v := c.Int(KeyTrackerExpiry); v < 1 || v > 3600000 {
+		return fmt.Errorf("config: %s = %d outside [1, 3600000] ms", KeyTrackerExpiry, v)
+	}
+	for _, key := range []string{KeyMapMaxAttempts, KeyReduceMaxAttempts} {
+		if v := c.Int(key); v < 1 || v > 100 {
+			return fmt.Errorf("config: %s = %d outside [1, 100]", key, v)
+		}
 	}
 	if c.Bool(KeyCachingEnabled) && !c.Bool(KeyRDMAEnabled) {
 		// Caching is part of the RDMA design; allowed but meaningless

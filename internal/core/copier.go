@@ -91,8 +91,16 @@ func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
 		}
 		if ck.err != nil {
 			seg.attempts++
-			if seg.f == nil || seg.f.task.RecoverMap == nil || seg.attempts > mapred.MaxMapRecoveries {
+			if seg.f == nil || seg.f.task.RecoverMap == nil {
 				return false, ck.err
+			}
+			if seg.attempts > mapred.MaxMapRecoveries {
+				host := "?"
+				if seg.peer != nil {
+					host = seg.peer.host
+				}
+				return false, fmt.Errorf("core: map %d unrecoverable after %d fetch attempts (last host %s): %w",
+					seg.mapID, seg.attempts, host, ck.err)
 			}
 			seg.f.task.Local.Counters().Add("shuffle.fetch.failures", 1)
 			host, err := seg.f.task.RecoverMap(ctx, seg.mapID, seg.attempts)
@@ -226,8 +234,52 @@ type hostPeer struct {
 	reqCh  chan chunkReq // stable across reconnects
 	health *peerHealth
 
+	// lostCh closes when the cluster's liveness detector declares the
+	// host dead (ReduceTaskInfo.Losses): the supervisor then skips its
+	// remaining retry budget and backoff sleeps and kills the peer
+	// immediately, so segments escalate to RecoverMap without waiting
+	// out request deadlines against a corpse.
+	lostOnce sync.Once
+	lostCh   chan struct{}
+
 	mu   sync.Mutex
-	dead error // set once, when the retry budget is exhausted
+	dead error     // set once, when the retry budget is exhausted
+	cur  *hostConn // connection currently running (aborted on loss)
+}
+
+// errTrackerLost is the non-transient cause killPeer reports when the
+// scheduler's failure detector, not the transport, declared the host dead.
+var errTrackerLost = errors.New("core: tracker declared dead by cluster liveness")
+
+// markLost records the liveness verdict, returning true on the first
+// call. The running connection (if any) is aborted so its pumps unwind.
+func (p *hostPeer) markLost() bool {
+	first := false
+	p.lostOnce.Do(func() { first = true; close(p.lostCh) })
+	if first {
+		p.mu.Lock()
+		hc := p.cur
+		p.mu.Unlock()
+		if hc != nil {
+			hc.abort(errTrackerLost)
+		}
+	}
+	return first
+}
+
+func (p *hostPeer) isLost() bool {
+	select {
+	case <-p.lostCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *hostPeer) setCur(hc *hostConn) {
+	p.mu.Lock()
+	p.cur = hc
+	p.mu.Unlock()
 }
 
 // enqueue hands a request to the peer's supervisor.
@@ -540,6 +592,12 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 		if ctx.Err() != nil {
 			return
 		}
+		// Liveness verdict beats the retry budget: a host the scheduler
+		// decommissioned is not coming back on this job's timescale.
+		if p.isLost() {
+			f.killPeer(ctx, p, errTrackerLost, orphans)
+			return
+		}
 		// Blacklist admission: another fetcher on this node may already
 		// have established that the host is dying.
 		if d := p.health.admissionDelay(); d > 0 {
@@ -554,11 +612,11 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			}
 			p.health.recordFailure(counters)
 			attempt++
-			if !transientErr(err) || attempt > f.connectRetries {
+			if p.isLost() || !transientErr(err) || attempt > f.connectRetries {
 				f.killPeer(ctx, p, err, orphans)
 				return
 			}
-			if !f.sleepBackoff(ctx, attempt) {
+			if !f.sleepBackoff(ctx, p, attempt) {
 				return
 			}
 			continue
@@ -568,7 +626,14 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 		}
 		everConnected = true
 
+		p.setCur(hc)
+		if p.isLost() {
+			// Lost between dial and registration: abort ourselves so the
+			// pumps unwind immediately.
+			hc.abort(errTrackerLost)
+		}
 		err = f.runConn(ctx, p, hc, orphans)
+		p.setCur(nil)
 		orphans = nil
 		if hc.poolable() {
 			ringPut(f.task.Local.Device(), hc.ring)
@@ -603,11 +668,11 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			f.cRetries.Add(1)
 			orphans = append(orphans, req)
 		}
-		if !transientErr(err) || attempt > f.connectRetries {
+		if p.isLost() || !transientErr(err) || attempt > f.connectRetries {
 			f.killPeer(ctx, p, err, orphans)
 			return
 		}
-		if !f.sleepBackoff(ctx, attempt) {
+		if !f.sleepBackoff(ctx, p, attempt) {
 			return
 		}
 	}
@@ -675,8 +740,9 @@ func (f *fetcher) killPeer(ctx context.Context, p *hostPeer, cause error, orphan
 // sleepBackoff sleeps the exponential-backoff delay for the given
 // attempt: min(base << (attempt-1), max) with jitter in [d/2, d), so a
 // fleet of fetchers re-dialing a restarted tracker does not stampede.
-// Returns false if ctx ended during the sleep.
-func (f *fetcher) sleepBackoff(ctx context.Context, attempt int) bool {
+// A liveness loss-notice for the peer ends the sleep early (the loop top
+// then kills the peer). Returns false if ctx ended during the sleep.
+func (f *fetcher) sleepBackoff(ctx context.Context, p *hostPeer, attempt int) bool {
 	d := f.backoffBase
 	for i := 1; i < attempt && d < f.backoffMax; i++ {
 		d *= 2
@@ -689,7 +755,16 @@ func (f *fetcher) sleepBackoff(ctx context.Context, attempt int) bool {
 	}
 	half := d / 2
 	jittered := half + time.Duration(rand.Int63n(int64(half)+1))
-	return sleepCtx(ctx, jittered)
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.lostCh:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) bool {
@@ -1269,12 +1344,43 @@ func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
 			f: f, host: host,
 			reqCh:  make(chan chunkReq, f.task.Job.NumMaps+8),
 			health: healthFor(f.task.Local.Device(), host),
+			lostCh: make(chan struct{}),
 		}
 		f.mu.Lock()
 		f.peers[host] = p
 		f.mu.Unlock()
 		f.wg.Add(1)
 		go f.peerLoop(ctx, p)
+	}
+
+	// Liveness watcher: loss announcements from the cluster's heartbeat
+	// detector fast-fail the named host's peer — the copier stops
+	// burning deadlines and reconnect budget against a decommissioned
+	// tracker and escalates straight to map recovery.
+	if f.task.Losses != nil {
+		lossCh, unsub := f.task.Losses.Subscribe()
+		lostNotices := f.task.Local.Counters().Handle("shuffle.rdma.lost.notices")
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			defer unsub()
+			for {
+				select {
+				case host, ok := <-lossCh:
+					if !ok {
+						return
+					}
+					f.mu.Lock()
+					p := f.peers[host]
+					f.mu.Unlock()
+					if p != nil && p.markLost() {
+						lostNotices.Add(1)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
 	}
 
 	f.wg.Add(1)

@@ -166,7 +166,13 @@ func TestRecoveryExhaustionFailsJob(t *testing.T) {
 	if err == nil {
 		t.Fatal("job succeeded despite unrecoverable map output")
 	}
-	if !strings.Contains(err.Error(), "recover") && !strings.Contains(err.Error(), "not found") {
-		t.Logf("failure surfaced as: %v", err)
+	// The failure must be diagnosable from the error alone: which map
+	// exhausted its MaxMapRecoveries budget, and where it was last
+	// hosted when the fetches kept failing.
+	if !strings.Contains(err.Error(), "map 0 unrecoverable") {
+		t.Fatalf("exhaustion error should name the doomed map: %v", err)
+	}
+	if !strings.Contains(err.Error(), "last host node") {
+		t.Fatalf("exhaustion error should name the last serving host: %v", err)
 	}
 }

@@ -339,6 +339,28 @@ func (fs *FileSystem) Delete(path string) error {
 	return nil
 }
 
+// Rename atomically moves src to dst within the namespace. Blocks stay
+// where they are — only metadata moves — so the operation is a single
+// map update under the namespace lock. It fails with ErrNotFound when
+// src does not exist and ErrExists when dst already does, which makes it
+// the arbiter for output commit: concurrent attempts renaming their temp
+// files onto the same committed path race through this lock, the first
+// wins, and every loser gets ErrExists back (first-committer-wins).
+func (fs *FileSystem) Rename(src, dst string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	meta, ok := fs.files[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, src)
+	}
+	if _, ok := fs.files[dst]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+	delete(fs.files, src)
+	fs.files[dst] = meta
+	return nil
+}
+
 // ReadBlock fetches one block, trying replicas in order. The returned host
 // is the replica that served the read (for locality accounting).
 func (fs *FileSystem) ReadBlock(bl BlockLocation, preferredHost string) ([]byte, string, error) {

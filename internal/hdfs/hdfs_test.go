@@ -346,3 +346,71 @@ func TestFsckFindsCorruptionAndLoss(t *testing.T) {
 		t.Fatalf("lost block not detected: %+v", rep)
 	}
 }
+
+func TestRenameMovesContentAtomically(t *testing.T) {
+	fs := cluster(t, 2, 64, 1)
+	data := make([]byte, 200)
+	rand.New(rand.NewSource(7)).Read(data)
+	if err := fs.WriteFile("/out/_tmp/attempt-0", "node0", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/out/_tmp/attempt-0", "/out/part-r-00000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/out/_tmp/attempt-0"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("source survived rename: %v", err)
+	}
+	got, err := fs.ReadFile("/out/part-r-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content changed across rename")
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	fs := cluster(t, 1, 64, 1)
+	if err := fs.Rename("/missing", "/dst"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename of missing src: %v", err)
+	}
+	_ = fs.WriteFile("/a", "", []byte("one"))
+	_ = fs.WriteFile("/b", "", []byte("two"))
+	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing dst: %v", err)
+	}
+	// Loser's data must be untouched and still addressable at /a.
+	got, err := fs.ReadFile("/a")
+	if err != nil || string(got) != "one" {
+		t.Fatalf("src disturbed by failed rename: %q %v", got, err)
+	}
+}
+
+func TestRenameFirstCommitterWins(t *testing.T) {
+	fs := cluster(t, 2, 64, 1)
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/out/_tmp/attempt-%d", i), "", []byte(fmt.Sprintf("attempt %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wins := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wins[i] = fs.Rename(fmt.Sprintf("/out/_tmp/attempt-%d", i), "/out/part-r-00000") == nil
+		}(i)
+	}
+	wg.Wait()
+	winners := 0
+	for _, w := range wins {
+		if w {
+			winners++
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("want exactly one committer, got %d", winners)
+	}
+}

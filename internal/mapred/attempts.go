@@ -1,0 +1,175 @@
+package mapred
+
+import "sync"
+
+// attemptQueue schedules attempts of one task kind (the map set or the
+// reduce set) across slot workers. It generalizes the old splitQueue:
+// locality-preferred dispatch, straggler speculation (one backup per
+// task, first finisher wins), and — new — a per-task attempt budget
+// (mapred.{map,reduce}.max.attempts) with requeue-on-failure, plus
+// budget-free requeue when an attempt dies with its node rather than on
+// its own. Attempt numbers are unique per task, giving retries and
+// backups distinct temp output paths for the commit protocol.
+type attemptQueue struct {
+	mu        sync.Mutex
+	pending   []int
+	hosts     map[int][]string // locality hints; nil for reduces
+	started   map[int]int      // attempts handed out (numbers 1..n)
+	failed    map[int]int      // budget-consuming failures
+	running   map[int]bool     // a non-backup attempt is in flight
+	done      map[int]bool
+	backed    map[int]bool
+	remaining int
+	budget    int // max attempts per task (>=1)
+	speculate bool
+
+	wake     chan struct{} // closed+replaced whenever work may appear
+	doneCh   chan struct{} // closed when every task completed
+	doneOnce sync.Once
+}
+
+func newAttemptQueue(ids []int, hosts map[int][]string, budget int, speculate bool) *attemptQueue {
+	if budget < 1 {
+		budget = 1
+	}
+	q := &attemptQueue{
+		pending:   append([]int(nil), ids...),
+		hosts:     hosts,
+		started:   make(map[int]int),
+		failed:    make(map[int]int),
+		running:   make(map[int]bool),
+		done:      make(map[int]bool),
+		backed:    make(map[int]bool),
+		remaining: len(ids),
+		budget:    budget,
+		speculate: speculate,
+		wake:      make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	if q.remaining == 0 {
+		close(q.doneCh)
+	}
+	return q
+}
+
+func (q *attemptQueue) wakeAllLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// take hands out the next attempt: a pending task with a replica on host
+// first (data-local), then any pending task, then — with speculation —
+// a backup of a running straggler. When nothing is available, wait is a
+// channel to park on (nil means every task is done and the worker
+// should exit).
+func (q *attemptQueue) take(host string) (id, attempt int, backup, ok bool, wait <-chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pick := -1
+	for i, cand := range q.pending {
+		for _, h := range q.hosts[cand] {
+			if h == host {
+				pick = i
+				break
+			}
+		}
+		if pick >= 0 {
+			break
+		}
+	}
+	if pick < 0 && len(q.pending) > 0 {
+		pick = 0
+	}
+	if pick >= 0 {
+		id = q.pending[pick]
+		q.pending = append(q.pending[:pick], q.pending[pick+1:]...)
+		q.running[id] = true
+		q.started[id]++
+		return id, q.started[id], false, true, nil
+	}
+	if q.speculate {
+		for cand := range q.running {
+			if !q.done[cand] && !q.backed[cand] {
+				q.backed[cand] = true
+				q.started[cand]++
+				return cand, q.started[cand], true, true, nil
+			}
+		}
+	}
+	if q.remaining == 0 {
+		return 0, 0, false, false, nil
+	}
+	return 0, 0, false, false, q.wake
+}
+
+// complete records a finished attempt, returning true for the FIRST
+// completion of the task (later attempts are discarded duplicates).
+func (q *attemptQueue) complete(id int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done[id] {
+		return false
+	}
+	q.done[id] = true
+	delete(q.running, id)
+	q.remaining--
+	if q.remaining == 0 {
+		q.doneOnce.Do(func() { close(q.doneCh) })
+	}
+	q.wakeAllLocked()
+	return true
+}
+
+// fail records a budget-consuming failure of a non-backup attempt.
+// requeued means another attempt was scheduled; fatal means the budget
+// is exhausted and the job must fail.
+func (q *attemptQueue) fail(id int) (requeued, fatal bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done[id] {
+		return false, false
+	}
+	q.failed[id]++
+	if q.failed[id] >= q.budget {
+		return false, true
+	}
+	delete(q.running, id)
+	q.pending = append(q.pending, id)
+	q.wakeAllLocked()
+	return true, false
+}
+
+// attempts returns how many budget-consuming failures task id has had —
+// at exhaustion this equals the budget, the count a fatal error reports.
+func (q *attemptQueue) attempts(id int) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failed[id]
+}
+
+// requeueKilled reschedules an attempt that died with its node: no
+// budget is consumed (a machine failure is not the task's fault). A
+// killed backup just clears the backed flag so a fresh backup may be
+// speculated later; the original attempt is still running.
+func (q *attemptQueue) requeueKilled(id int, backup bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done[id] {
+		return false
+	}
+	if backup {
+		q.backed[id] = false
+		q.wakeAllLocked()
+		return false
+	}
+	delete(q.running, id)
+	q.pending = append(q.pending, id)
+	q.wakeAllLocked()
+	return true
+}
+
+func (q *attemptQueue) finished() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.remaining == 0
+}

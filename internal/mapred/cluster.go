@@ -28,9 +28,18 @@ type Cluster struct {
 	engine   ShuffleEngine
 	fabric   *ucr.Fabric
 	trackers []*TaskTracker
-	servers  []TrackerServer
 	counters *stats.Counters
 	phases   *stats.Phases
+
+	// servers is index-aligned with trackers but mutable: ReviveTracker
+	// replaces a decommissioned node's shuffle server with a fresh one.
+	smu     sync.RWMutex
+	servers []TrackerServer
+
+	// liveness is the heartbeat failure detector; attempts registers
+	// running task attempts per tracker so node death cancels them.
+	liveness *livenessMonitor
+	attempts *attemptRegistry
 
 	// profile is the running job's shuffle profile (nil when profiling
 	// is off); lastReport keeps the most recent finished job's report so
@@ -99,6 +108,15 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		}
 		c.servers = append(c.servers, srv)
 	}
+	hosts := make([]string, n)
+	for i, tt := range c.trackers {
+		hosts[i] = tt.Host()
+	}
+	c.attempts = newAttemptRegistry(n)
+	c.liveness = newLivenessMonitor(hosts,
+		time.Duration(conf.Int(config.KeyTrackerExpiry))*time.Millisecond,
+		time.Now, c.decommission)
+	c.liveness.start()
 	if addr := conf.Get(config.KeyObsHTTPAddr); addr != "" {
 		ln, err := net.Listen("tcp", addr)
 		if err != nil {
@@ -150,9 +168,84 @@ func (c *Cluster) Trackers() []*TaskTracker { return c.trackers }
 
 // Servers returns the per-tracker shuffle servers, index-aligned with
 // Trackers (for tests and diagnostics).
-func (c *Cluster) Servers() []TrackerServer { return c.servers }
+func (c *Cluster) Servers() []TrackerServer {
+	c.smu.RLock()
+	defer c.smu.RUnlock()
+	return append([]TrackerServer(nil), c.servers...)
+}
 
-// Close shuts down the shuffle servers.
+// server returns tracker ti's current shuffle server (revive replaces
+// them, so index once under the lock).
+func (c *Cluster) server(ti int) TrackerServer {
+	c.smu.RLock()
+	defer c.smu.RUnlock()
+	return c.servers[ti]
+}
+
+func (c *Cluster) trackerIndex(host string) (int, error) {
+	for i, tt := range c.trackers {
+		if tt.Host() == host {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mapred: no tracker named %q", host)
+}
+
+// KillTracker simulates node death for tests and chaos schedules: the
+// tracker's process is gone — heartbeats stop, its shuffle server shuts
+// down (in-flight responder work errors out), and every task attempt
+// running there is cancelled. The scheduler only learns of the death
+// when the missing heartbeats exceed mapred.tasktracker.expiry.interval
+// and the sweep decommissions the node. Killing the last live tracker
+// is refused.
+func (c *Cluster) KillTracker(host string) error {
+	ti, err := c.trackerIndex(host)
+	if err != nil {
+		return err
+	}
+	if err := c.liveness.suppress(ti); err != nil {
+		return err
+	}
+	c.attempts.killAll(ti)
+	_ = c.server(ti).Close()
+	return nil
+}
+
+// ReviveTracker restarts a killed or decommissioned tracker: a fresh
+// shuffle server is started for it, heartbeats resume, membership is
+// restored, and parked slot workers wake up and take new work.
+func (c *Cluster) ReviveTracker(host string) error {
+	ti, err := c.trackerIndex(host)
+	if err != nil {
+		return err
+	}
+	if c.liveness.isUp(ti) {
+		return nil
+	}
+	srv, err := c.engine.StartTracker(c.trackers[ti])
+	if err != nil {
+		return fmt.Errorf("mapred: reviving %s: %w", host, err)
+	}
+	c.smu.Lock()
+	c.servers[ti] = srv
+	c.smu.Unlock()
+	c.liveness.revive(ti)
+	c.counters.Add("mapred.tasktracker.revived", 1)
+	return nil
+}
+
+// decommission is the liveness monitor's expiry hook: the scheduler has
+// declared tracker ti dead. Its running attempts are cancelled, its
+// responder is fenced off, and the per-job watcher (registered by
+// execute) reschedules its work and re-hosts its completed map outputs.
+func (c *Cluster) decommission(ti int, host string) {
+	c.counters.Add("mapred.tasktracker.expired", 1)
+	c.counters.Add("mapred.tasktracker.decommissioned", 1)
+	c.attempts.killAll(ti)
+	_ = c.server(ti).Close()
+}
+
+// Close shuts down the liveness monitor and the shuffle servers.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -161,10 +254,13 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.liveness != nil {
+		c.liveness.stopAll()
+	}
 	if c.httpSrv != nil {
 		_ = c.httpSrv.Close()
 	}
-	for _, s := range c.servers {
+	for _, s := range c.Servers() {
 		_ = s.Close()
 	}
 }
@@ -193,73 +289,6 @@ type split struct {
 	path   string
 	blocks []hdfs.BlockLocation
 	hosts  []string // candidate local hosts
-}
-
-type splitQueue struct {
-	mu     sync.Mutex
-	splits []*split
-
-	// Straggler speculation state: splits currently running, splits
-	// already completed, and splits that have been handed out as a
-	// backup already (at most one backup per split).
-	inFlight map[int]*split
-	done     map[int]bool
-	backed   map[int]bool
-}
-
-func newSplitQueue(splits []*split) *splitQueue {
-	return &splitQueue{
-		splits:   append([]*split(nil), splits...),
-		inFlight: make(map[int]*split),
-		done:     make(map[int]bool),
-		backed:   make(map[int]bool),
-	}
-}
-
-// take pops a split, preferring one with a replica on host (Hadoop's
-// data-local scheduling). With speculation enabled, an idle worker that
-// finds the queue empty may claim a backup copy of an in-flight split —
-// the first attempt to complete wins.
-func (q *splitQueue) take(host string, speculate bool) (*split, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for i, sp := range q.splits {
-		for _, h := range sp.hosts {
-			if h == host {
-				q.splits = append(q.splits[:i], q.splits[i+1:]...)
-				q.inFlight[sp.id] = sp
-				return sp, false
-			}
-		}
-	}
-	if len(q.splits) > 0 {
-		sp := q.splits[0]
-		q.splits = q.splits[1:]
-		q.inFlight[sp.id] = sp
-		return sp, false
-	}
-	if speculate {
-		for id, sp := range q.inFlight {
-			if !q.done[id] && !q.backed[id] {
-				q.backed[id] = true
-				return sp, true
-			}
-		}
-	}
-	return nil, false
-}
-
-// complete records a finished attempt; it returns true for the FIRST
-// completion of the split (later attempts are discarded duplicates).
-func (q *splitQueue) complete(id int) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.done[id] {
-		return false
-	}
-	q.done[id] = true
-	delete(q.inFlight, id)
-	return true
 }
 
 func (c *Cluster) planSplits(job *Job) ([]*split, error) {
@@ -344,12 +373,29 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 	start := time.Now()
 	if err := c.execute(ctx, info, job, splits); err != nil {
 		c.profile.Store(nil)
+		// A failed or cancelled job must not leave partial output: the
+		// directory was empty at admission, so everything under it —
+		// committed parts from finished reduces, uncommitted attempt
+		// temp files, abandoned writer placeholders — is ours to remove.
+		for _, p := range c.fs.List(job.Output + "/") {
+			_ = c.fs.Delete(p)
+		}
+		for i, tt := range c.trackers {
+			c.server(i).JobComplete(info)
+			tt.CleanupJob(jobID)
+		}
 		return nil, err
 	}
 	dur := time.Since(start)
 
+	// Commit-protocol debris: losing duplicate attempts delete their own
+	// temp files, but attempts killed mid-write leave reserved names
+	// under _temporary; clear the scratch dir before listing the output.
+	for _, p := range c.fs.List(job.Output + "/_temporary/") {
+		_ = c.fs.Delete(p)
+	}
 	for i, tt := range c.trackers {
-		c.servers[i].JobComplete(info)
+		c.server(i).JobComplete(info)
 		tt.CleanupJob(jobID)
 	}
 	after := c.counters.Snapshot()
@@ -384,6 +430,17 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 
 // execute runs the map and reduce phases concurrently (reduces start
 // immediately and their fetchers wait on map-completion events).
+//
+// Both phases schedule through attemptQueues: slot workers on every
+// tracker pull attempts, a failed attempt is retried up to
+// mapred.{map,reduce}.max.attempts times, an attempt that dies with its
+// node is requeued without consuming budget, and speculation launches
+// one backup per straggler with first-finisher-wins arbitration (the
+// split queue's old contract for maps, the output-commit rename for
+// reduces). Workers on a dead tracker park until revive, job end, or
+// cancellation; a decommissioned tracker's completed map outputs are
+// proactively re-executed elsewhere and in-flight fetchers learn of the
+// loss through the TrackerLossFeed.
 func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []*split) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -402,116 +459,189 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 		})
 	}
 
-	// Per-reduce map-completion event channels, buffered so broadcasting
-	// never blocks the map path.
-	events := make([]chan MapEvent, info.NumReduces)
-	for i := range events {
-		events[i] = make(chan MapEvent, info.NumMaps+1)
-	}
-	var (
-		mapsLeft     = int64(len(splits))
-		mapsMu       sync.Mutex
-		eventsClosed bool
-	)
-	broadcast := func(ev MapEvent) {
-		mapsMu.Lock()
-		defer mapsMu.Unlock()
-		if eventsClosed {
-			return
-		}
-		for _, ch := range events {
-			ch <- ev
-		}
-		mapsLeft--
-		if mapsLeft == 0 {
-			for _, ch := range events {
-				close(ch)
-			}
-			eventsClosed = true
-		}
-	}
-	// On failure the event channels must still close so reduce fetchers
-	// unblock (they also watch ctx; this is belt and braces).
-	defer func() {
-		mapsMu.Lock()
-		if !eventsClosed {
-			for _, ch := range events {
-				close(ch)
-			}
-			eventsClosed = true
-		}
-		mapsMu.Unlock()
-	}()
-
+	board := newEventBoard(info.NumMaps)
+	defer board.abort()
+	losses := NewTrackerLossFeed()
 	recovery := newJobRecovery(ctx, c, info, job, splits)
+
+	// React to decommissions for the duration of this job: tell
+	// in-flight reducers the host is gone (they fast-fail its
+	// connections) and re-execute its completed map outputs elsewhere so
+	// fetchers that escalate find the replacement already running. The
+	// re-executions run outside the worker WaitGroup — they are bounded
+	// by ctx and touch only job-scoped state.
+	unwatch := c.liveness.watch(func(ti int, host string) {
+		losses.Announce(host)
+		for _, mapID := range board.servedBy(host) {
+			go func(mapID int) {
+				if newHost, err := recovery.RecoverAway(ctx, mapID, host); err == nil {
+					board.relocate(mapID, newHost)
+				}
+			}(mapID)
+		}
+	})
+	defer unwatch()
 
 	var wg sync.WaitGroup
 
-	// Map phase: per-tracker slot workers pulling from the locality
-	// queue. With mapred.map.tasks.speculative.execution, idle workers
-	// launch backup attempts for stragglers; the first completion wins
-	// and later duplicates are discarded.
-	queue := newSplitQueue(splits)
-	speculate := info.Conf.Bool(config.KeySpeculativeMaps)
-	mapSlots := int(info.Conf.Int(config.KeyMapSlots))
-	for ti, tt := range c.trackers {
-		for s := 0; s < mapSlots; s++ {
-			wg.Add(1)
-			go func(ti int, tt *TaskTracker) {
-				defer wg.Done()
-				for {
-					if ctx.Err() != nil {
-						return
-					}
-					sp, backup := queue.take(tt.Host(), speculate)
-					if sp == nil {
-						return
-					}
-					if backup {
-						c.counters.Add("map.tasks.speculative", 1)
-					}
-					if err := c.runMapTask(ctx, tt, info, job, sp); err != nil {
-						if backup || ctx.Err() != nil {
-							// A failed backup is harmless; the original
-							// attempt is still running.
+	// runWorkers starts slots workers per tracker pulling attempts from
+	// q. Workers on a down tracker park until it changes state; they
+	// exit when the queue drains, the phase is aborted, or ctx ends.
+	runWorkers := func(q *attemptQueue, slots int, run func(ti int, tt *TaskTracker, id, attempt int, backup bool)) {
+		for ti, tt := range c.trackers {
+			for s := 0; s < slots; s++ {
+				wg.Add(1)
+				go func(ti int, tt *TaskTracker) {
+					defer wg.Done()
+					for {
+						if ctx.Err() != nil || q.finished() {
+							return
+						}
+						if up, changed := c.liveness.status(ti); !up {
+							select {
+							case <-changed:
+							case <-q.doneCh:
+								return
+							case <-ctx.Done():
+								return
+							}
 							continue
 						}
-						fail(fmt.Errorf("map %d on %s: %w", sp.id, tt.Host(), err))
-						return
+						id, attempt, backup, ok, wait := q.take(tt.Host())
+						if !ok {
+							if wait == nil {
+								return
+							}
+							select {
+							case <-wait:
+							case <-ctx.Done():
+								return
+							}
+							continue
+						}
+						run(ti, tt, id, attempt, backup)
 					}
-					if !queue.complete(sp.id) {
-						c.counters.Add("map.tasks.duplicate.discarded", 1)
-						continue
-					}
-					c.servers[ti].MapOutputReady(info, sp.id)
-					broadcast(MapEvent{MapID: sp.id, Host: tt.Host()})
-				}
-			}(ti, tt)
+				}(ti, tt)
+			}
 		}
 	}
 
-	// Reduce phase: round-robin placement, bounded by reduce slots.
-	reduceSlots := int(info.Conf.Int(config.KeyReduceSlots))
-	sem := make([]chan struct{}, len(c.trackers))
-	for i := range sem {
-		sem[i] = make(chan struct{}, reduceSlots)
+	// Map phase. With mapred.map.tasks.speculative.execution, idle
+	// workers launch backup attempts for stragglers; the first completion
+	// wins and later duplicates are discarded.
+	splitByID := make(map[int]*split, len(splits))
+	mapIDs := make([]int, 0, len(splits))
+	hostHints := make(map[int][]string, len(splits))
+	for _, sp := range splits {
+		splitByID[sp.id] = sp
+		mapIDs = append(mapIDs, sp.id)
+		hostHints[sp.id] = sp.hosts
 	}
-	for r := 0; r < info.NumReduces; r++ {
-		ti := r % len(c.trackers)
-		wg.Add(1)
-		go func(r, ti int) {
-			defer wg.Done()
-			select {
-			case sem[ti] <- struct{}{}:
-				defer func() { <-sem[ti] }()
-			case <-ctx.Done():
+	mq := newAttemptQueue(mapIDs, hostHints,
+		int(info.Conf.Int(config.KeyMapMaxAttempts)),
+		info.Conf.Bool(config.KeySpeculativeMaps))
+	runWorkers(mq, int(info.Conf.Int(config.KeyMapSlots)),
+		func(ti int, tt *TaskTracker, id, attempt int, backup bool) {
+			if backup {
+				c.counters.Add("map.tasks.speculative", 1)
+			}
+			actx, h := c.attempts.begin(ctx, ti)
+			err := c.runMapTask(actx, tt, info, job, splitByID[id])
+			killed := h.finish()
+			if err == nil && killed {
+				// Ran to completion on a node the scheduler killed
+				// mid-attempt: its server is gone, so the output cannot
+				// be served. Discard and reschedule.
+				err = fmt.Errorf("mapred: map %d attempt %d: %s died mid-attempt", id, attempt, tt.Host())
+			}
+			if err == nil {
+				if !mq.complete(id) {
+					c.counters.Add("map.tasks.duplicate.discarded", 1)
+					return
+				}
+				c.server(ti).MapOutputReady(info, id)
+				board.announce(MapEvent{MapID: id, Host: tt.Host()})
 				return
 			}
-			if err := c.runReduceTask(ctx, c.trackers[ti], info, job, r, events[r], recovery); err != nil {
-				fail(fmt.Errorf("reduce %d on %s: %w", r, c.trackers[ti].Host(), err))
+			if ctx.Err() != nil && !killed {
+				return // job is aborting, not this attempt's fault
 			}
-		}(r, ti)
+			c.counters.Add("map.task.attempts.failed", 1)
+			if killed {
+				if mq.requeueKilled(id, backup) {
+					c.counters.Add("map.task.attempts.retried", 1)
+				}
+				return
+			}
+			if backup {
+				// A failed backup is harmless; the original attempt is
+				// still running.
+				return
+			}
+			requeued, fatal := mq.fail(id)
+			if requeued {
+				c.counters.Add("map.task.attempts.retried", 1)
+			}
+			if fatal {
+				fail(fmt.Errorf("map %d on %s failed after %d attempts: %w",
+					id, tt.Host(), mq.attempts(id), err))
+			}
+		})
+
+	// Reduce phase: no locality hints — any tracker's reduce slots may
+	// take any partition, so losing a node just shifts its partitions to
+	// the survivors. Duplicate attempts (speculation) are arbitrated by
+	// the output-commit rename: the loser's commit fails cleanly.
+	reduceIDs := make([]int, info.NumReduces)
+	for r := range reduceIDs {
+		reduceIDs[r] = r
 	}
+	rq := newAttemptQueue(reduceIDs, nil,
+		int(info.Conf.Int(config.KeyReduceMaxAttempts)),
+		info.Conf.Bool(config.KeySpeculativeReduces))
+	runWorkers(rq, int(info.Conf.Int(config.KeyReduceSlots)),
+		func(ti int, tt *TaskTracker, id, attempt int, backup bool) {
+			if backup {
+				c.counters.Add("reduce.tasks.speculative", 1)
+			}
+			events, unsubscribe := board.subscribe()
+			actx, h := c.attempts.begin(ctx, ti)
+			committed, err := c.runReduceTask(actx, tt, info, job, id, attempt, events, recovery, losses)
+			killed := h.finish()
+			unsubscribe()
+			if err == nil {
+				if committed {
+					rq.complete(id)
+				} else {
+					// Another attempt committed first; ours was
+					// discarded by the rename arbiter.
+					rq.complete(id)
+					c.counters.Add("reduce.tasks.duplicate.discarded", 1)
+				}
+				return
+			}
+			if ctx.Err() != nil && !killed {
+				return
+			}
+			c.counters.Add("reduce.task.attempts.failed", 1)
+			if killed {
+				if rq.requeueKilled(id, backup) {
+					c.counters.Add("reduce.task.attempts.retried", 1)
+				}
+				return
+			}
+			if backup {
+				return
+			}
+			requeued, fatal := rq.fail(id)
+			if requeued {
+				c.counters.Add("reduce.task.attempts.retried", 1)
+			}
+			if fatal {
+				fail(fmt.Errorf("reduce %d on %s failed after %d attempts: %w",
+					id, tt.Host(), rq.attempts(id), err))
+			}
+		})
 
 	wg.Wait()
 	if firstErr == nil && ctx.Err() != nil {

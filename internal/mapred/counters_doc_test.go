@@ -1,0 +1,72 @@
+package mapred_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var jobCounterRe = regexp.MustCompile(
+	`(?:mapred\.tasktracker|(?:map|reduce)\.task\.attempts)\.[a-z][a-z0-9._]*[a-z0-9]`)
+
+// TestJobCounterNamesMatchDocs pins the job-layer robustness counter
+// namespaces (`mapred.tasktracker.*` and `{map,reduce}.task.attempts.*`)
+// to the README's job-layer counter reference, exactly as the core
+// package pins `shuffle.rdma.*`: every name used in this package's
+// non-test sources must be documented, and every documented name must
+// exist in the sources.
+func TestJobCounterNamesMatchDocs(t *testing.T) {
+	inCode := map[string]bool{}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range jobCounterRe.FindAllString(string(src), -1) {
+			inCode[m] = true
+		}
+	}
+	if len(inCode) == 0 {
+		t.Fatal("no job-layer robustness counters found in package sources")
+	}
+
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDocs := map[string]bool{}
+	for _, m := range jobCounterRe.FindAllString(string(readme), -1) {
+		inDocs[m] = true
+	}
+
+	var undocumented, phantom []string
+	for name := range inCode {
+		if !inDocs[name] {
+			undocumented = append(undocumented, name)
+		}
+	}
+	for name := range inDocs {
+		if !inCode[name] {
+			phantom = append(phantom, name)
+		}
+	}
+	sort.Strings(undocumented)
+	sort.Strings(phantom)
+	if len(undocumented) > 0 {
+		t.Errorf("counters used in code but missing from README's job-layer table: %v", undocumented)
+	}
+	if len(phantom) > 0 {
+		t.Errorf("counters documented in README but absent from the code: %v", phantom)
+	}
+}

@@ -49,6 +49,10 @@ type TrackerServer interface {
 type ReduceTaskInfo struct {
 	Job      JobInfo
 	ReduceID int
+	// Attempt numbers this execution of the reduce (1 = original; retries
+	// and speculative backups get fresh numbers). Engines may use it for
+	// logging and correlation IDs.
+	Attempt int
 	// Events delivers map-completion events; the channel closes after the
 	// final map completes. Buffered so the producer never blocks.
 	Events <-chan MapEvent
@@ -66,6 +70,12 @@ type ReduceTaskInfo struct {
 	// serving the regenerated (byte-identical) output. Nil disables
 	// recovery: fetch failures then fail the reduce task.
 	RecoverMap func(ctx context.Context, mapID, attempt int) (string, error)
+	// Losses streams TaskTracker-death announcements from the cluster's
+	// heartbeat failure detector. Engines that subscribe can fail a dead
+	// host's connections immediately and escalate to RecoverMap instead
+	// of waiting out request deadlines and reconnect budgets. Nil (and a
+	// nil subscription) means no liveness information is available.
+	Losses *TrackerLossFeed
 }
 
 // ReduceFetcher runs shuffle + merge for one reduce partition.

@@ -1,0 +1,137 @@
+package mapred
+
+import "sync"
+
+// eventBoard is the job's map-completion log. It replaces the old
+// fire-and-forget per-reduce channels so that (a) every reduce *attempt*
+// — including retries and speculative backups started long after the
+// maps finished — receives the full event history, and (b) when a dead
+// tracker's completed outputs are re-executed elsewhere, the log entry
+// is relocated in place instead of broadcasting an extra event. The
+// channel contract engines rely on is preserved exactly: a subscriber
+// sees one event per map, then close.
+//
+// Relocation cannot retract an event already buffered in a live
+// subscriber's channel; those fetchers hold a stale host and recover
+// through the TrackerLossFeed fast-fail + RecoverMap escalation instead.
+type eventBoard struct {
+	mu      sync.Mutex
+	numMaps int
+	byMap   map[int]int // mapID -> index into log
+	log     []MapEvent  // completion order
+	subs    map[int]*boardSub
+	next    int
+	aborted bool
+}
+
+type boardSub struct {
+	ch     chan MapEvent
+	closed bool
+}
+
+func newEventBoard(numMaps int) *eventBoard {
+	return &eventBoard{
+		numMaps: numMaps,
+		byMap:   make(map[int]int),
+		subs:    make(map[int]*boardSub),
+	}
+}
+
+// announce records a map completion and delivers it to all subscribers;
+// after the final distinct map the subscriber channels close. Duplicate
+// completions (a speculative loser finishing second) are ignored.
+func (b *eventBoard) announce(ev MapEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return
+	}
+	if _, ok := b.byMap[ev.MapID]; ok {
+		return
+	}
+	b.byMap[ev.MapID] = len(b.log)
+	b.log = append(b.log, ev)
+	for _, s := range b.subs {
+		if !s.closed {
+			s.ch <- ev
+		}
+	}
+	if len(b.log) == b.numMaps {
+		for _, s := range b.subs {
+			if !s.closed {
+				close(s.ch)
+				s.closed = true
+			}
+		}
+	}
+}
+
+// relocate updates the serving host of an already-announced map — the
+// decommission path re-hosting a dead tracker's output. Future
+// subscribers (reduce retries) see the new host in their replay.
+func (b *eventBoard) relocate(mapID int, host string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i, ok := b.byMap[mapID]; ok {
+		b.log[i].Host = host
+	}
+}
+
+// servedBy lists the maps whose output the log currently attributes to
+// host — the set a decommission must proactively re-execute.
+func (b *eventBoard) servedBy(host string) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []int
+	for _, ev := range b.log {
+		if ev.Host == host {
+			out = append(out, ev.MapID)
+		}
+	}
+	return out
+}
+
+// subscribe opens a per-attempt event stream: a replay of the log so
+// far, then live announcements, closing after the final map. The
+// channel is buffered for the full job so announce never blocks.
+func (b *eventBoard) subscribe() (<-chan MapEvent, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := &boardSub{ch: make(chan MapEvent, b.numMaps+1)}
+	for _, ev := range b.log {
+		s.ch <- ev
+	}
+	if len(b.log) == b.numMaps || b.aborted {
+		close(s.ch)
+		s.closed = true
+		return s.ch, func() {}
+	}
+	id := b.next
+	b.next++
+	b.subs[id] = s
+	return s.ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if sub, ok := b.subs[id]; ok {
+			if !sub.closed {
+				close(sub.ch)
+				sub.closed = true
+			}
+			delete(b.subs, id)
+		}
+	}
+}
+
+// abort closes every subscriber channel so fetchers unblock when the
+// job fails before all maps complete (belt and braces with ctx).
+func (b *eventBoard) abort() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.aborted = true
+	for _, s := range b.subs {
+		if !s.closed {
+			close(s.ch)
+			s.closed = true
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package mapred
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the cluster scheduler's failure detector and the plumbing
+// that lets the rest of the job layer react to node death:
+//
+//   - livenessMonitor: the heartbeat loop between each TaskTracker and
+//     the scheduler (mapred.tasktracker.expiry.interval). Each tracker
+//     beats while its process is "up"; a sweep decommissions any member
+//     whose last beat is older than the expiry window. The clock is
+//     injectable (like health.go) so tests drive beat/sweep directly.
+//   - attemptRegistry: per-tracker registry of running task attempts so
+//     node death can cancel them immediately (process death kills the
+//     task, the scheduler only *detects* it at expiry).
+//   - TrackerLossFeed: the push channel telling in-flight reduce
+//     fetchers a host is gone, so they fast-fail its connections instead
+//     of waiting out request deadlines and reconnect budgets.
+
+// trackerLiveState tracks one TaskTracker's membership.
+//
+// `up` models the process: false after KillTracker (heartbeats stop, no
+// task may run there). `alive` models the scheduler's view: true until
+// the missing heartbeats exceed the expiry window and the tracker is
+// decommissioned. The gap between the two is the detection delay the
+// paper's Hadoop baseline also has.
+type trackerLiveState struct {
+	host     string
+	lastBeat time.Time
+	up       bool
+	alive    bool
+	changed  chan struct{} // closed and replaced on every transition
+}
+
+// livenessMonitor is the scheduler-side failure detector.
+type livenessMonitor struct {
+	now    func() time.Time
+	expiry time.Duration
+
+	mu       sync.Mutex
+	states   []trackerLiveState
+	watchers map[int]func(ti int, host string)
+	nextW    int
+	// onExpire is the cluster-level decommission hook (counters, attempt
+	// cancellation, responder shutdown); job-level watchers run after it.
+	onExpire func(ti int, host string)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newLivenessMonitor(hosts []string, expiry time.Duration, now func() time.Time, onExpire func(ti int, host string)) *livenessMonitor {
+	if now == nil {
+		now = time.Now
+	}
+	lv := &livenessMonitor{
+		now:      now,
+		expiry:   expiry,
+		watchers: make(map[int]func(int, string)),
+		onExpire: onExpire,
+		stop:     make(chan struct{}),
+	}
+	t := now()
+	for _, h := range hosts {
+		lv.states = append(lv.states, trackerLiveState{
+			host: h, lastBeat: t, up: true, alive: true,
+			changed: make(chan struct{}),
+		})
+	}
+	return lv
+}
+
+// start spawns one heartbeat goroutine per tracker and one sweep
+// goroutine, all ticking at a quarter of the expiry window so a dead
+// tracker is detected within ~1.25 expiry intervals.
+func (lv *livenessMonitor) start() {
+	interval := lv.expiry / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	for ti := range lv.states {
+		lv.wg.Add(1)
+		go func(ti int) {
+			defer lv.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-lv.stop:
+					return
+				case <-t.C:
+					lv.beat(ti)
+				}
+			}
+		}(ti)
+	}
+	lv.wg.Add(1)
+	go func() {
+		defer lv.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-lv.stop:
+				return
+			case <-t.C:
+				lv.sweep()
+			}
+		}
+	}()
+}
+
+func (lv *livenessMonitor) stopAll() {
+	lv.stopOnce.Do(func() { close(lv.stop) })
+	lv.wg.Wait()
+}
+
+// beat records a heartbeat from tracker ti. A killed tracker's process
+// is gone, so its beats stop flowing.
+func (lv *livenessMonitor) beat(ti int) {
+	lv.mu.Lock()
+	if lv.states[ti].up {
+		lv.states[ti].lastBeat = lv.now()
+	}
+	lv.mu.Unlock()
+}
+
+// sweep decommissions every member whose heartbeat has expired. Hooks
+// and watchers run outside the lock (they call back into liveness).
+func (lv *livenessMonitor) sweep() {
+	type victim struct {
+		ti   int
+		host string
+	}
+	var victims []victim
+	now := lv.now()
+	lv.mu.Lock()
+	for ti := range lv.states {
+		st := &lv.states[ti]
+		if st.alive && now.Sub(st.lastBeat) > lv.expiry {
+			st.alive = false
+			st.up = false
+			lv.transitionLocked(ti)
+			victims = append(victims, victim{ti, st.host})
+		}
+	}
+	var watchers []func(int, string)
+	if len(victims) > 0 {
+		for _, w := range lv.watchers {
+			watchers = append(watchers, w)
+		}
+	}
+	lv.mu.Unlock()
+	for _, v := range victims {
+		if lv.onExpire != nil {
+			lv.onExpire(v.ti, v.host)
+		}
+		for _, w := range watchers {
+			w(v.ti, v.host)
+		}
+	}
+}
+
+func (lv *livenessMonitor) transitionLocked(ti int) {
+	close(lv.states[ti].changed)
+	lv.states[ti].changed = make(chan struct{})
+}
+
+// suppress models process death for tracker ti: heartbeats stop and no
+// new work may be placed there. The scheduler notices at the next
+// expired sweep. Killing the last live tracker is refused — the cluster
+// would have nowhere left to run anything.
+func (lv *livenessMonitor) suppress(ti int) error {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	if !lv.states[ti].up {
+		return nil
+	}
+	up := 0
+	for i := range lv.states {
+		if lv.states[i].up {
+			up++
+		}
+	}
+	if up <= 1 {
+		return fmt.Errorf("mapred: refusing to kill %s: last live tracker", lv.states[ti].host)
+	}
+	lv.states[ti].up = false
+	lv.transitionLocked(ti)
+	return nil
+}
+
+// revive re-admits tracker ti: heartbeats resume, membership is
+// restored, and parked slot workers wake.
+func (lv *livenessMonitor) revive(ti int) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	st := &lv.states[ti]
+	st.up = true
+	st.alive = true
+	st.lastBeat = lv.now()
+	lv.transitionLocked(ti)
+}
+
+// status reports whether ti can run tasks, plus a channel closed on its
+// next state transition (for parking slot workers).
+func (lv *livenessMonitor) status(ti int) (bool, <-chan struct{}) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	return lv.states[ti].up, lv.states[ti].changed
+}
+
+func (lv *livenessMonitor) isUp(ti int) bool {
+	up, _ := lv.status(ti)
+	return up
+}
+
+// pickUp returns the first live tracker scanning from start (wrapping),
+// optionally avoiding one host. ok is false when nothing is up.
+func (lv *livenessMonitor) pickUp(start int, avoid string) (int, bool) {
+	lv.mu.Lock()
+	defer lv.mu.Unlock()
+	n := len(lv.states)
+	fallback := -1
+	for i := 0; i < n; i++ {
+		ti := ((start+i)%n + n) % n
+		if !lv.states[ti].up {
+			continue
+		}
+		if lv.states[ti].host == avoid {
+			if fallback < 0 {
+				fallback = ti
+			}
+			continue
+		}
+		return ti, true
+	}
+	if fallback >= 0 {
+		return fallback, true
+	}
+	return 0, false
+}
+
+// watch registers a decommission callback for the duration of a job and
+// returns its unregister func.
+func (lv *livenessMonitor) watch(fn func(ti int, host string)) func() {
+	lv.mu.Lock()
+	id := lv.nextW
+	lv.nextW++
+	lv.watchers[id] = fn
+	lv.mu.Unlock()
+	return func() {
+		lv.mu.Lock()
+		delete(lv.watchers, id)
+		lv.mu.Unlock()
+	}
+}
+
+// attemptRegistry tracks the cancel handle of every running task attempt
+// by the tracker executing it, so node death can cancel them at once.
+type attemptRegistry struct {
+	mu        sync.Mutex
+	byTracker []map[*attemptHandle]struct{}
+}
+
+func newAttemptRegistry(n int) *attemptRegistry {
+	r := &attemptRegistry{byTracker: make([]map[*attemptHandle]struct{}, n)}
+	for i := range r.byTracker {
+		r.byTracker[i] = make(map[*attemptHandle]struct{})
+	}
+	return r
+}
+
+// attemptHandle is one running attempt's registration. finish reports
+// whether the attempt was killed by node death (as opposed to failing on
+// its own), which decides requeue-without-budget vs budget consumption.
+type attemptHandle struct {
+	reg    *attemptRegistry
+	ti     int
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	killed bool
+}
+
+func (r *attemptRegistry) begin(ctx context.Context, ti int) (context.Context, *attemptHandle) {
+	actx, cancel := context.WithCancel(ctx)
+	h := &attemptHandle{reg: r, ti: ti, cancel: cancel}
+	r.mu.Lock()
+	r.byTracker[ti][h] = struct{}{}
+	r.mu.Unlock()
+	return actx, h
+}
+
+// killAll cancels every attempt currently running on tracker ti.
+func (r *attemptRegistry) killAll(ti int) {
+	r.mu.Lock()
+	handles := make([]*attemptHandle, 0, len(r.byTracker[ti]))
+	for h := range r.byTracker[ti] {
+		handles = append(handles, h)
+	}
+	r.mu.Unlock()
+	for _, h := range handles {
+		h.mu.Lock()
+		h.killed = true
+		h.mu.Unlock()
+		h.cancel()
+	}
+}
+
+// finish unregisters the attempt and reports whether it was killed.
+func (h *attemptHandle) finish() bool {
+	h.reg.mu.Lock()
+	delete(h.reg.byTracker[h.ti], h)
+	h.reg.mu.Unlock()
+	h.cancel()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.killed
+}
+
+// TrackerLossFeed pushes "host X is gone" announcements from the
+// scheduler's failure detector to in-flight reduce fetchers. Without it
+// a fetcher only learns of a dead TaskTracker when its requests time out
+// or its reconnect budget drains; with it the fetcher can fail the
+// host's connection immediately and escalate straight to map recovery.
+//
+// Subscribers get a replay of every loss announced so far plus live
+// updates. Channels are buffered generously relative to the bounded
+// announcement volume (at most one per decommission event); a full
+// subscriber is skipped rather than blocking the failure detector — the
+// fetcher then falls back to the deadline path, which stays correct.
+type TrackerLossFeed struct {
+	mu   sync.Mutex
+	lost []string
+	subs map[int]chan string
+	next int
+}
+
+// NewTrackerLossFeed returns an empty feed.
+func NewTrackerLossFeed() *TrackerLossFeed {
+	return &TrackerLossFeed{subs: make(map[int]chan string)}
+}
+
+// Announce records a lost host and notifies all subscribers.
+func (f *TrackerLossFeed) Announce(host string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lost = append(f.lost, host)
+	for _, ch := range f.subs {
+		select {
+		case ch <- host:
+		default:
+		}
+	}
+}
+
+// Lost returns the hosts announced so far (latest snapshot).
+func (f *TrackerLossFeed) Lost() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.lost...)
+}
+
+// Subscribe returns a channel replaying past announcements then
+// streaming new ones, plus an unsubscribe func. Safe on a nil feed
+// (engines treat a nil feed as "no liveness information").
+func (f *TrackerLossFeed) Subscribe() (<-chan string, func()) {
+	if f == nil {
+		return nil, func() {}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan string, len(f.lost)+64)
+	for _, h := range f.lost {
+		ch <- h
+	}
+	id := f.next
+	f.next++
+	f.subs[id] = ch
+	return ch, func() {
+		f.mu.Lock()
+		delete(f.subs, id)
+		f.mu.Unlock()
+	}
+}

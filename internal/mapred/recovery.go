@@ -56,11 +56,8 @@ func newJobRecovery(ctx context.Context, c *Cluster, info JobInfo, job *Job, spl
 // in-flight fetch offsets remain valid.
 func (r *jobRecovery) Recover(ctx context.Context, mapID, attempt int) (string, error) {
 	if attempt > MaxMapRecoveries {
-		return "", fmt.Errorf("mapred: map %d failed after %d recovery attempts", mapID, MaxMapRecoveries)
-	}
-	sp, ok := r.splits[mapID]
-	if !ok {
-		return "", fmt.Errorf("mapred: recovery for unknown map %d", mapID)
+		return "", fmt.Errorf("mapred: map %d unrecoverable: exhausted %d re-execution attempts",
+			mapID, MaxMapRecoveries)
 	}
 	key := recoveryKey{mapID: mapID, attempt: attempt}
 	r.mu.Lock()
@@ -76,17 +73,59 @@ func (r *jobRecovery) Recover(ctx context.Context, mapID, attempt int) (string, 
 	e := &recoveryEntry{done: make(chan struct{})}
 	r.entries[key] = e
 	r.mu.Unlock()
-
 	// Place each attempt on a different node so a sick node does not
 	// keep re-hosting the same output.
-	ti := (mapID + attempt) % len(r.c.trackers)
+	r.execute(e, mapID, (mapID+attempt)%len(r.c.trackers), "")
+	return e.host, e.err
+}
+
+// RecoverAway proactively re-executes mapID somewhere other than avoid —
+// the decommission path re-hosting a dead tracker's completed outputs
+// before reducers even notice. The re-execution registers under the next
+// free fetcher-side attempt number, so a fetcher that fails against the
+// dead host and escalates finds this entry and returns immediately with
+// the replacement host.
+func (r *jobRecovery) RecoverAway(ctx context.Context, mapID int, avoid string) (string, error) {
+	r.mu.Lock()
+	attempt := 1
+	for {
+		if _, ok := r.entries[recoveryKey{mapID: mapID, attempt: attempt}]; !ok {
+			break
+		}
+		attempt++
+	}
+	if attempt > MaxMapRecoveries {
+		r.mu.Unlock()
+		return "", fmt.Errorf("mapred: map %d unrecoverable: exhausted %d re-execution attempts",
+			mapID, MaxMapRecoveries)
+	}
+	e := &recoveryEntry{done: make(chan struct{})}
+	r.entries[recoveryKey{mapID: mapID, attempt: attempt}] = e
+	r.mu.Unlock()
+	r.execute(e, mapID, (mapID+attempt)%len(r.c.trackers), avoid)
+	return e.host, e.err
+}
+
+// execute runs one re-execution attempt on a live tracker at or after
+// start (wrapping, skipping avoid when possible) and publishes the
+// result into e.
+func (r *jobRecovery) execute(e *recoveryEntry, mapID, start int, avoid string) {
+	defer close(e.done)
+	sp, ok := r.splits[mapID]
+	if !ok {
+		e.err = fmt.Errorf("mapred: recovery for unknown map %d", mapID)
+		return
+	}
+	ti, ok := r.c.liveness.pickUp(start, avoid)
+	if !ok {
+		e.err = fmt.Errorf("mapred: map %d unrecoverable: no live tracker to re-execute on", mapID)
+		return
+	}
 	tt := r.c.trackers[ti]
 	e.err = r.c.runMapTask(r.ctx, tt, r.info, r.job, sp)
 	if e.err == nil {
 		e.host = tt.Host()
-		r.c.servers[ti].MapOutputReady(r.info, mapID)
+		r.c.server(ti).MapOutputReady(r.info, mapID)
 		r.c.counters.Add("map.tasks.recovered", 1)
 	}
-	close(e.done)
-	return e.host, e.err
 }

@@ -2,38 +2,45 @@ package mapred
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
+	"rdmamr/internal/hdfs"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/obs"
 )
 
-// runReduceTask executes one ReduceTask: run the engine's shuffle+merge
-// pipeline, group the merged sorted stream by key, apply the reduce
-// function, and write part-r-NNNNN to HDFS.
+// runReduceTask executes one reduce task attempt: run the engine's
+// shuffle+merge pipeline, group the merged sorted stream by key, apply
+// the reduce function, write an attempt-scoped temp file, and atomically
+// commit it to part-r-NNNNN. The rename is the commit arbiter: when a
+// duplicate (speculative or raced) attempt already committed, ours is
+// deleted and committed=false returns with a nil error — failed or
+// duplicate attempts can never corrupt or interleave committed output.
 //
 // Because grouping pulls from the fetcher's iterator, a streaming engine
 // overlaps reduce with shuffle and merge for free (§III-B.4): the reduce
 // function runs as soon as the first merged key group is complete.
-func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, reduceID int, events <-chan MapEvent, recovery *jobRecovery) error {
+func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, reduceID, attempt int, events <-chan MapEvent, recovery *jobRecovery, losses *TrackerLossFeed) (committed bool, err error) {
 	hosts := make([]string, len(c.trackers))
 	for i, tr := range c.trackers {
 		hosts[i] = tr.Host()
 	}
 	taskStart := time.Now()
 	fetcher, err := c.engine.NewReduceFetcher(ReduceTaskInfo{
-		Job: info, ReduceID: reduceID, Events: events, Local: tt, Hosts: hosts,
-		RecoverMap: recovery.Recover,
+		Job: info, ReduceID: reduceID, Attempt: attempt, Events: events,
+		Local: tt, Hosts: hosts,
+		RecoverMap: recovery.Recover, Losses: losses,
 	})
 	if err != nil {
-		return fmt.Errorf("creating fetcher: %w", err)
+		return false, fmt.Errorf("creating fetcher: %w", err)
 	}
 	defer fetcher.Close()
 
 	it, err := fetcher.Fetch(ctx)
 	if err != nil {
-		return fmt.Errorf("shuffle: %w", err)
+		return false, fmt.Errorf("shuffle: %w", err)
 	}
 	// For a barrier engine Fetch returns only after shuffle+merge; for a
 	// streaming engine this span is near zero and the cost lands in the
@@ -49,12 +56,21 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 		defer func() { prof.Mark(obs.PhaseReduce, reduceID, time.Now()) }()
 	}
 
-	path := fmt.Sprintf("%s/part-r-%05d", job.Output, reduceID)
-	w, err := c.fs.Create(path, tt.Host())
+	// Attempt-scoped temp path; the atomic rename below is the commit.
+	tmp := fmt.Sprintf("%s/_temporary/%s/attempt-r%05d-%04d", job.Output, info.ID, reduceID, attempt)
+	final := fmt.Sprintf("%s/part-r-%05d", job.Output, reduceID)
+	w, err := c.fs.Create(tmp, tt.Host())
 	if err != nil {
-		return err
+		return false, err
 	}
 	rw := kv.NewRunWriter(w)
+	// abandon scraps this attempt's uncommitted temp output. The name
+	// was reserved at Create, so delete it even when the writer never
+	// closed — placeholders count as files in the namespace.
+	abandon := func(e error) (bool, error) {
+		_ = c.fs.Delete(tmp)
+		return false, e
+	}
 
 	var (
 		outRecords int64
@@ -87,7 +103,7 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 		rec := it.Record()
 		if haveGroup && job.GroupComparator(rec.Key, curKey) != 0 {
 			if err := flush(); err != nil {
-				return err
+				return abandon(err)
 			}
 		}
 		if !haveGroup {
@@ -99,24 +115,34 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 		curValues = append(curValues, v)
 		inRecords++
 		if inRecords%4096 == 0 && ctx.Err() != nil {
-			return ctx.Err()
+			return abandon(ctx.Err())
 		}
 	}
 	if err := it.Err(); err != nil {
-		return fmt.Errorf("merged stream: %w", err)
+		return abandon(fmt.Errorf("merged stream: %w", err))
 	}
 	if err := flush(); err != nil {
-		return err
+		return abandon(err)
 	}
 
 	if err := rw.Close(); err != nil {
-		return fmt.Errorf("finalizing output run: %w", err)
+		return abandon(fmt.Errorf("finalizing output run: %w", err))
 	}
 	if err := w.Close(); err != nil {
-		return fmt.Errorf("closing %s: %w", path, err)
+		return abandon(fmt.Errorf("closing %s: %w", tmp, err))
+	}
+	// Commit: atomically promote the attempt output. Rename is the
+	// first-committer-wins arbiter — ErrExists means a duplicate attempt
+	// beat us and our output is discarded, not an error.
+	if err := c.fs.Rename(tmp, final); err != nil {
+		if errors.Is(err, hdfs.ErrExists) {
+			_, _ = abandon(nil)
+			return false, nil
+		}
+		return abandon(fmt.Errorf("committing %s: %w", final, err))
 	}
 	c.counters.Add("reduce.records.in", inRecords)
 	c.counters.Add("reduce.records.out", outRecords)
 	c.counters.Add("reduce.tasks.completed", 1)
-	return nil
+	return true, nil
 }

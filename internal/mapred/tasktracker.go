@@ -87,9 +87,13 @@ func (tt *TaskTracker) storeMapOutput(jobID string, mapID, partition int, run []
 	return nil
 }
 
-// CleanupJob removes a finished job's map outputs from local disk.
+// CleanupJob removes a finished job's map outputs and any leftover
+// spill runs (an attempt aborted mid-spill never merges its spills away)
+// from local disk.
 func (tt *TaskTracker) CleanupJob(jobID string) {
-	for _, name := range tt.store.List(fmt.Sprintf("mapout/%s/", jobID)) {
-		_ = tt.store.Delete(name)
+	for _, prefix := range []string{"mapout", "spill"} {
+		for _, name := range tt.store.List(fmt.Sprintf("%s/%s/", prefix, jobID)) {
+			_ = tt.store.Delete(name)
+		}
 	}
 }

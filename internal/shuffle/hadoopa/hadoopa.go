@@ -298,8 +298,12 @@ func (seg *segment) next(ctx context.Context) (bool, error) {
 		}
 		if ck.err != nil {
 			seg.attempts++
-			if seg.f == nil || seg.f.task.RecoverMap == nil || seg.attempts > mapred.MaxMapRecoveries {
+			if seg.f == nil || seg.f.task.RecoverMap == nil {
 				return false, ck.err
+			}
+			if seg.attempts > mapred.MaxMapRecoveries {
+				return false, fmt.Errorf("hadoopa: map %d unrecoverable after %d fetch attempts (last host %s): %w",
+					seg.mapID, seg.attempts, seg.conn.host, ck.err)
 			}
 			seg.f.task.Local.Counters().Add("shuffle.fetch.failures", 1)
 			host, err := seg.f.task.RecoverMap(ctx, seg.mapID, seg.attempts)

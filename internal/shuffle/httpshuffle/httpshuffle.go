@@ -248,8 +248,12 @@ func (f *fetcher) fetchWithRecovery(ctx context.Context, ev mapred.MapEvent) ([]
 				return data, nil
 			}
 		}
-		if f.task.RecoverMap == nil || attempt > mapred.MaxMapRecoveries {
+		if f.task.RecoverMap == nil {
 			return nil, err
+		}
+		if attempt > mapred.MaxMapRecoveries {
+			return nil, fmt.Errorf("httpshuffle: map %d unrecoverable after %d fetch attempts (last host %s): %w",
+				ev.MapID, attempt, host, err)
 		}
 		f.task.Local.Counters().Add("shuffle.fetch.failures", 1)
 		host, err = f.task.RecoverMap(ctx, ev.MapID, attempt)
