@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke bench-obs
+.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke trace-smoke bench-obs
 
-verify: fmt vet build race chaos profile-smoke bench-smoke
+verify: fmt vet build race chaos profile-smoke trace-smoke bench-smoke
 
 # Fail on any file gofmt would rewrite.
 fmt:
@@ -47,10 +47,18 @@ chaos:
 profile-smoke:
 	$(GO) run ./cmd/mrsim -profile -profile-nodes 3 -profile-mb 2 -profile-reduces 3 -profile-json -profile-check >/dev/null
 
+# D11 telemetry gate: run a real traced TeraSort, emit the Chrome
+# trace-event JSON, and fail unless it is well-formed (balanced B/E
+# lanes), spans at least two nodes, and shows every lifecycle phase
+# (dispatch, map, fetch, merge, reduce) through the reduce commit.
+trace-smoke:
+	$(GO) run ./cmd/mrsim -trace -trace-nodes 3 -trace-rows 10000 -trace-reduces 3 -trace-check >/dev/null
+
 # D7 overhead proof: the disabled-observability copier hot path must not
-# allocate (0 B/op) or read the clock.
+# allocate (0 B/op) or read the clock; the Enabled pair prices what a
+# live profile + trace costs per chunk.
 bench-obs:
-	$(GO) test -run=NONE -bench=ObsOverheadDisabled ./internal/core/
+	$(GO) test -run=NONE -bench='ObsOverheadDisabled|ObsOverheadEnabled' ./internal/core/
 
 # Shuffle benchmark sweep → BENCH_shuffle.json: copier chunk-fetch
 # allocation profile, copier pipeline depth, the D8 zero-copy responder
@@ -59,6 +67,7 @@ bench-obs:
 # send counts per fetch).
 bench-shuffle:
 	$(GO) test -run=NONE -bench='AblationZeroCopy|AblationFetchArm|FetchChunkAllocs' -benchtime=2000x ./internal/core/ > BENCH_shuffle.txt
+	$(GO) test -run=NONE -bench='ObsOverheadDisabled|ObsOverheadEnabled' ./internal/core/ >> BENCH_shuffle.txt
 	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=200x . >> BENCH_shuffle.txt
 	$(GO) run ./cmd/benchjson < BENCH_shuffle.txt > BENCH_shuffle.json
 	@rm -f BENCH_shuffle.txt

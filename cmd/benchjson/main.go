@@ -43,7 +43,46 @@ type Report struct {
 	GitSHA    string            `json:"git_sha,omitempty"`
 	Generated string            `json:"generated,omitempty"`
 	Config    map[string]string `json:"config,omitempty"`
-	Results   []Result          `json:"benchmarks"`
+	// ObsOverhead is the measured cost of turning telemetry on, derived
+	// from the BenchmarkObsOverhead{Disabled,Enabled} pair when both are
+	// present in the run.
+	ObsOverhead *ObsOverhead `json:"obs_overhead,omitempty"`
+	Results     []Result     `json:"benchmarks"`
+}
+
+// ObsOverhead summarizes the enabled-vs-disabled observability pair:
+// the disabled hot path's pinned 0 B/op claim and the per-op cost a
+// live profile+trace adds.
+type ObsOverhead struct {
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op"`
+	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+	DeltaNsPerOp    float64 `json:"delta_ns_per_op"`
+	DisabledBPerOp  float64 `json:"disabled_b_per_op"`
+	EnabledBPerOp   float64 `json:"enabled_b_per_op"`
+}
+
+// obsOverhead derives the summary from the parsed results; nil when the
+// pair is incomplete.
+func obsOverhead(results []Result) *ObsOverhead {
+	var dis, en *Result
+	for i := range results {
+		switch results[i].Name {
+		case "BenchmarkObsOverheadDisabled":
+			dis = &results[i]
+		case "BenchmarkObsOverheadEnabled":
+			en = &results[i]
+		}
+	}
+	if dis == nil || en == nil {
+		return nil
+	}
+	return &ObsOverhead{
+		DisabledNsPerOp: dis.NsPerOp,
+		EnabledNsPerOp:  en.NsPerOp,
+		DeltaNsPerOp:    en.NsPerOp - dis.NsPerOp,
+		DisabledBPerOp:  dis.BytesPerOp,
+		EnabledBPerOp:   en.BytesPerOp,
+	}
 }
 
 // gitSHA resolves the current commit; empty (and omitted from the JSON)
@@ -91,6 +130,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	rep.ObsOverhead = obsOverhead(rep.Results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

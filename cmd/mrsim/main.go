@@ -41,11 +41,21 @@ func main() {
 		profReds  = flag.Int("profile-reduces", 3, "profile: reduce count")
 		profJSON  = flag.Bool("profile-json", false, "profile: emit the report as JSON instead of text")
 		profCheck = flag.Bool("profile-check", false, "profile: re-parse the JSON report and fail unless shuffle/merge overlap > 0 (smoke gate)")
+
+		trace      = flag.Bool("trace", false, "run a real traced TeraSort on the OSU-IB engine and emit the Chrome trace-event JSON (load in ui.perfetto.dev)")
+		traceNodes = flag.Int("trace-nodes", 3, "trace: cluster size")
+		traceRows  = flag.Int64("trace-rows", 20000, "trace: TeraSort input rows (100 B each)")
+		traceReds  = flag.Int("trace-reduces", 3, "trace: reduce count")
+		traceCheck = flag.Bool("trace-check", false, "trace: validate the emitted trace (balanced events, >= 2 nodes, all lifecycle phases present) — the smoke gate")
 	)
 	flag.Parse()
 
 	if *profile {
 		runProfile(*profNodes, *profMB, *profReds, *profJSON, *profCheck)
+		return
+	}
+	if *trace {
+		runTrace(*traceNodes, *traceRows, *traceReds, *traceCheck)
 		return
 	}
 	if *timeline {
@@ -161,6 +171,53 @@ func runProfile(nodes int, mb float64, reduces int, asJSON, check bool) {
 		fmt.Fprintf(os.Stderr, "profile-check ok: %d fetches, shuffle/merge overlap %.1f ms\n",
 			back.Fetches, back.OverlapMs(obs.PhaseShuffle, obs.PhaseMerge))
 	}
+}
+
+// runTrace executes a real (non-simulated) TeraSort with job-lifecycle
+// tracing on and emits the Chrome trace-event JSON on stdout. With
+// check, the emitted bytes are validated exactly as Perfetto would
+// consume them and the run fails unless the trace is balanced, spans at
+// least two nodes, and shows the full dispatch → map → fetch → merge →
+// reduce-commit lifecycle — the smoke gate behind `make trace-smoke`.
+func runTrace(nodes int, rows int64, reduces int, check bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := rdmamr.TracedTeraSort(ctx, nodes, rows, reduces)
+	if err != nil {
+		fatalf("traced terasort: %v", err)
+	}
+	raw, err := res.Trace.ChromeTrace()
+	if err != nil {
+		fatalf("rendering trace: %v", err)
+	}
+	fmt.Printf("%s\n", raw)
+	if !check {
+		return
+	}
+	stats, err := rdmamr.ValidateChromeTrace(raw)
+	if err != nil {
+		fatalf("trace-check: %v", err)
+	}
+	if len(stats.Nodes) < 2 {
+		fatalf("trace-check: spans from %d nodes, want >= 2", len(stats.Nodes))
+	}
+	for _, cat := range []string{"sched", "map", "fetch", "merge", "reduce"} {
+		if stats.Cats[cat] == 0 {
+			fatalf("trace-check: no %q spans in trace", cat)
+		}
+	}
+	commits := 0
+	for name, n := range stats.Names {
+		if strings.HasPrefix(name, "commit r") {
+			commits += n
+		}
+	}
+	if commits == 0 {
+		fatalf("trace-check: no reduce commit spans")
+	}
+	fmt.Fprintf(os.Stderr, "trace-check ok: %d events (%d durations, %d fetches) across %d nodes, job %s in %v\n",
+		stats.Events, stats.Durations, stats.Completes, len(stats.Nodes),
+		res.JobID, res.Duration.Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

@@ -108,8 +108,21 @@ const (
 	// default — the copier hot path then takes zero observability cost.
 	KeyObsProfile = "mapred.obs.profile.enabled"
 	// KeyObsHTTPAddr, when non-empty, serves the debug observability
-	// endpoint (/metrics, /profile) on the given listen address.
+	// endpoint (/metrics, /profile, /cluster, /events, /trace.json) on
+	// the given listen address.
 	KeyObsHTTPAddr = "mapred.obs.http.addr"
+	// KeyObsTrace enables job-lifecycle tracing: scheduler dispatch, map
+	// run/commit, shuffle fetches, merge, and reduce run/commit recorded
+	// as spans and exported as Chrome trace-event JSON (/trace.json,
+	// JobResult.Trace). Off by default — a nil trace costs the hot paths
+	// one pointer check.
+	KeyObsTrace = "mapred.obs.trace.enabled"
+	// KeyObsEventsCap bounds the scheduler's structured event log (a
+	// ring: oldest events are dropped, counted, past the cap).
+	KeyObsEventsCap = "mapred.obs.events.capacity"
+	// KeyObsClusterWindow is how many heartbeat-shipped metric deltas the
+	// scheduler's cluster view retains per node for rate computation.
+	KeyObsClusterWindow = "mapred.obs.cluster.window"
 )
 
 // Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
@@ -151,6 +164,9 @@ var defaults = map[string]string{
 	KeySpeculativeReduces:     "false",
 	KeyObsProfile:             "false",
 	KeyObsHTTPAddr:            "",
+	KeyObsTrace:               "false",
+	KeyObsEventsCap:           "256",
+	KeyObsClusterWindow:       "64",
 }
 
 // Fetch arm values for KeyRDMAFetchArm.
@@ -363,6 +379,12 @@ func (c *Config) Validate() error {
 	}
 	if v := c.Int(KeyTrackerExpiry); v < 1 || v > 3600000 {
 		return fmt.Errorf("config: %s = %d outside [1, 3600000] ms", KeyTrackerExpiry, v)
+	}
+	if v := c.Int(KeyObsEventsCap); v < 16 || v > 65536 {
+		return fmt.Errorf("config: %s = %d outside [16, 65536]", KeyObsEventsCap, v)
+	}
+	if v := c.Int(KeyObsClusterWindow); v < 2 || v > 4096 {
+		return fmt.Errorf("config: %s = %d outside [2, 4096]", KeyObsClusterWindow, v)
 	}
 	for _, key := range []string{KeyMapMaxAttempts, KeyReduceMaxAttempts} {
 		if v := c.Int(key); v < 1 || v > 100 {

@@ -87,6 +87,19 @@ func (seg *segment) loadChunk(ctx context.Context) (bool, error) {
 				prof.AddSpan(sp)
 				prof.FetchObserved(sp.Host, sp.Reduce, sp.Total(), sp.Bytes, now)
 				prof.Mark(obs.PhaseShuffle, sp.Reduce, now)
+				if tr := seg.f.tr; tr != nil {
+					// One X event per fetch, on the reducer node, laned by
+					// serving host so concurrent streams render side by side.
+					tr.Fetch(seg.f.task.Local.Host(),
+						fmt.Sprintf("fetch r%d<-%s", sp.Reduce, sp.Host),
+						fmt.Sprintf("fetch m%d", sp.MapID), sp.Enqueued, now,
+						map[string]string{
+							"corr":    fmt.Sprintf("%s/r%d@%d", seg.f.task.Job.ID, sp.Reduce, seg.f.task.Attempt),
+							"host":    sp.Host,
+							"bytes":   fmt.Sprintf("%d", sp.Bytes),
+							"retries": fmt.Sprintf("%d", sp.Retries),
+						})
+				}
 			}
 		}
 		if ck.err != nil {
@@ -805,6 +818,7 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 		case slot = <-hc.free:
 		default:
 			f.cSlotStalls.Add(1)
+			f.nSlotStalls.Add(1)
 			var stallStart time.Time
 			if f.prof != nil {
 				stallStart = time.Now()
@@ -965,6 +979,8 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 				copy(payload, hc.ring.Bytes()[start:start+int(resp.Bytes)])
 			}
 			f.cRecvBytes.Add(int64(resp.Bytes))
+			f.nFetchBytes.Add(int64(resp.Bytes))
+			f.nFetchChunks.Add(1)
 			if !hc.progress.Swap(true) {
 				p.health.recordSuccess()
 			}
@@ -1091,6 +1107,9 @@ func (f *fetcher) executeRead(cctx context.Context, p *hostPeer, hc *hostConn, j
 	f.cReadIssued.Add(int64(reads))
 	f.cReadBytes.Add(int64(n))
 	f.cRecvBytes.Add(int64(n))
+	f.nReadIssued.Add(int64(reads))
+	f.nFetchBytes.Add(int64(n))
+	f.nFetchChunks.Add(1)
 	if !hc.progress.Swap(true) {
 		p.health.recordSuccess()
 	}
@@ -1233,6 +1252,9 @@ type fetcher struct {
 	// the nil is the disabled fast path: every time.Now() and span
 	// allocation on the copier hot path is gated on it.
 	prof *obs.JobProfile
+	// tr is the job's lifecycle trace (nil = tracing off). Fetch X
+	// events and the merge span are gated on it.
+	tr *obs.JobTrace
 
 	// Pre-resolved counter handles: the pumps increment these per packet,
 	// so they skip the registry's name lookup.
@@ -1245,6 +1267,12 @@ type fetcher struct {
 	cReadIssued    *obs.Counter
 	cReadBytes     *obs.Counter
 	cReadFallbacks *obs.Counter
+	// Node-local handles (the reducer node's own registry, shipped on
+	// heartbeats); nil no-ops when cluster telemetry is off.
+	nFetchBytes  *obs.Counter
+	nFetchChunks *obs.Counter
+	nReadIssued  *obs.Counter
+	nSlotStalls  *obs.Counter
 
 	mu    sync.Mutex
 	peers map[string]*hostPeer
@@ -1300,6 +1328,12 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	f.cReadIssued = c.Handle("shuffle.rdma.read.issued")
 	f.cReadBytes = c.Handle("shuffle.rdma.read.bytes")
 	f.cReadFallbacks = c.Handle("shuffle.rdma.read.fallbacks")
+	f.tr = task.Local.Trace()
+	nreg := task.Local.NodeRegistry()
+	f.nFetchBytes = nreg.Counter("node.fetch.bytes")
+	f.nFetchChunks = nreg.Counter("node.fetch.chunks")
+	f.nReadIssued = nreg.Counter("node.read.issued")
+	f.nSlotStalls = nreg.Counter("node.slot.stalls")
 	return f
 }
 
@@ -1459,6 +1493,16 @@ func (f *fetcher) run(ctx context.Context) {
 	if f.prof != nil {
 		f.prof.Mark(obs.PhaseMerge, f.task.ReduceID, time.Now())
 		defer func() { f.prof.Mark(obs.PhaseMerge, f.task.ReduceID, time.Now()) }()
+	}
+	if f.tr != nil {
+		// The merge runs concurrently with the reduce consuming it, so it
+		// gets its own lane rather than nesting under the reduce slot.
+		mergeStart := time.Now()
+		defer func() {
+			f.tr.Span(f.task.Local.Host(), fmt.Sprintf("merge r%d", f.task.ReduceID),
+				obs.CatMerge, fmt.Sprintf("merge r%d@%d", f.task.ReduceID, f.task.Attempt),
+				mergeStart, time.Now(), nil)
+		}()
 	}
 
 	// Prime the priority queue: every live segment contributes its head

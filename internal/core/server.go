@@ -9,6 +9,7 @@ import (
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
+	"rdmamr/internal/obs"
 	"rdmamr/internal/shuffle/wire"
 	"rdmamr/internal/ucr"
 	"rdmamr/internal/verbs"
@@ -44,6 +45,11 @@ type trackerServer struct {
 	// reqQ is the DataRequestQueue: "used to hold all the requests from
 	// ReduceTasks ... until one of the RDMAResponders take it".
 	reqQ chan *pendingRequest
+
+	// Node-local serving counters (heartbeat-shipped telemetry); nil
+	// no-op handles when the plane is off.
+	nServedReqs  *obs.Counter
+	nServedBytes *obs.Counter
 
 	// stagePool recycles registered staging regions across responses. It
 	// is per-server (therefore per-device), so a pooled region can never
@@ -99,6 +105,8 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		ctx:        ctx,
 		cancel:     cancel,
 	}
+	s.nServedReqs = tt.NodeRegistry().Counter("node.served.requests")
+	s.nServedBytes = tt.NodeRegistry().Counter("node.served.bytes")
 	// The READ arm serves only cache-resident, registered runs; without the
 	// cache there is nothing to publish descriptors against.
 	s.readArm = arm == config.FetchArmRead && s.cacheOn
@@ -230,6 +238,7 @@ func (s *trackerServer) serve(p *pendingRequest) {
 	// the denominator of the READ arm's "responder CPU per byte" claim.
 	// Two clock reads per request, always on.
 	t0 := time.Now()
+	s.nServedReqs.Add(1)
 	defer func() {
 		s.tt.Counters().Add("shuffle.rdma.responder.busy.ns", time.Since(t0).Nanoseconds())
 	}()
@@ -266,6 +275,7 @@ func (s *trackerServer) serve(p *pendingRequest) {
 			c := s.tt.Counters()
 			c.Add("shuffle.rdma.bytes", int64(resp.header.Bytes))
 			c.Add("shuffle.rdma.packets", 1)
+			s.nServedBytes.Add(int64(resp.header.Bytes))
 			if len(resp.sges) > 0 {
 				c.Add("shuffle.rdma.zerocopy.pinned.bytes", int64(resp.header.Bytes))
 			}
@@ -635,6 +645,8 @@ func (s *trackerServer) leaseJanitor() {
 		case now := <-t.C:
 			if n := s.leases.expire(now); n > 0 {
 				s.tt.Counters().Add("shuffle.rdma.read.lease.expired", int64(n))
+				s.tt.Events().Append(obs.Event{Type: obs.EvLeaseExpired,
+					Host: s.tt.Host(), Cause: fmt.Sprintf("%d read leases past TTL %v", n, s.leaseTTL)})
 			}
 		}
 	}

@@ -47,8 +47,18 @@ type Cluster struct {
 	// trackers and the HTTP handler read them concurrently with RunJob.
 	profile    atomic.Pointer[obs.JobProfile]
 	lastReport atomic.Pointer[obs.Report]
-	httpLn     net.Listener
-	httpSrv    *http.Server
+	// trace is the running job's lifecycle trace (nil when tracing is
+	// off); lastTrace keeps the most recent job's trace — including a
+	// failed job's, worth the most when debugging — for /trace.json.
+	trace     atomic.Pointer[obs.JobTrace]
+	lastTrace atomic.Pointer[obs.JobTrace]
+	// events is the scheduler's structured event log (always on — its
+	// producers are rare control-plane transitions, never data-path);
+	// view merges heartbeat-shipped node deltas (nil with telemetry off).
+	events  *obs.EventLog
+	view    *obs.ClusterView
+	httpLn  net.Listener
+	httpSrv *http.Server
 
 	mu     sync.Mutex
 	jobSeq int
@@ -80,11 +90,17 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		phases:   &stats.Phases{},
 		jobIDs:   make(map[string]bool),
 	}
-	// Attach the fabric to the registry only when someone will look at
-	// the numbers — profiling or the debug endpoint. Detached (default),
-	// the ucr/verbs data path stays clock-free.
-	if conf.Bool(config.KeyObsProfile) || conf.Get(config.KeyObsHTTPAddr) != "" {
+	c.events = obs.NewEventLog(int(conf.Int(config.KeyObsEventsCap)))
+	// Attach the fabric to the registry — and stand up the per-node
+	// telemetry plane (node registries, delta shippers, cluster view) —
+	// only when someone will look at the numbers: profiling, tracing, or
+	// the debug endpoint. Detached (default), the ucr/verbs data path
+	// stays clock-free and every node-metric handle is a nil no-op.
+	telemetry := conf.Bool(config.KeyObsProfile) || conf.Bool(config.KeyObsTrace) ||
+		conf.Get(config.KeyObsHTTPAddr) != ""
+	if telemetry {
 		c.fabric.SetRegistry(c.counters.Registry())
+		c.view = obs.NewClusterView(int(conf.Int(config.KeyObsClusterWindow)))
 	}
 	for i := 0; i < n; i++ {
 		host := fmt.Sprintf("node%d", i)
@@ -99,7 +115,13 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		tt := &TaskTracker{
 			host: host, store: store, fab: c.fabric, dev: dev,
 			conf: conf, counters: c.counters, profile: &c.profile,
+			trace: &c.trace,
 		}
+		var nodeReg *obs.Registry
+		if telemetry {
+			nodeReg = obs.NewRegistry()
+		}
+		tt.initNodeTelemetry(nodeReg, c.events)
 		c.trackers = append(c.trackers, tt)
 		srv, err := engine.StartTracker(tt)
 		if err != nil {
@@ -116,6 +138,16 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 	c.liveness = newLivenessMonitor(hosts,
 		time.Duration(conf.Int(config.KeyTrackerExpiry))*time.Millisecond,
 		time.Now, c.decommission)
+	// Telemetry rides the heartbeat path: every beat observes its spacing
+	// and processing-time histograms and ships the node's metric delta
+	// into the cluster view (nil shipper/view with telemetry off — the
+	// beat then costs two nil-histogram checks).
+	c.liveness.hbInterval = c.counters.Registry().Histogram("mapred.tasktracker.heartbeat.interval")
+	c.liveness.hbRTT = c.counters.Registry().Histogram("mapred.tasktracker.heartbeat.rtt")
+	c.liveness.onBeat = func(ti int, host string) {
+		c.counters.Add("mapred.tasktracker.heartbeats", 1)
+		c.view.Ingest(c.trackers[ti].ShipDelta(time.Now()))
+	}
 	c.liveness.start()
 	if addr := conf.Get(config.KeyObsHTTPAddr); addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -124,7 +156,13 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 			return nil, fmt.Errorf("mapred: observability endpoint on %s: %w", addr, err)
 		}
 		c.httpLn = ln
-		c.httpSrv = &http.Server{Handler: obs.Handler(c.counters.Registry(), c.ProfileReport)}
+		c.httpSrv = &http.Server{Handler: obs.NewHandler(obs.HandlerSources{
+			Registry: c.counters.Registry(),
+			Profile:  c.ProfileReport,
+			Cluster:  c.ClusterReport,
+			Events:   c.events,
+			Trace:    c.TraceReport,
+		})}
 		go func() { _ = c.httpSrv.Serve(ln) }()
 	}
 	return c, nil
@@ -147,6 +185,28 @@ func (c *Cluster) ProfileReport() *obs.Report {
 	}
 	return c.lastReport.Load()
 }
+
+// TraceReport returns the running job's lifecycle trace, falling back
+// to the most recent job's; nil when nothing was traced.
+func (c *Cluster) TraceReport() *obs.JobTrace {
+	if t := c.trace.Load(); t != nil {
+		return t
+	}
+	return c.lastTrace.Load()
+}
+
+// ClusterReport snapshots the heartbeat-shipped per-node telemetry
+// (nil when the telemetry plane is off).
+func (c *Cluster) ClusterReport() *obs.ClusterReport {
+	return c.view.Report(time.Now())
+}
+
+// ClusterView exposes the raw merged node-telemetry view (nil when the
+// telemetry plane is off) — the surface an adaptive scheduler reads.
+func (c *Cluster) ClusterView() *obs.ClusterView { return c.view }
+
+// Events returns the scheduler's structured event log.
+func (c *Cluster) Events() *obs.EventLog { return c.events }
 
 // Registry returns the obs registry backing the cluster counters.
 func (c *Cluster) Registry() *obs.Registry { return c.counters.Registry() }
@@ -231,6 +291,7 @@ func (c *Cluster) ReviveTracker(host string) error {
 	c.smu.Unlock()
 	c.liveness.revive(ti)
 	c.counters.Add("mapred.tasktracker.revived", 1)
+	c.events.Append(obs.Event{Type: obs.EvTrackerRevived, Host: host})
 	return nil
 }
 
@@ -240,7 +301,12 @@ func (c *Cluster) ReviveTracker(host string) error {
 // execute) reschedules its work and re-hosts its completed map outputs.
 func (c *Cluster) decommission(ti int, host string) {
 	c.counters.Add("mapred.tasktracker.expired", 1)
+	c.events.Append(obs.Event{Type: obs.EvHeartbeatExpired, Host: host,
+		Cause: fmt.Sprintf("no heartbeat within %v", c.liveness.expiry)})
 	c.counters.Add("mapred.tasktracker.decommissioned", 1)
+	c.events.Append(obs.Event{Type: obs.EvTrackerDecommissioned, Host: host,
+		Cause: "declared dead by liveness sweep"})
+	c.view.MarkStale(host)
 	c.attempts.killAll(ti)
 	_ = c.server(ti).Close()
 }
@@ -280,6 +346,10 @@ type JobResult struct {
 	// Profile is the shuffle observability report, non-nil only when the
 	// job ran with mapred.obs.profile.enabled.
 	Profile *obs.Report
+	// Trace is the job lifecycle trace (dispatch → map → shuffle →
+	// merge → reduce spans, exportable as Chrome trace-event JSON via
+	// Trace.ChromeTrace()), non-nil only with mapred.obs.trace.enabled.
+	Trace *obs.JobTrace
 }
 
 // split is one map task's input: one block of a splittable file or a
@@ -362,17 +432,38 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 	// Install the job's shuffle profile (nil when disabled — the nil is
 	// what every instrumentation site fast-paths on). Concurrent RunJobs
 	// share the slot; the profile follows the most recently started job.
+	// Tracing needs the profile's fetch spans, so enabling the trace
+	// forces a profile even when profiling itself is off — the report is
+	// then simply not attached to the result.
+	profileOn := job.Conf.Bool(config.KeyObsProfile)
+	traceOn := job.Conf.Bool(config.KeyObsTrace)
 	var prof *obs.JobProfile
-	if job.Conf.Bool(config.KeyObsProfile) {
+	if profileOn || traceOn {
 		prof = obs.NewJobProfile(jobID)
 	}
 	c.profile.Store(prof)
+	var tr *obs.JobTrace
+	if traceOn {
+		tr = obs.NewJobTrace(jobID)
+	}
+	c.trace.Store(tr)
 
 	before := c.counters.Snapshot()
 	phasesBefore := c.phases.Snapshot()
+	eventsBefore := c.events.Seq()
 	start := time.Now()
 	if err := c.execute(ctx, info, job, splits); err != nil {
 		c.profile.Store(nil)
+		c.trace.Store(nil)
+		if tr != nil {
+			// A failed job's trace is the one most worth reading.
+			c.lastTrace.Store(tr)
+		}
+		// Attach the scheduler events that fired during the job — the
+		// expiry/re-host/retry story behind the failure.
+		if evs := c.events.TailSince(eventsBefore, 32); len(evs) > 0 {
+			err = fmt.Errorf("%w\nscheduler events during job:\n%s", err, obs.FormatEvents(evs))
+		}
 		// A failed or cancelled job must not leave partial output: the
 		// directory was empty at admission, so everything under it —
 		// committed parts from finished reduces, uncommitted attempt
@@ -420,10 +511,17 @@ func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
 		Phases:      phaseDelta,
 	}
 	if prof != nil {
-		rep := prof.Report()
-		res.Profile = rep
-		c.lastReport.Store(rep)
+		if profileOn {
+			rep := prof.Report()
+			res.Profile = rep
+			c.lastReport.Store(rep)
+		}
 		c.profile.Store(nil)
+	}
+	if tr != nil {
+		res.Trace = tr
+		c.lastTrace.Store(tr)
+		c.trace.Store(nil)
 	}
 	return res, nil
 }
@@ -476,6 +574,9 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			go func(mapID int) {
 				if newHost, err := recovery.RecoverAway(ctx, mapID, host); err == nil {
 					board.relocate(mapID, newHost)
+					c.events.Append(obs.Event{Type: obs.EvOutputRehosted,
+						Job: info.ID, Task: fmt.Sprintf("m%d", mapID), Host: newHost,
+						Cause: "map output lost with " + host})
 				}
 			}(mapID)
 		}
@@ -487,11 +588,14 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 	// runWorkers starts slots workers per tracker pulling attempts from
 	// q. Workers on a down tracker park until it changes state; they
 	// exit when the queue drains, the phase is aborted, or ctx ends.
-	runWorkers := func(q *attemptQueue, slots int, run func(ti int, tt *TaskTracker, id, attempt int, backup bool)) {
+	// The slot index names the trace lane ("map slot 2" on a node is one
+	// tid in the Chrome export), so each worker's attempts line up on one
+	// timeline row.
+	runWorkers := func(q *attemptQueue, slots int, run func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool)) {
 		for ti, tt := range c.trackers {
 			for s := 0; s < slots; s++ {
 				wg.Add(1)
-				go func(ti int, tt *TaskTracker) {
+				go func(ti int, tt *TaskTracker, slot int) {
 					defer wg.Done()
 					for {
 						if ctx.Err() != nil || q.finished() {
@@ -519,9 +623,9 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 							}
 							continue
 						}
-						run(ti, tt, id, attempt, backup)
+						run(ti, tt, slot, id, attempt, backup)
 					}
-				}(ti, tt)
+				}(ti, tt, s)
 			}
 		}
 	}
@@ -541,13 +645,28 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 		int(info.Conf.Int(config.KeyMapMaxAttempts)),
 		info.Conf.Bool(config.KeySpeculativeMaps))
 	runWorkers(mq, int(info.Conf.Int(config.KeyMapSlots)),
-		func(ti int, tt *TaskTracker, id, attempt int, backup bool) {
+		func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool) {
+			task := fmt.Sprintf("m%d", id)
 			if backup {
 				c.counters.Add("map.tasks.speculative", 1)
+				c.events.Append(obs.Event{Type: obs.EvSpeculationLaunched,
+					Job: info.ID, Task: task, Host: tt.Host(), Cause: "straggler backup"})
+			}
+			tr := tt.Trace()
+			var lane string
+			var dispatched time.Time
+			if tr != nil {
+				lane = fmt.Sprintf("map slot %d", slot)
+				dispatched = time.Now()
 			}
 			actx, h := c.attempts.begin(ctx, ti)
-			err := c.runMapTask(actx, tt, info, job, splitByID[id])
+			err := c.runMapTask(actx, tt, info, job, splitByID[id], lane, attempt)
 			killed := h.finish()
+			if tr != nil {
+				tr.Span(tt.Host(), lane, obs.CatSched,
+					fmt.Sprintf("dispatch m%d@%d", id, attempt), dispatched, time.Now(),
+					map[string]string{"corr": fmt.Sprintf("%s/m%d@%d", info.ID, id, attempt)})
+			}
 			if err == nil && killed {
 				// Ran to completion on a node the scheduler killed
 				// mid-attempt: its server is gone, so the output cannot
@@ -557,7 +676,13 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			if err == nil {
 				if !mq.complete(id) {
 					c.counters.Add("map.tasks.duplicate.discarded", 1)
+					c.events.Append(obs.Event{Type: obs.EvSpeculationLost,
+						Job: info.ID, Task: task, Host: tt.Host(), Cause: "another attempt finished first"})
 					return
+				}
+				if backup {
+					c.events.Append(obs.Event{Type: obs.EvSpeculationWon,
+						Job: info.ID, Task: task, Host: tt.Host()})
 				}
 				c.server(ti).MapOutputReady(info, id)
 				board.announce(MapEvent{MapID: id, Host: tt.Host()})
@@ -570,6 +695,8 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			if killed {
 				if mq.requeueKilled(id, backup) {
 					c.counters.Add("map.task.attempts.retried", 1)
+					c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
+						Job: info.ID, Task: task, Host: tt.Host(), Cause: "node death"})
 				}
 				return
 			}
@@ -581,8 +708,13 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			requeued, fatal := mq.fail(id)
 			if requeued {
 				c.counters.Add("map.task.attempts.retried", 1)
+				c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
+					Job: info.ID, Task: task, Host: tt.Host(), Cause: err.Error()})
 			}
 			if fatal {
+				c.events.Append(obs.Event{Type: obs.EvAttemptExhausted,
+					Job: info.ID, Task: task, Host: tt.Host(),
+					Cause: fmt.Sprintf("failed after %d attempts: %v", mq.attempts(id), err)})
 				fail(fmt.Errorf("map %d on %s failed after %d attempts: %w",
 					id, tt.Host(), mq.attempts(id), err))
 			}
@@ -600,23 +732,44 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 		int(info.Conf.Int(config.KeyReduceMaxAttempts)),
 		info.Conf.Bool(config.KeySpeculativeReduces))
 	runWorkers(rq, int(info.Conf.Int(config.KeyReduceSlots)),
-		func(ti int, tt *TaskTracker, id, attempt int, backup bool) {
+		func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool) {
+			task := fmt.Sprintf("r%d", id)
 			if backup {
 				c.counters.Add("reduce.tasks.speculative", 1)
+				c.events.Append(obs.Event{Type: obs.EvSpeculationLaunched,
+					Job: info.ID, Task: task, Host: tt.Host(), Cause: "straggler backup"})
+			}
+			tr := tt.Trace()
+			var lane string
+			var dispatched time.Time
+			if tr != nil {
+				lane = fmt.Sprintf("reduce slot %d", slot)
+				dispatched = time.Now()
 			}
 			events, unsubscribe := board.subscribe()
 			actx, h := c.attempts.begin(ctx, ti)
-			committed, err := c.runReduceTask(actx, tt, info, job, id, attempt, events, recovery, losses)
+			committed, err := c.runReduceTask(actx, tt, info, job, id, attempt, events, recovery, losses, lane)
 			killed := h.finish()
 			unsubscribe()
+			if tr != nil {
+				tr.Span(tt.Host(), lane, obs.CatSched,
+					fmt.Sprintf("dispatch r%d@%d", id, attempt), dispatched, time.Now(),
+					map[string]string{"corr": fmt.Sprintf("%s/r%d@%d", info.ID, id, attempt)})
+			}
 			if err == nil {
 				if committed {
 					rq.complete(id)
+					if backup {
+						c.events.Append(obs.Event{Type: obs.EvSpeculationWon,
+							Job: info.ID, Task: task, Host: tt.Host()})
+					}
 				} else {
 					// Another attempt committed first; ours was
 					// discarded by the rename arbiter.
 					rq.complete(id)
 					c.counters.Add("reduce.tasks.duplicate.discarded", 1)
+					c.events.Append(obs.Event{Type: obs.EvSpeculationLost,
+						Job: info.ID, Task: task, Host: tt.Host(), Cause: "another attempt committed first"})
 				}
 				return
 			}
@@ -627,6 +780,8 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			if killed {
 				if rq.requeueKilled(id, backup) {
 					c.counters.Add("reduce.task.attempts.retried", 1)
+					c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
+						Job: info.ID, Task: task, Host: tt.Host(), Cause: "node death"})
 				}
 				return
 			}
@@ -636,8 +791,13 @@ func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []
 			requeued, fatal := rq.fail(id)
 			if requeued {
 				c.counters.Add("reduce.task.attempts.retried", 1)
+				c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
+					Job: info.ID, Task: task, Host: tt.Host(), Cause: err.Error()})
 			}
 			if fatal {
+				c.events.Append(obs.Event{Type: obs.EvAttemptExhausted,
+					Job: info.ID, Task: task, Host: tt.Host(),
+					Cause: fmt.Sprintf("failed after %d attempts: %v", rq.attempts(id), err)})
 				fail(fmt.Errorf("reduce %d on %s failed after %d attempts: %w",
 					id, tt.Host(), rq.attempts(id), err))
 			}

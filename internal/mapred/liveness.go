@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"rdmamr/internal/obs"
 )
 
 // This file is the cluster scheduler's failure detector and the plumbing
@@ -49,6 +51,16 @@ type livenessMonitor struct {
 	// onExpire is the cluster-level decommission hook (counters, attempt
 	// cancellation, responder shutdown); job-level watchers run after it.
 	onExpire func(ti int, host string)
+	// onBeat, when set, runs on every heartbeat OUTSIDE the state lock —
+	// the cluster telemetry plane's ride-along: it collects the node's
+	// metric delta and ingests it into the scheduler's ClusterView.
+	// Assigned (with the histograms below) before start().
+	onBeat func(ti int, host string)
+	// hbInterval observes the spacing between consecutive heartbeats of
+	// one tracker; hbRTT observes how long each beat's scheduler-side
+	// processing (onBeat: delta collect + ingest) took. Nil = off.
+	hbInterval *obs.Histogram
+	hbRTT      *obs.Histogram
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -125,13 +137,30 @@ func (lv *livenessMonitor) stopAll() {
 }
 
 // beat records a heartbeat from tracker ti. A killed tracker's process
-// is gone, so its beats stop flowing.
+// is gone, so its beats stop flowing. Live beats feed the telemetry
+// plane: the interval histogram, the onBeat delta shipment, and the RTT
+// histogram measuring that shipment's scheduler-side processing.
 func (lv *livenessMonitor) beat(ti int) {
+	t0 := lv.now()
 	lv.mu.Lock()
-	if lv.states[ti].up {
-		lv.states[ti].lastBeat = lv.now()
+	up := lv.states[ti].up
+	var prev time.Time
+	if up {
+		prev = lv.states[ti].lastBeat
+		lv.states[ti].lastBeat = t0
 	}
+	host := lv.states[ti].host
 	lv.mu.Unlock()
+	if !up {
+		return
+	}
+	if !prev.IsZero() {
+		lv.hbInterval.Observe(t0.Sub(prev))
+	}
+	if lv.onBeat != nil {
+		lv.onBeat(ti, host)
+	}
+	lv.hbRTT.Observe(lv.now().Sub(t0))
 }
 
 // sweep decommissions every member whose heartbeat has expired. Hooks

@@ -1,0 +1,62 @@
+package mapred
+
+import (
+	"testing"
+	"time"
+
+	"rdmamr/internal/obs"
+)
+
+// TestHeartbeatHistogramsObserveIntervalAndRTT pins the telemetry the
+// beat path records: heartbeat spacing (time since the tracker's
+// previous beat) into mapred.tasktracker.heartbeat.interval, and the
+// scheduler's per-beat processing time (the onBeat callback, which
+// ships the node's metric delta) into mapred.tasktracker.heartbeat.rtt.
+// Driven on the fake clock so both sums are exact.
+func TestHeartbeatHistogramsObserveIntervalAndRTT(t *testing.T) {
+	lv, clk, _ := testMonitor(t, []string{"node0", "node1"}, time.Second)
+	reg := obs.NewRegistry()
+	lv.hbInterval = reg.Histogram("mapred.tasktracker.heartbeat.interval")
+	lv.hbRTT = reg.Histogram("mapred.tasktracker.heartbeat.rtt")
+	// onBeat runs between the two clock reads that bracket the RTT, so
+	// advancing here is exactly the simulated per-beat processing time.
+	var beats []string
+	lv.onBeat = func(_ int, host string) {
+		beats = append(beats, host)
+		clk.advance(3 * time.Millisecond)
+	}
+
+	// lastBeat starts at construction time, so the first beat observes a
+	// real interval too: 40ms, then (3+60)=63ms measured from beat 1's
+	// entry timestamp.
+	clk.advance(40 * time.Millisecond)
+	lv.beat(0)
+	clk.advance(60 * time.Millisecond)
+	lv.beat(0)
+
+	iv := lv.hbInterval.Snapshot()
+	if iv.Count != 2 || iv.Sum != 103*time.Millisecond {
+		t.Fatalf("interval histogram = %d obs / %v sum, want 2 / 103ms", iv.Count, iv.Sum)
+	}
+	rtt := lv.hbRTT.Snapshot()
+	if rtt.Count != 2 || rtt.Sum != 6*time.Millisecond {
+		t.Fatalf("rtt histogram = %d obs / %v sum, want 2 / 6ms", rtt.Count, rtt.Sum)
+	}
+	if len(beats) != 2 || beats[0] != "node0" || beats[1] != "node0" {
+		t.Fatalf("onBeat calls = %v, want [node0 node0]", beats)
+	}
+
+	// A killed tracker can't beat: suppressed beats are dropped before
+	// any observation or delta shipping.
+	if err := lv.suppress(1); err != nil {
+		t.Fatalf("suppress: %v", err)
+	}
+	clk.advance(40 * time.Millisecond)
+	lv.beat(1)
+	if got := lv.hbInterval.Snapshot().Count; got != 2 {
+		t.Fatalf("suppressed beat observed an interval (count %d)", got)
+	}
+	if len(beats) != 2 {
+		t.Fatalf("suppressed beat reached onBeat: %v", beats)
+	}
+}

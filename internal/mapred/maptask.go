@@ -14,7 +14,7 @@ import (
 // the local replica), apply the map function, partition and sort the
 // emitted records, and spill one sorted run per reduce partition to local
 // disk — the map output files the shuffle serves.
-func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, sp *split) error {
+func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, sp *split, lane string, attempt int) error {
 	if ctx.Err() != nil {
 		return ctx.Err()
 	}
@@ -23,6 +23,12 @@ func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo,
 	if prof := tt.Profile(); prof != nil {
 		prof.Mark(obs.PhaseMap, sp.id, start)
 		defer func() { prof.Mark(obs.PhaseMap, sp.id, time.Now()) }()
+	}
+	tr := tt.Trace()
+	if tr != nil {
+		defer func(name string) {
+			tr.Span(tt.Host(), lane, obs.CatMap, name, start, time.Now(), nil)
+		}(fmt.Sprintf("map m%d@%d", sp.id, attempt))
 	}
 	// Read the split's blocks.
 	var data []byte
@@ -77,8 +83,19 @@ func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo,
 	c.counters.Add("map.records.in", inRecords)
 	c.counters.Add("map.records.out", outRecords)
 
+	// The commit span covers finish(): merging spill runs into the final
+	// map output files — the map-side "write my output where the shuffle
+	// can serve it" step.
+	var commitStart time.Time
+	if tr != nil {
+		commitStart = time.Now()
+	}
 	if err := spiller.finish(); err != nil {
 		return err
+	}
+	if tr != nil {
+		tr.Span(tt.Host(), lane, obs.CatMap,
+			fmt.Sprintf("commit m%d@%d", sp.id, attempt), commitStart, time.Now(), nil)
 	}
 	c.counters.Add("map.tasks.completed", 1)
 	return nil

@@ -122,7 +122,9 @@ func (r *jobRecovery) execute(e *recoveryEntry, mapID, start int, avoid string) 
 		return
 	}
 	tt := r.c.trackers[ti]
-	e.err = r.c.runMapTask(r.ctx, tt, r.info, r.job, sp)
+	// Recovery re-executions run outside the slot workers, so they get
+	// their own trace lane rather than a slot's.
+	e.err = r.c.runMapTask(r.ctx, tt, r.info, r.job, sp, "map recovery", 0)
 	if e.err == nil {
 		e.host = tt.Host()
 		r.c.server(ti).MapOutputReady(r.info, mapID)

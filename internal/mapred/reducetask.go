@@ -22,12 +22,18 @@ import (
 // Because grouping pulls from the fetcher's iterator, a streaming engine
 // overlaps reduce with shuffle and merge for free (§III-B.4): the reduce
 // function runs as soon as the first merged key group is complete.
-func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, reduceID, attempt int, events <-chan MapEvent, recovery *jobRecovery, losses *TrackerLossFeed) (committed bool, err error) {
+func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobInfo, job *Job, reduceID, attempt int, events <-chan MapEvent, recovery *jobRecovery, losses *TrackerLossFeed, lane string) (committed bool, err error) {
 	hosts := make([]string, len(c.trackers))
 	for i, tr := range c.trackers {
 		hosts[i] = tr.Host()
 	}
 	taskStart := time.Now()
+	jt := tt.Trace()
+	if jt != nil {
+		defer func(name string) {
+			jt.Span(tt.Host(), lane, obs.CatReduce, name, taskStart, time.Now(), nil)
+		}(fmt.Sprintf("reduce r%d@%d", reduceID, attempt))
+	}
 	fetcher, err := c.engine.NewReduceFetcher(ReduceTaskInfo{
 		Job: info, ReduceID: reduceID, Attempt: attempt, Events: events,
 		Local: tt, Hosts: hosts,
@@ -134,6 +140,14 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 	// Commit: atomically promote the attempt output. Rename is the
 	// first-committer-wins arbiter — ErrExists means a duplicate attempt
 	// beat us and our output is discarded, not an error.
+	var commitStart time.Time
+	if jt != nil {
+		commitStart = time.Now()
+		defer func() {
+			jt.Span(tt.Host(), lane, obs.CatReduce,
+				fmt.Sprintf("commit r%d@%d", reduceID, attempt), commitStart, time.Now(), nil)
+		}()
+	}
 	if err := c.fs.Rename(tmp, final); err != nil {
 		if errors.Is(err, hdfs.ErrExists) {
 			_, _ = abandon(nil)

@@ -3,6 +3,7 @@ package mapred
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"rdmamr/internal/config"
 	"rdmamr/internal/obs"
@@ -29,6 +30,41 @@ type TaskTracker struct {
 	// pointer because the debug HTTP endpoint reads it concurrently
 	// with the cluster swapping it per job.
 	profile *atomic.Pointer[obs.JobProfile]
+	// trace points at the running job's lifecycle trace, same contract
+	// as profile: nil pointer-to-pointer or nil load IS tracing off.
+	trace *atomic.Pointer[obs.JobTrace]
+	// nodeReg is this node's OWN registry (node.* namespace), distinct
+	// from the cluster-wide one behind counters. Its counters are what
+	// the DeltaShipper diffs and ships on the heartbeat path. Nil when
+	// telemetry is off.
+	nodeReg *obs.Registry
+	// shipper turns nodeReg into per-heartbeat deltas for the
+	// scheduler's ClusterView. Nil when telemetry is off.
+	shipper *obs.DeltaShipper
+	// events is the cluster's shared structured event log (servers
+	// append lease-expiry events through it). Nil when telemetry is off.
+	events *obs.EventLog
+	// Pre-resolved nodeReg handles for the tracker's own hot paths
+	// (nil handles when telemetry is off — free no-ops).
+	nDiskReads   *obs.Counter
+	nMapoutBytes *obs.Counter
+}
+
+// initNodeTelemetry attaches the per-node registry, its delta shipper,
+// and the shared event log, pre-resolving the tracker's own counter
+// handles. Called once by the cluster at construction.
+func (tt *TaskTracker) initNodeTelemetry(reg *obs.Registry, events *obs.EventLog) {
+	tt.nodeReg = reg
+	tt.shipper = obs.NewDeltaShipper(tt.host, reg)
+	tt.events = events
+	tt.nDiskReads = reg.Counter("node.disk.reads")
+	tt.nMapoutBytes = reg.Counter("node.mapout.bytes")
+}
+
+// ShipDelta collects this node's next telemetry delta (nil when
+// telemetry is off). The liveness monitor calls it on every heartbeat.
+func (tt *TaskTracker) ShipDelta(now time.Time) *obs.Delta {
+	return tt.shipper.Collect(now)
 }
 
 // Host returns the node name.
@@ -60,6 +96,24 @@ func (tt *TaskTracker) Profile() *obs.JobProfile {
 	return tt.profile.Load()
 }
 
+// Trace returns the running job's lifecycle trace, or nil when tracing
+// is disabled — the nil IS tracing off, free at every call site.
+func (tt *TaskTracker) Trace() *obs.JobTrace {
+	if tt.trace == nil {
+		return nil
+	}
+	return tt.trace.Load()
+}
+
+// NodeRegistry returns this node's own metric registry (node.* names,
+// shipped to the scheduler as heartbeat deltas). Nil when cluster
+// telemetry is off — obs handles from a nil registry are free no-ops.
+func (tt *TaskTracker) NodeRegistry() *obs.Registry { return tt.nodeReg }
+
+// Events returns the cluster's structured event log (nil when telemetry
+// is off; Append on nil is a no-op).
+func (tt *TaskTracker) Events() *obs.EventLog { return tt.events }
+
 // Store exposes the node's local disk. Engines read map outputs from here
 // (every Get is accounted disk traffic — the PrefetchCache's reason to
 // exist) and spill reduce-side runs into it.
@@ -70,6 +124,7 @@ func (tt *TaskTracker) Store() *storage.LocalStore { return tt.store }
 // the OSU responder's cache-miss path all go through.
 func (tt *TaskTracker) MapOutput(jobID string, mapID, partition int) ([]byte, error) {
 	tt.counters.Add("tracker.mapoutput.disk.reads", 1)
+	tt.nDiskReads.Add(1)
 	return tt.store.Get(MapOutputKey(jobID, mapID, partition))
 }
 
@@ -84,6 +139,7 @@ func (tt *TaskTracker) MapOutputSize(jobID string, mapID, partition int) (int64,
 // partially lost output with the regenerated (identical) bytes.
 func (tt *TaskTracker) storeMapOutput(jobID string, mapID, partition int, run []byte) error {
 	tt.store.Overwrite(MapOutputKey(jobID, mapID, partition), run)
+	tt.nMapoutBytes.Add(int64(len(run)))
 	return nil
 }
 

@@ -1,0 +1,146 @@
+package mapred_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/core"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/obs"
+)
+
+// TestClusterTelemetryViewAggregatesNodeMetrics runs a real TeraSort
+// with the telemetry plane on (HTTP endpoint set ⇒ node registries,
+// delta shippers, and the cluster view all come up) and checks that
+// heartbeat-shipped node metrics land in the scheduler's view: every
+// node reports, map-output bytes aggregate across the cluster, and the
+// same report is served at /cluster.json.
+func TestClusterTelemetryViewAggregatesNodeMetrics(t *testing.T) {
+	conf := testConf()
+	// Fast heartbeats → fast delta shipping, but with enough expiry
+	// margin that a race-detector scheduling stall can't spuriously
+	// decommission the whole cluster mid-job (beats tick at expiry/4).
+	conf.SetInt(config.KeyTrackerExpiry, 200)
+	conf.Set(config.KeyObsHTTPAddr, "127.0.0.1:0")
+	// The RDMA engine, so reducer nodes report fetch-side node metrics
+	// (node.fetch.bytes) alongside the mapper node's output metrics.
+	c, err := mapred.NewCluster(3, conf, core.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	runTeraSort(t, c, 10000, 3)
+
+	// Deltas ride heartbeats, so the view converges on the beat clock —
+	// possibly a few beats after the job itself finished.
+	reportingNodes := func(rep *obs.ClusterReport) int {
+		n := 0
+		for _, node := range rep.Nodes {
+			if node.Totals["node.mapout.bytes"] > 0 || node.Totals["node.fetch.bytes"] > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	var rep *obs.ClusterReport
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep = c.ClusterReport()
+		if rep != nil && len(rep.Nodes) == 3 && reportingNodes(rep) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster view never converged: %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The aggregate is the sum of the per-node totals, and with every
+	// tracker still beating nothing is stale.
+	var sum int64
+	for _, n := range rep.Nodes {
+		if n.Stale {
+			t.Fatalf("live tracker %s marked stale: %+v", n.Host, n)
+		}
+		sum += n.Totals["node.mapout.bytes"]
+	}
+	if sum != rep.Totals["node.mapout.bytes"] {
+		t.Fatalf("cluster total %d != sum of node totals %d", rep.Totals["node.mapout.bytes"], sum)
+	}
+	if c.Counters().Get("mapred.tasktracker.heartbeats") == 0 {
+		t.Fatal("no heartbeats counted while the view converged")
+	}
+
+	// The same snapshot must be one GET away.
+	resp, err := http.Get("http://" + c.ObsAddr() + "/cluster.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/cluster.json status %d", resp.StatusCode)
+	}
+	var served obs.ClusterReport
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatalf("/cluster.json does not decode: %v", err)
+	}
+	if len(served.Nodes) != 3 || served.Totals["node.mapout.bytes"] == 0 {
+		t.Fatalf("served view = %+v", served)
+	}
+}
+
+// TestJobFailureErrorIncludesSchedulerEvents pins the failure-forensics
+// contract: when a job fails, the error carries the scheduler's event
+// log for the job's window — every retry with its cause, then the
+// exhaustion that failed the job — so the evidence arrives with the
+// error instead of having to be scraped afterwards.
+func TestJobFailureErrorIncludesSchedulerEvents(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	fs := c.FS()
+	_ = fs.WriteFile("/evt/in", "", kv.WriteRun([]kv.Record{{Key: []byte("k")}}))
+	boom := errors.New("boom")
+	_, err := c.RunJob(ctxT(t), &mapred.Job{
+		Name: "evterr", Input: []string{"/evt/in"}, Output: "/evt/out",
+		Mapper: func(_, _ []byte, _ func(k, v []byte)) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"scheduler events during job:",
+		obs.EvAttemptRetried,
+		obs.EvAttemptExhausted,
+		`cause="map function: boom"`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("failure error missing %q:\n%s", want, msg)
+		}
+	}
+
+	// The log itself holds the full sequence: default 4 attempts ⇒ 3
+	// retries then one exhaustion for the task that sank the job.
+	retried, exhausted := 0, 0
+	for _, e := range c.Events().Events() {
+		switch e.Type {
+		case obs.EvAttemptRetried:
+			retried++
+		case obs.EvAttemptExhausted:
+			exhausted++
+			if e.Task == "" || e.Host == "" {
+				t.Fatalf("exhaustion event missing task/host: %+v", e)
+			}
+		}
+	}
+	if retried != 3 || exhausted != 1 {
+		t.Fatalf("events: %d retried / %d exhausted, want 3 / 1\n%s",
+			retried, exhausted, obs.FormatEvents(c.Events().Events()))
+	}
+}

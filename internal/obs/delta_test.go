@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeltaShipperDiffsCounters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("node.fetch.bytes")
+	g := reg.Gauge("node.outstanding")
+	sh := NewDeltaShipper("node1", reg)
+
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	c.Add(100)
+	g.Set(3)
+	d1 := sh.Collect(t0)
+	if d1.Host != "node1" || d1.Seq != 1 {
+		t.Fatalf("first delta host/seq = %s/%d", d1.Host, d1.Seq)
+	}
+	if d1.Interval != 0 {
+		t.Errorf("first delta interval = %v, want 0 (no prior collect)", d1.Interval)
+	}
+	if d1.Counters["node.fetch.bytes"] != 100 || d1.Gauges["node.outstanding"] != 3 {
+		t.Errorf("first delta = %+v", d1)
+	}
+
+	c.Add(50)
+	g.Set(1)
+	d2 := sh.Collect(t0.Add(2 * time.Second))
+	if d2.Seq != 2 || d2.Interval != 2*time.Second {
+		t.Fatalf("second delta seq/interval = %d/%v", d2.Seq, d2.Interval)
+	}
+	if d2.Counters["node.fetch.bytes"] != 50 {
+		t.Errorf("second delta counter = %d, want diff 50", d2.Counters["node.fetch.bytes"])
+	}
+	if d2.Gauges["node.outstanding"] != 1 {
+		t.Errorf("gauges must ship absolute: %d", d2.Gauges["node.outstanding"])
+	}
+
+	// Idle interval: no counter movement → no counter entries at all.
+	d3 := sh.Collect(t0.Add(3 * time.Second))
+	if len(d3.Counters) != 0 {
+		t.Errorf("idle delta shipped counters: %v", d3.Counters)
+	}
+}
+
+func TestDeltaShipperNilSafety(t *testing.T) {
+	var sh *DeltaShipper
+	if sh.Collect(time.Now()) != nil {
+		t.Error("nil shipper must yield nil delta")
+	}
+	// Nil registry still sequences (heartbeat freshness with telemetry off).
+	sh = NewDeltaShipper("node1", nil)
+	d := sh.Collect(time.Now())
+	if d == nil || d.Seq != 1 || len(d.Counters) != 0 {
+		t.Errorf("nil-registry delta = %+v", d)
+	}
+}
+
+func TestClusterViewMergesAndRates(t *testing.T) {
+	v := NewClusterView(4)
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	tick := func(host string, seq uint64, at time.Time, bytes int64) *Delta {
+		return &Delta{
+			Host: host, Seq: seq, At: at, Interval: time.Second,
+			Counters: map[string]int64{"node.fetch.bytes": bytes},
+			Gauges:   map[string]int64{"node.outstanding": int64(seq)},
+		}
+	}
+	v.Ingest(tick("node1", 1, t0, 1000))
+	v.Ingest(tick("node1", 2, t0.Add(time.Second), 3000))
+	v.Ingest(tick("node2", 1, t0.Add(time.Second), 500))
+
+	if got := v.Rate("node1", "node.fetch.bytes"); got != 2000 {
+		t.Errorf("node1 rate = %v, want 2000/s over 2s window", got)
+	}
+	rep := v.Report(t0.Add(2 * time.Second))
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("report nodes = %d", len(rep.Nodes))
+	}
+	n1 := rep.Nodes[0] // hosts sorted
+	if n1.Host != "node1" || n1.Totals["node.fetch.bytes"] != 4000 || n1.Seq != 2 {
+		t.Errorf("node1 report = %+v", n1)
+	}
+	if n1.AgeMs != 1000 {
+		t.Errorf("node1 age = %v ms, want 1000", n1.AgeMs)
+	}
+	if n1.Gauges["node.outstanding"] != 2 {
+		t.Errorf("gauge must be last-write-wins: %d", n1.Gauges["node.outstanding"])
+	}
+	if rep.Totals["node.fetch.bytes"] != 4500 {
+		t.Errorf("cluster total = %d, want 4500", rep.Totals["node.fetch.bytes"])
+	}
+	if got := rep.Rates["node.fetch.bytes"]; got != 2500 {
+		t.Errorf("cluster rate = %v, want 2500/s", got)
+	}
+}
+
+func TestClusterViewDropsStaleSeqAndWindows(t *testing.T) {
+	v := NewClusterView(2)
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	mk := func(seq uint64, bytes int64) *Delta {
+		return &Delta{Host: "n", Seq: seq, At: t0, Interval: time.Second,
+			Counters: map[string]int64{"b": bytes}}
+	}
+	v.Ingest(mk(1, 10))
+	v.Ingest(mk(2, 20))
+	v.Ingest(mk(2, 999)) // duplicate — dropped
+	v.Ingest(mk(1, 999)) // reordered straggler — dropped
+	v.Ingest(mk(3, 30))
+
+	rep := v.Report(t0)
+	if got := rep.Nodes[0].Totals["b"]; got != 60 {
+		t.Errorf("totals after dup/straggler = %d, want 60", got)
+	}
+	// Window 2 keeps only seq 2 and 3 → rate over 2s.
+	if got := v.Rate("n", "b"); got != 25 {
+		t.Errorf("windowed rate = %v, want 25/s", got)
+	}
+}
+
+func TestClusterViewStaleness(t *testing.T) {
+	v := NewClusterView(4)
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	d := &Delta{Host: "n1", Seq: 1, At: t0, Interval: time.Second,
+		Counters: map[string]int64{"b": 100}}
+	v.Ingest(d)
+	v.MarkStale("n1")
+	v.MarkStale("ghost") // unknown host: no-op, no panic
+
+	rep := v.Report(t0.Add(time.Second))
+	if !rep.Nodes[0].Stale {
+		t.Error("node not marked stale")
+	}
+	if rep.Totals["b"] != 100 {
+		t.Error("stale node totals must still aggregate (last truth)")
+	}
+	if len(rep.Rates) != 0 {
+		t.Errorf("stale node rates leaked into aggregate: %v", rep.Rates)
+	}
+	// A fresh delta revives it.
+	v.Ingest(&Delta{Host: "n1", Seq: 2, At: t0.Add(2 * time.Second), Interval: time.Second})
+	if v.Report(t0.Add(2 * time.Second)).Nodes[0].Stale {
+		t.Error("ingest did not clear staleness")
+	}
+}
+
+func TestClusterViewNilAndText(t *testing.T) {
+	var v *ClusterView
+	v.Ingest(&Delta{Host: "x", Seq: 1})
+	v.MarkStale("x")
+	if v.Rate("x", "y") != 0 || v.Report(time.Now()) != nil {
+		t.Error("nil view leaked state")
+	}
+	var r *ClusterReport
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "no cluster view") {
+		t.Errorf("nil report text = %q", sb.String())
+	}
+
+	live := NewClusterView(4)
+	live.Ingest(&Delta{Host: "node1", Seq: 1, At: time.Now(), Interval: time.Second,
+		Counters: map[string]int64{"node.fetch.bytes": 42}})
+	txt := live.Report(time.Now()).Text()
+	for _, want := range []string{"node1", "node.fetch.bytes = 42", "cluster totals"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("report text missing %q:\n%s", want, txt)
+		}
+	}
+	if _, err := live.Report(time.Now()).JSON(); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+}

@@ -6,17 +6,46 @@ import (
 	"net/http"
 )
 
-// Handler serves the debug observability surface over HTTP:
+// HandlerSources feeds the debug HTTP surface. Every field may be nil:
+// a nil Registry renders as an empty registry, nil functions and a nil
+// EventLog turn their endpoints into clean 404s. Function sources are
+// called per request so the handler always serves the current job.
+type HandlerSources struct {
+	// Registry backs /metrics and /metrics.json.
+	Registry *Registry
+	// Profile returns the current job profile report for /profile(.json).
+	Profile func() *Report
+	// Cluster returns the merged per-node telemetry for /cluster(.json).
+	Cluster func() *ClusterReport
+	// Events backs /events and /events.json.
+	Events *EventLog
+	// Trace returns the current (or last finished) job trace for
+	// /trace.json.
+	Trace func() *JobTrace
+}
+
+// Handler serves the node-local debug surface — the pre-telemetry
+// signature, kept for callers that only have a registry and a profile.
+// reg may be nil (renders as an empty registry); profile may be nil or
+// return nil (404).
+func Handler(reg *Registry, profile func() *Report) http.Handler {
+	return NewHandler(HandlerSources{Registry: reg, Profile: profile})
+}
+
+// NewHandler serves the debug observability surface over HTTP:
 //
 //	/metrics       registry rendered as sorted text
 //	/metrics.json  full registry snapshot (counters, gauges, histograms)
-//	/profile.json  the current job profile's report (404 when none)
-//	/profile       the same report, human-readable
+//	/profile       current job's shuffle profile, human-readable
+//	/profile.json  the same report as JSON (404 when none)
+//	/cluster       per-node + aggregate telemetry, human-readable
+//	/cluster.json  the same as JSON (404 when no cluster view)
+//	/events        structured scheduler event log, one per line
+//	/events.json   the same as JSON (404 when no event log)
+//	/trace.json    job trace as Chrome trace-event JSON (404 when none)
 //	/              a tiny index
-//
-// reg may be nil (empty metrics); profile is called per request and may
-// return nil (no job profiled yet / profiling disabled).
-func Handler(reg *Registry, profile func() *Report) http.Handler {
+func NewHandler(src HandlerSources) http.Handler {
+	profile := src.Profile
 	if profile == nil {
 		profile = func() *Report { return nil }
 	}
@@ -32,14 +61,23 @@ func Handler(reg *Registry, profile func() *Report) http.Handler {
 		fmt.Fprintln(w, "  /metrics.json  metrics as JSON")
 		fmt.Fprintln(w, "  /profile       shuffle profile as text")
 		fmt.Fprintln(w, "  /profile.json  shuffle profile as JSON")
+		fmt.Fprintln(w, "  /cluster       per-node telemetry as text")
+		fmt.Fprintln(w, "  /cluster.json  per-node telemetry as JSON")
+		fmt.Fprintln(w, "  /events        scheduler event log as text")
+		fmt.Fprintln(w, "  /events.json   scheduler event log as JSON")
+		fmt.Fprintln(w, "  /trace.json    job trace (Chrome trace-event JSON)")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.WriteText(w)
+		// A nil registry is a valid "observability off" registry: render
+		// it as empty rather than panicking (WriteText and Snapshot are
+		// both nil-receiver safe by construction; this endpoint's contract
+		// is pinned by TestHandlerNilRegistry).
+		src.Registry.WriteText(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(reg.Snapshot())
+		_ = json.NewEncoder(w).Encode(src.Registry.Snapshot())
 	})
 	mux.HandleFunc("/profile.json", func(w http.ResponseWriter, r *http.Request) {
 		rep := profile()
@@ -64,5 +102,70 @@ func Handler(reg *Registry, profile func() *Report) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = fmt.Fprint(w, rep.Text())
 	})
+	mux.HandleFunc("/cluster.json", func(w http.ResponseWriter, r *http.Request) {
+		rep := clusterReport(src)
+		if rep == nil {
+			http.Error(w, "no cluster view", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out, err := rep.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		rep := clusterReport(src)
+		if rep == nil {
+			http.Error(w, "no cluster view", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+	})
+	mux.HandleFunc("/events.json", func(w http.ResponseWriter, r *http.Request) {
+		if src.Events == nil {
+			http.Error(w, "no event log", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src.Events.Snapshot())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if src.Events == nil {
+			http.Error(w, "no event log", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		src.Events.WriteText(w)
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, r *http.Request) {
+		var tr *JobTrace
+		if src.Trace != nil {
+			tr = src.Trace()
+		}
+		if tr == nil {
+			http.Error(w, "no job trace (enable mapred.obs.trace.enabled)", http.StatusNotFound)
+			return
+		}
+		out, err := tr.ChromeTrace()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
 	return mux
+}
+
+func clusterReport(src HandlerSources) *ClusterReport {
+	if src.Cluster == nil {
+		return nil
+	}
+	return src.Cluster()
 }

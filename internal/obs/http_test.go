@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Header().Get("Content-Type"), string(body)
+}
+
+// TestHandlerNilRegistry pins the fix for the nil-registry crash class:
+// a handler built with no registry at all must serve every endpoint
+// without panicking — /metrics empty, /metrics.json an empty snapshot.
+func TestHandlerNilRegistry(t *testing.T) {
+	h := Handler(nil, nil)
+	code, ct, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics with nil registry: status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	if body != "" {
+		t.Errorf("/metrics with nil registry should be empty, got %q", body)
+	}
+	code, ct, body = get(t, h, "/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/metrics.json: status %d type %q", code, ct)
+	}
+	for _, key := range []string{`"counters"`, `"gauges"`, `"histograms"`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("/metrics.json missing %s: %s", key, body)
+		}
+	}
+}
+
+func TestHandlerLegacyEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shuffle.rdma.bytes").Add(4096)
+	var rep *Report
+	h := Handler(reg, func() *Report { return rep })
+
+	code, ct, body := get(t, h, "/")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("index: status %d type %q", code, ct)
+	}
+	for _, ep := range []string{"/metrics", "/metrics.json", "/profile", "/profile.json",
+		"/cluster", "/cluster.json", "/events", "/events.json", "/trace.json"} {
+		if !strings.Contains(body, ep) {
+			t.Errorf("index does not list %s", ep)
+		}
+	}
+
+	if code, _, body = get(t, h, "/metrics"); code != http.StatusOK || !strings.Contains(body, "shuffle.rdma.bytes=4096") {
+		t.Errorf("/metrics: status %d body %q", code, body)
+	}
+	if code, ct, body = get(t, h, "/metrics.json"); code != http.StatusOK ||
+		!strings.HasPrefix(ct, "application/json") || !strings.Contains(body, `"shuffle.rdma.bytes":4096`) {
+		t.Errorf("/metrics.json: status %d type %q body %q", code, ct, body)
+	}
+
+	// No profile yet: both renderings 404 with a hint.
+	for _, p := range []string{"/profile", "/profile.json"} {
+		if code, _, body = get(t, h, p); code != http.StatusNotFound || !strings.Contains(body, "mapred.obs.profile.enabled") {
+			t.Errorf("%s without profile: status %d body %q", p, code, body)
+		}
+	}
+	prof := NewJobProfile("job_0001_t")
+	prof.FetchObserved("node1", 0, 10*time.Millisecond, 4096, time.Now())
+	rep = prof.Report()
+	if code, ct, body = get(t, h, "/profile"); code != http.StatusOK ||
+		!strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "job_0001_t") {
+		t.Errorf("/profile: status %d type %q body %q", code, ct, body)
+	}
+	if code, ct, _ = get(t, h, "/profile.json"); code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/profile.json: status %d type %q", code, ct)
+	}
+
+	// Unknown paths 404; the legacy handler has no telemetry sources, so
+	// the new endpoints 404 cleanly rather than crashing.
+	if code, _, _ = get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", code)
+	}
+	for _, p := range []string{"/cluster", "/cluster.json", "/events", "/events.json", "/trace.json"} {
+		if code, _, _ = get(t, h, p); code != http.StatusNotFound {
+			t.Errorf("%s without source: status %d", p, code)
+		}
+	}
+}
+
+func TestHandlerTelemetryEndpoints(t *testing.T) {
+	view := NewClusterView(4)
+	view.Ingest(&Delta{Host: "node1", Seq: 1, At: time.Now(), Interval: time.Second,
+		Counters: map[string]int64{"node.fetch.bytes": 77}})
+	events := NewEventLog(8)
+	events.Append(Event{Type: EvHeartbeatExpired, Host: "node2", Cause: "no heartbeat"})
+	tr := NewJobTrace("job_0002_t")
+	tr.Span("node1", "map slot 0", CatMap, "map m0@0", tr.Start(), tr.Start().Add(time.Millisecond), nil)
+
+	h := NewHandler(HandlerSources{
+		Cluster: func() *ClusterReport { return view.Report(time.Now()) },
+		Events:  events,
+		Trace:   func() *JobTrace { return tr },
+	})
+
+	code, ct, body := get(t, h, "/cluster")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "node1") {
+		t.Errorf("/cluster: status %d type %q body %q", code, ct, body)
+	}
+	if code, ct, body = get(t, h, "/cluster.json"); code != http.StatusOK ||
+		!strings.HasPrefix(ct, "application/json") || !strings.Contains(body, `"node.fetch.bytes": 77`) {
+		t.Errorf("/cluster.json: status %d type %q body %q", code, ct, body)
+	}
+	if code, _, body = get(t, h, "/events"); code != http.StatusOK || !strings.Contains(body, EvHeartbeatExpired) {
+		t.Errorf("/events: status %d body %q", code, body)
+	}
+	if code, ct, body = get(t, h, "/events.json"); code != http.StatusOK ||
+		!strings.HasPrefix(ct, "application/json") || !strings.Contains(body, `"heartbeat.expired"`) {
+		t.Errorf("/events.json: status %d type %q body %q", code, ct, body)
+	}
+	code, ct, body = get(t, h, "/trace.json")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/trace.json: status %d type %q", code, ct)
+	}
+	if _, err := ValidateChromeTrace([]byte(body)); err != nil {
+		t.Errorf("/trace.json served malformed trace: %v", err)
+	}
+
+	// A Trace source that returns nil (tracing off this job) still 404s.
+	h = NewHandler(HandlerSources{Trace: func() *JobTrace { return nil }})
+	if code, _, body = get(t, h, "/trace.json"); code != http.StatusNotFound || !strings.Contains(body, "mapred.obs.trace.enabled") {
+		t.Errorf("/trace.json nil-returning source: status %d body %q", code, body)
+	}
+}

@@ -388,6 +388,25 @@ func (r *Registry) CounterSnapshot() map[string]int64 {
 	return out
 }
 
+// GaugeSnapshot copies out the gauges only (shipped absolute, not as
+// deltas, by the cluster telemetry plane).
+func (r *Registry) GaugeSnapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	r.s.mu.Lock()
+	gauges := make([]*Gauge, 0, len(r.s.gauges))
+	for _, g := range r.s.gauges {
+		gauges = append(gauges, g)
+	}
+	r.s.mu.Unlock()
+	for _, g := range gauges {
+		out[g.name] = g.Get()
+	}
+	return out
+}
+
 // WriteText renders the registry sorted by name, one metric per line —
 // the /debug/metrics format.
 func (r *Registry) WriteText(w io.Writer) {

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file generalizes the copier's fetch spans into a job-wide span
+// model and exports it as Chrome trace-event JSON (loadable in Perfetto
+// or chrome://tracing): one pid per node, one tid per lane (task slot,
+// merge loop, or per-host fetch stream), scheduler dispatch → map
+// run/commit → shuffle fetches → merge → reduce run/commit, all under
+// one job.
+
+// Span categories. Task-level spans (everything but fetch) export as
+// balanced B/E duration events; fetch spans export as "X" complete
+// events because concurrent fetches on one lane overlap freely.
+const (
+	CatSched  = "sched"
+	CatMap    = "map"
+	CatFetch  = "fetch"
+	CatMerge  = "merge"
+	CatReduce = "reduce"
+)
+
+// maxTraceSpans bounds the spans a trace retains; beyond it spans are
+// counted as dropped. Fetch-heavy jobs hit this first — the cap keeps a
+// runaway job from holding the whole shuffle in memory.
+const maxTraceSpans = 16384
+
+// TraceSpan is one timed interval of job work attributed to a node and
+// a lane (the tid it renders on).
+type TraceSpan struct {
+	Node  string            `json:"node"`
+	Lane  string            `json:"lane"`
+	Cat   string            `json:"cat"`
+	Name  string            `json:"name"`
+	Start time.Time         `json:"start"`
+	End   time.Time         `json:"end"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// JobTrace accumulates one job's spans. All methods are safe for
+// concurrent use and no-ops on a nil receiver — a nil *JobTrace IS
+// tracing disabled, so every hot-path call site gates on the nil.
+type JobTrace struct {
+	jobID string
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []TraceSpan
+	dropped int64
+}
+
+// NewJobTrace starts a trace for jobID; the Chrome timeline origin is
+// the call time.
+func NewJobTrace(jobID string) *JobTrace {
+	return &JobTrace{jobID: jobID, start: time.Now()}
+}
+
+// JobID returns the traced job's ID ("" on a nil receiver).
+func (t *JobTrace) JobID() string {
+	if t == nil {
+		return ""
+	}
+	return t.jobID
+}
+
+// Start returns the trace's clock origin.
+func (t *JobTrace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Span records one completed interval of work.
+func (t *JobTrace) Span(node, lane, cat, name string, start, end time.Time, args map[string]string) {
+	if t == nil {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.mu.Lock()
+	if len(t.spans) < maxTraceSpans {
+		t.spans = append(t.spans, TraceSpan{
+			Node: node, Lane: lane, Cat: cat, Name: name,
+			Start: start, End: end, Args: args,
+		})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Fetch records one completed shuffle fetch (CatFetch, exported as an
+// "X" complete event so overlapping fetches render side by side).
+func (t *JobTrace) Fetch(node, lane, name string, start, end time.Time, args map[string]string) {
+	t.Span(node, lane, CatFetch, name, start, end, args)
+}
+
+// SpanCount returns the retained span count.
+func (t *JobTrace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded at the cap.
+func (t *JobTrace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans copies out the retained spans (test and report surface).
+func (t *JobTrace) Spans() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceSpan(nil), t.spans...)
+}
+
+// chromeEvent is one Chrome trace-event JSON object.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the JSON Object Format variant of the trace-event
+// spec: Perfetto and chrome://tracing both load it.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// ChromeTrace exports the trace as Chrome trace-event JSON: one pid per
+// node (with process_name metadata), one tid per lane (thread_name
+// metadata), task-level spans as balanced B/E pairs (nested: a child
+// overlapping its parent's end is clamped so the stack discipline the
+// format requires always holds), and fetch spans as "X" complete
+// events. Nil receiver → an empty but well-formed trace.
+func (t *JobTrace) ChromeTrace() ([]byte, error) {
+	file := chromeTraceFile{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+	}
+	if t == nil {
+		return json.MarshalIndent(file, "", " ")
+	}
+	spans := t.Spans()
+	file.OtherData = map[string]string{"job_id": t.jobID}
+	if d := t.Dropped(); d > 0 {
+		file.OtherData["spans_dropped"] = fmt.Sprintf("%d", d)
+	}
+
+	us := func(at time.Time) float64 { return float64(at.Sub(t.start)) / float64(time.Microsecond) }
+
+	// Stable pid per node, tid per lane within node.
+	byNode := map[string]map[string][]TraceSpan{}
+	for _, sp := range spans {
+		if byNode[sp.Node] == nil {
+			byNode[sp.Node] = map[string][]TraceSpan{}
+		}
+		byNode[sp.Node][sp.Lane] = append(byNode[sp.Node][sp.Lane], sp)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	meta := func(pid, tid int, name, value string) chromeEvent {
+		return chromeEvent{Name: name, Ph: "M", PID: pid, TID: tid, Args: map[string]string{"name": value}}
+	}
+	for pid1, node := range nodes {
+		pid := pid1 + 1
+		file.TraceEvents = append(file.TraceEvents, meta(pid, 0, "process_name", node))
+		lanes := make([]string, 0, len(byNode[node]))
+		for l := range byNode[node] {
+			lanes = append(lanes, l)
+		}
+		sort.Strings(lanes)
+		for tid1, lane := range lanes {
+			tid := tid1 + 1
+			file.TraceEvents = append(file.TraceEvents, meta(pid, tid, "thread_name", lane))
+			file.TraceEvents = append(file.TraceEvents, emitLane(byNode[node][lane], pid, tid, us)...)
+		}
+	}
+	return json.MarshalIndent(file, "", " ")
+}
+
+// emitLane renders one lane's spans: CatFetch as X events, the rest as
+// a properly nested, balanced B/E sequence.
+func emitLane(spans []TraceSpan, pid, tid int, us func(time.Time) float64) []chromeEvent {
+	var out []chromeEvent
+	var nested []TraceSpan
+	for _, sp := range spans {
+		if sp.Cat == CatFetch {
+			dur := us(sp.End) - us(sp.Start)
+			out = append(out, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Ph: "X",
+				TS: us(sp.Start), Dur: &dur, PID: pid, TID: tid, Args: sp.Args,
+			})
+			continue
+		}
+		nested = append(nested, sp)
+	}
+	// Sort so an enclosing span precedes the spans it contains, then
+	// emit with an explicit stack: before opening the next span, close
+	// every open span that ends at or before its start; a child that
+	// outlives its parent is clamped to the parent's end so every B has
+	// exactly one E and the lane's stack discipline holds.
+	sort.Slice(nested, func(i, j int) bool {
+		if !nested[i].Start.Equal(nested[j].Start) {
+			return nested[i].Start.Before(nested[j].Start)
+		}
+		if !nested[i].End.Equal(nested[j].End) {
+			return nested[i].End.After(nested[j].End)
+		}
+		return nested[i].Name < nested[j].Name
+	})
+	type open struct {
+		name string
+		cat  string
+		end  time.Time
+	}
+	var stack []open
+	closeTop := func() {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, chromeEvent{Name: top.name, Cat: top.cat, Ph: "E", TS: us(top.end), PID: pid, TID: tid})
+	}
+	for _, sp := range nested {
+		for len(stack) > 0 && !stack[len(stack)-1].end.After(sp.Start) {
+			closeTop()
+		}
+		end := sp.End
+		if len(stack) > 0 && end.After(stack[len(stack)-1].end) {
+			end = stack[len(stack)-1].end
+		}
+		out = append(out, chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "B",
+			TS: us(sp.Start), PID: pid, TID: tid, Args: sp.Args,
+		})
+		stack = append(stack, open{name: sp.Name, cat: sp.Cat, end: end})
+	}
+	for len(stack) > 0 {
+		closeTop()
+	}
+	return out
+}
+
+// TraceStats summarizes a validated Chrome trace for smoke gates and
+// tests.
+type TraceStats struct {
+	Events    int            // every event, metadata included
+	Durations int            // matched B/E pairs
+	Completes int            // X events
+	PIDs      int            // distinct processes (nodes) with real events
+	Cats      map[string]int // events per category
+	Names     map[string]int // events per name (B and X only)
+	Nodes     []string       // process_name metadata values, sorted
+}
+
+// ValidateChromeTrace parses raw as Chrome trace-event JSON and checks
+// it is well formed: it decodes, and on every (pid, tid) lane the B/E
+// events balance with LIFO discipline. Returns summary stats for
+// further assertions.
+func ValidateChromeTrace(raw []byte) (*TraceStats, error) {
+	var file chromeTraceFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, fmt.Errorf("obs: trace JSON does not parse: %w", err)
+	}
+	if file.TraceEvents == nil {
+		return nil, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	stats := &TraceStats{Cats: map[string]int{}, Names: map[string]int{}}
+	type laneKey struct{ pid, tid int }
+	stacks := map[laneKey][]string{}
+	pids := map[int]bool{}
+	for i, ev := range file.TraceEvents {
+		stats.Events++
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				stats.Nodes = append(stats.Nodes, ev.Args["name"])
+			}
+			continue
+		case "X":
+			stats.Completes++
+			stats.Names[ev.Name]++
+		case "B":
+			k := laneKey{ev.PID, ev.TID}
+			stacks[k] = append(stacks[k], ev.Name)
+			stats.Names[ev.Name]++
+		case "E":
+			k := laneKey{ev.PID, ev.TID}
+			st := stacks[k]
+			if len(st) == 0 {
+				return nil, fmt.Errorf("obs: event %d: E %q on pid %d tid %d with no open B", i, ev.Name, ev.PID, ev.TID)
+			}
+			if top := st[len(st)-1]; ev.Name != "" && ev.Name != top {
+				return nil, fmt.Errorf("obs: event %d: E %q does not close open B %q (pid %d tid %d)", i, ev.Name, top, ev.PID, ev.TID)
+			}
+			stacks[k] = st[:len(st)-1]
+			stats.Durations++
+		default:
+			return nil, fmt.Errorf("obs: event %d: unsupported phase %q", i, ev.Ph)
+		}
+		if ev.Cat != "" {
+			stats.Cats[ev.Cat]++
+		}
+		pids[ev.PID] = true
+	}
+	for k, st := range stacks {
+		if len(st) > 0 {
+			return nil, fmt.Errorf("obs: pid %d tid %d: %d unclosed B events (top %q)", k.pid, k.tid, len(st), st[len(st)-1])
+		}
+	}
+	stats.PIDs = len(pids)
+	sort.Strings(stats.Nodes)
+	return stats, nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJobTraceNilIsDisabled(t *testing.T) {
+	var tr *JobTrace
+	tr.Span("n", "l", CatMap, "map", time.Now(), time.Now(), nil)
+	tr.Fetch("n", "l", "f", time.Now(), time.Now(), nil)
+	if tr.JobID() != "" || tr.SpanCount() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Error("nil trace leaked state")
+	}
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatalf("nil ChromeTrace: %v", err)
+	}
+	stats, err := ValidateChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("nil trace must still be well-formed: %v", err)
+	}
+	if stats.Events != 0 {
+		t.Errorf("nil trace has %d events", stats.Events)
+	}
+}
+
+func TestJobTraceSpanCapAndClamp(t *testing.T) {
+	tr := NewJobTrace("job_x")
+	start := tr.Start()
+	// end < start clamps to zero-length rather than going negative.
+	tr.Span("n", "l", CatMap, "backwards", start.Add(time.Second), start, nil)
+	sp := tr.Spans()[0]
+	if !sp.End.Equal(sp.Start) {
+		t.Errorf("backwards span not clamped: %v → %v", sp.Start, sp.End)
+	}
+	for i := tr.SpanCount(); i < maxTraceSpans; i++ {
+		tr.Fetch("n", "l", "f", start, start, nil)
+	}
+	tr.Fetch("n", "l", "overflow", start, start, nil)
+	if tr.SpanCount() != maxTraceSpans || tr.Dropped() != 1 {
+		t.Errorf("cap: count=%d dropped=%d", tr.SpanCount(), tr.Dropped())
+	}
+}
+
+// TestChromeTraceNestedBalanced exercises the whole job shape the
+// telemetry plane produces: two nodes, dispatch wrapping map work on
+// one, reduce + overlapping fetches + a merge lane on the other. The
+// export must validate (balanced LIFO B/E per lane) even though the
+// recorded spans overlap imperfectly.
+func TestChromeTraceNestedBalanced(t *testing.T) {
+	tr := NewJobTrace("job_0001_sort")
+	t0 := tr.Start()
+	at := func(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+
+	// node1, map slot 0: dispatch encloses map; commit nests inside map.
+	tr.Span("node1", "map slot 0", CatSched, "dispatch m0@0", at(0), at(100), nil)
+	tr.Span("node1", "map slot 0", CatMap, "map m0@0", at(5), at(95), map[string]string{"corr": "job/m0@0"})
+	tr.Span("node1", "map slot 0", CatMap, "commit m0@0", at(80), at(95), nil)
+	// A child recorded as outliving its parent must be clamped, not break balance.
+	tr.Span("node1", "map slot 0", CatSched, "dispatch m1@0", at(100), at(180), nil)
+	tr.Span("node1", "map slot 0", CatMap, "map m1@0", at(105), at(200), nil)
+
+	// node2, reduce slot 0 + overlapping fetch X events + merge lane.
+	tr.Span("node2", "reduce slot 0", CatSched, "dispatch r0@0", at(50), at(300), nil)
+	tr.Span("node2", "reduce slot 0", CatReduce, "reduce r0@0", at(55), at(295), nil)
+	tr.Span("node2", "reduce slot 0", CatReduce, "commit r0@0", at(280), at(295), nil)
+	tr.Fetch("node2", "fetch r0<-node1", "fetch m0", at(60), at(120), map[string]string{"bytes": "4096"})
+	tr.Fetch("node2", "fetch r0<-node1", "fetch m1", at(70), at(110), nil) // overlaps freely
+	tr.Span("node2", "merge r0", CatMerge, "merge r0@0", at(90), at(270), nil)
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatalf("ChromeTrace: %v", err)
+	}
+	stats, err := ValidateChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("export does not validate: %v\n%s", err, raw)
+	}
+	if stats.PIDs != 2 {
+		t.Errorf("pids = %d, want one per node", stats.PIDs)
+	}
+	if got := strings.Join(stats.Nodes, ","); got != "node1,node2" {
+		t.Errorf("process names = %q", got)
+	}
+	if stats.Completes != 2 {
+		t.Errorf("X events = %d, want 2 fetches", stats.Completes)
+	}
+	if stats.Durations != 9 {
+		t.Errorf("matched B/E pairs = %d, want 9 (one per non-fetch span)", stats.Durations)
+	}
+	for _, cat := range []string{CatSched, CatMap, CatFetch, CatMerge, CatReduce} {
+		if stats.Cats[cat] == 0 {
+			t.Errorf("category %q absent from trace", cat)
+		}
+	}
+	if stats.Names["commit m0@0"] == 0 || stats.Names["commit r0@0"] == 0 {
+		t.Errorf("commit spans missing: %v", stats.Names)
+	}
+
+	// otherData carries the job id.
+	var file struct {
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.OtherData["job_id"] != "job_0001_sort" {
+		t.Errorf("otherData = %v", file.OtherData)
+	}
+}
+
+func TestValidateChromeTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [}`,
+		"no events array": `{"displayTimeUnit":"ms"}`,
+		"unbalanced B":    `{"traceEvents":[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1}]}`,
+		"stray E":         `{"traceEvents":[{"name":"a","ph":"E","ts":0,"pid":1,"tid":1}]}`,
+		"crossed pairs": `{"traceEvents":[
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":1},
+			{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},
+			{"name":"b","ph":"E","ts":3,"pid":1,"tid":1}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"a","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
+	}
+	for label, raw := range cases {
+		if _, err := ValidateChromeTrace([]byte(raw)); err == nil {
+			t.Errorf("%s: validated but should not", label)
+		}
+	}
+	// Sanity: balance on one lane must not hide imbalance on another.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},
+		{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},
+		{"name":"f","ph":"X","ts":0,"dur":5,"pid":2,"tid":1}]}`
+	stats, err := ValidateChromeTrace([]byte(ok))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if stats.Durations != 1 || stats.Completes != 1 || stats.PIDs != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

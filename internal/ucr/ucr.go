@@ -138,7 +138,11 @@ type Listener struct {
 	dev     *verbs.Device
 	service string
 	backlog chan *EndPoint
-	once    sync.Once
+	// closed signals shutdown instead of closing backlog: a dialer that
+	// resolved this listener before Close may still be blocked on the
+	// backlog send, and closing the channel under it would panic.
+	closed chan struct{}
+	once   sync.Once
 }
 
 // Listen registers a service on dev. The service name is scoped to the
@@ -150,19 +154,25 @@ func (f *Fabric) Listen(dev *verbs.Device, service string) (*Listener, error) {
 	if _, ok := f.services[key]; ok {
 		return nil, fmt.Errorf("ucr: service %s already listening", key)
 	}
-	l := &Listener{fabric: f, dev: dev, service: service, backlog: make(chan *EndPoint, 64)}
+	l := &Listener{fabric: f, dev: dev, service: service,
+		backlog: make(chan *EndPoint, 64), closed: make(chan struct{})}
 	f.services[key] = l
 	return l, nil
 }
 
 // Accept blocks until a peer connects, returning the server-side end-point.
+// Connections already queued when the listener closes are still handed out.
 func (l *Listener) Accept(ctx context.Context) (*EndPoint, error) {
 	select {
-	case ep, ok := <-l.backlog:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case ep := <-l.backlog:
 		return ep, nil
+	default:
+	}
+	select {
+	case ep := <-l.backlog:
+		return ep, nil
+	case <-l.closed:
+		return nil, ErrClosed
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -175,7 +185,7 @@ func (l *Listener) Close() {
 		l.fabric.mu.Lock()
 		delete(l.fabric.services, key)
 		l.fabric.mu.Unlock()
-		close(l.backlog)
+		close(l.closed)
 	})
 }
 
@@ -222,6 +232,12 @@ func (f *Fabric) Connect(ctx context.Context, dev *verbs.Device, remoteDev, serv
 	}
 	select {
 	case l.backlog <- server:
+	case <-l.closed:
+		// The service shut down between our lookup and the handoff —
+		// same outcome as never having found it.
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("%w: %s", ErrNoService, key)
 	case <-ctx.Done():
 		client.Close()
 		server.Close()
@@ -433,6 +449,12 @@ func (ep *EndPoint) sendLocked(ctx context.Context, wr verbs.SendWR) error {
 		}
 		wc, err := ep.sendCQ.Wait(ctx)
 		if err != nil {
+			// Abandoning a posted WR: the QP still references the WR's
+			// buffers until it completes, so destroy the QP — flushing the
+			// WR and waiting out the processor — before the caller can
+			// legally reuse them. The end-point is dead afterwards, exactly
+			// like a real RC QP whose send could not be reaped.
+			ep.qp.Destroy()
 			return err
 		}
 		switch wc.Status {
@@ -534,6 +556,9 @@ func (ep *EndPoint) rdma(ctx context.Context, wr verbs.SendWR) error {
 	}
 	wc, err := ep.sendCQ.Wait(ctx)
 	if err != nil {
+		// Same discipline as sendLocked: an abandoned WR pins its buffers
+		// (and for READs, the remote region) until the QP is done with it.
+		ep.qp.Destroy()
 		return err
 	}
 	if wc.Status != verbs.WCSuccess {

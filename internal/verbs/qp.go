@@ -330,20 +330,25 @@ func (qp *QueuePair) enterError() {
 }
 
 // Destroy tears down the QP; queued-but-unprocessed sends flush with
-// WCFlushErr completions.
+// WCFlushErr completions. Destroy does not return until the processor
+// goroutine has exited — for EVERY caller, not just the one that wins
+// the destroy race: callers rely on "after Destroy, no WR buffer is
+// referenced", and a loser returning early while the winner still waits
+// out a processor mid-transfer would break that contract.
 func (qp *QueuePair) Destroy() {
 	qp.mu.Lock()
-	if qp.state == QPDestroyed {
-		qp.mu.Unlock()
-		return
-	}
+	already := qp.state == QPDestroyed
 	qp.state = QPDestroyed
 	qp.mu.Unlock()
-	close(qp.done)
+	if !already {
+		close(qp.done)
+	}
 	qp.wg.Wait()
-	qp.dev.mu.Lock()
-	delete(qp.dev.qps, qp.qpn)
-	qp.dev.mu.Unlock()
+	if !already {
+		qp.dev.mu.Lock()
+		delete(qp.dev.qps, qp.qpn)
+		qp.dev.mu.Unlock()
+	}
 }
 
 // process executes send work requests in post order.

@@ -1,0 +1,74 @@
+package rdmamr
+
+import (
+	"context"
+	"fmt"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/obs"
+)
+
+// JobTrace is a finished job's lifecycle trace: scheduler dispatch, map
+// run/commit, shuffle fetches, merge, and reduce run/commit spans, one
+// lane per task slot per node. ChromeTrace() exports it as Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Produced on JobResult.Trace when the job runs with
+// KeyObsTrace, and served at /trace.json when KeyObsHTTPAddr is set.
+type JobTrace = obs.JobTrace
+
+// TraceStats summarizes a validated Chrome trace (event counts per
+// phase/category, distinct nodes) — the assertion surface behind
+// `mrsim -trace-check` and `make trace-smoke`.
+type TraceStats = obs.TraceStats
+
+// KeyObsTrace enables job-lifecycle tracing; off by default and nearly
+// free when off (one nil check per instrumented site).
+const KeyObsTrace = config.KeyObsTrace
+
+// ValidateChromeTrace checks raw is well-formed Chrome trace-event JSON
+// (parses, and every duration-begin event has a matching end in LIFO
+// order per lane) and returns summary stats.
+func ValidateChromeTrace(raw []byte) (*TraceStats, error) {
+	return obs.ValidateChromeTrace(raw)
+}
+
+// TracedTeraSort runs an in-process TeraSort on the OSU-IB RDMA engine
+// with job-lifecycle tracing enabled, validates the output, and returns
+// the result; JobResult.Trace carries the trace. This is the one-call
+// "show me the timeline" entry point behind `mrsim -trace` and
+// `make trace-smoke`.
+func TracedTeraSort(ctx context.Context, nodes int, rows int64, reduces int) (*JobResult, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("rdmamr: traced terasort needs >= 2 nodes (got %d), or no shuffle crosses the fabric", nodes)
+	}
+	conf := NewConfig()
+	conf.SetBool(KeyRDMAEnabled, true)
+	conf.SetBool(KeyObsTrace, true)
+	c, err := NewCluster(nodes, conf)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	// One file per map slot per node keeps every tracker mapping and
+	// shuffling, so the trace shows spans on every node.
+	maxFile := rows*100/int64(2*nodes) + 1
+	files, err := TeraGen(c, "/trace/in", rows, maxFile, 42)
+	if err != nil {
+		return nil, err
+	}
+	job, sum, err := TeraSortJob(c, "traced-terasort", files, "/trace/out", reduces)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunJob(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateMultiset(c, "/trace/out", sum); err != nil {
+		return nil, fmt.Errorf("rdmamr: traced terasort output invalid: %w", err)
+	}
+	if res.Trace == nil {
+		return nil, fmt.Errorf("rdmamr: tracing enabled but no trace produced")
+	}
+	return res, nil
+}

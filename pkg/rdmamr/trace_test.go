@@ -1,0 +1,60 @@
+package rdmamr_test
+
+import (
+	"strings"
+	"testing"
+
+	"rdmamr/pkg/rdmamr"
+)
+
+// TestTracedTeraSortCoversJobLifecycle is the acceptance gate for the
+// tracing plane, in-process: a traced TeraSort on the RDMA engine must
+// emit a schema-valid Chrome trace with spans from at least two nodes
+// covering the whole lifecycle — scheduler dispatch, map run and
+// commit, shuffle fetch, merge, and reduce run through its commit.
+func TestTracedTeraSortCoversJobLifecycle(t *testing.T) {
+	res, err := rdmamr.TracedTeraSort(ctxT(t), 3, 10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := res.Trace.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rdmamr.ValidateChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	if len(stats.Nodes) < 2 {
+		t.Fatalf("spans from %d nodes, want >= 2 (nodes %v)", len(stats.Nodes), stats.Nodes)
+	}
+	for _, cat := range []string{"sched", "map", "fetch", "merge", "reduce"} {
+		if stats.Cats[cat] == 0 {
+			t.Fatalf("no %q spans; cats = %v", cat, stats.Cats)
+		}
+	}
+	// Name-level lifecycle: dispatches, map commits, per-reduce merges,
+	// and reduce commits must all appear.
+	prefixes := map[string]int{"dispatch ": 0, "commit m": 0, "merge r": 0, "commit r": 0}
+	for name, n := range stats.Names {
+		for p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				prefixes[p] += n
+			}
+		}
+	}
+	for p, n := range prefixes {
+		if n == 0 {
+			t.Fatalf("no %q* spans in trace; names = %v", p, stats.Names)
+		}
+	}
+	if stats.Completes == 0 {
+		t.Fatal("no fetch complete-events in trace")
+	}
+
+	// A single node has no fabric to shuffle across — refuse rather
+	// than emit a trace that cannot show a cross-node fetch.
+	if _, err := rdmamr.TracedTeraSort(ctxT(t), 1, 1000, 1); err == nil {
+		t.Fatal("1-node traced terasort accepted")
+	}
+}
