@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke trace-smoke bench-obs
+.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke trace-smoke sched-smoke bench-obs
 
-verify: fmt vet build race chaos profile-smoke trace-smoke bench-smoke
+verify: fmt vet build race chaos profile-smoke trace-smoke sched-smoke bench-smoke
 
 # Fail on any file gofmt would rewrite.
 fmt:
@@ -53,6 +53,15 @@ profile-smoke:
 # (dispatch, map, fetch, merge, reduce) through the reduce commit.
 trace-smoke:
 	$(GO) run ./cmd/mrsim -trace -trace-nodes 3 -trace-rows 10000 -trace-reduces 3 -trace-check >/dev/null
+
+# D12 multi-tenant gate: two concurrent TeraSorts on one real cluster —
+# shared slot pool, fair-share dispatch, speculative maps, admission at
+# max.running=2 — while a seeded chaos schedule kills a tracker mid-run.
+# Fails unless both jobs commit byte-identical sorted output, exactly one
+# node died, and the JobTracker's admission counters add up. Runs under
+# the race detector: the scheduler is the most concurrent code we have.
+sched-smoke:
+	$(GO) run -race ./cmd/mrsim -sched -sched-check >/dev/null
 
 # D7 overhead proof: the disabled-observability copier hot path must not
 # allocate (0 B/op) or read the clock; the Enabled pair prices what a

@@ -47,8 +47,18 @@ func main() {
 		traceRows  = flag.Int64("trace-rows", 20000, "trace: TeraSort input rows (100 B each)")
 		traceReds  = flag.Int("trace-reduces", 3, "trace: reduce count")
 		traceCheck = flag.Bool("trace-check", false, "trace: validate the emitted trace (balanced events, >= 2 nodes, all lifecycle phases present) — the smoke gate")
+
+		schedRun   = flag.Bool("sched", false, "run two concurrent TeraSorts on one real cluster (shared slots, speculative maps, one chaos node kill) and print the /jobs report")
+		schedNodes = flag.Int("sched-nodes", 4, "sched: cluster size")
+		schedRows  = flag.Int64("sched-rows", 2000, "sched: TeraSort input rows per job (100 B each)")
+		schedCheck = flag.Bool("sched-check", false, "sched: assert both jobs complete byte-identical, exactly one kill, and admission accounting — the smoke gate")
 	)
 	flag.Parse()
+
+	if *schedRun {
+		runSched(*schedNodes, *schedRows, *schedCheck)
+		return
+	}
 
 	if *profile {
 		runProfile(*profNodes, *profMB, *profReds, *profJSON, *profCheck)

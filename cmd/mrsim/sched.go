@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"rdmamr/internal/chaos"
+	"rdmamr/internal/config"
+	"rdmamr/internal/core"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/workload"
+)
+
+// runSched is the multi-tenant scheduler smoke behind `make sched-smoke`:
+// two TeraSort jobs submitted concurrently to ONE cluster — shared slot
+// pool, fair-share dispatch, speculative maps on — while a seeded chaos
+// schedule kills a tracker mid-run and never revives it. Both jobs must
+// finish with checksum-validated, globally sorted output. With check the
+// run also asserts the scheduler's own accounting (exactly one kill, both
+// jobs admitted, no queueing at max.running=2) and exits 2 on any miss.
+func runSched(nodes int, rows int64, check bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	conf := config.New()
+	// 250 ms: detection stays sub-second but a loaded -race run can't
+	// spuriously expire live trackers (see nodeDeathConf in faultinject).
+	conf.SetInt(config.KeyTrackerExpiry, 250)
+	conf.SetInt(config.KeyRDMAConnectRetries, 8)
+	conf.SetInt(config.KeyRDMARequestTimeout, 5000)
+	conf.SetInt(config.KeyBlockSize, 64<<10)
+	conf.SetInt(config.KeyJTMaxRunning, 2)
+	conf.SetBool(config.KeySpeculativeMaps, true)
+
+	inj := chaos.New(chaos.Config{Seed: 23})
+	sched := chaos.WrapNodeSchedule(core.New(), inj, chaos.NodeCrash{AfterOutputs: 3})
+	c, err := mapred.NewCluster(nodes, conf, sched)
+	if err != nil {
+		fatalf("sched: %v", err)
+	}
+	defer c.Close()
+	sched.SetKiller(c)
+
+	type tenant struct {
+		name string
+		want workload.Checksum
+		out  string
+		h    *mapred.JobHandle
+	}
+	tenants := make([]*tenant, 0, 2)
+	for i, seed := range []int64{77, 104} {
+		tn := &tenant{name: fmt.Sprintf("sched-%c", 'a'+i), out: fmt.Sprintf("/sched/%d/out", i)}
+		in := fmt.Sprintf("/sched/%d/in", i)
+		paths, err := workload.TeraGen(c.FS(), in, rows, 16<<10, seed)
+		if err != nil {
+			fatalf("sched: teragen: %v", err)
+		}
+		sample, err := workload.SampleKeys(c.FS(), paths, mapred.TeraInput, 100)
+		if err != nil {
+			fatalf("sched: sample: %v", err)
+		}
+		part, err := kv.NewTotalOrderPartitioner(kv.SampleSplits(sample, nodes))
+		if err != nil {
+			fatalf("sched: partitioner: %v", err)
+		}
+		tn.want, err = workload.ChecksumInput(c.FS(), paths, mapred.TeraInput)
+		if err != nil {
+			fatalf("sched: checksum: %v", err)
+		}
+		tn.h, err = c.Submit(ctx, &mapred.Job{
+			Name: tn.name, Input: paths, Output: tn.out,
+			InputFormat: mapred.TeraInput, Partitioner: part, NumReduces: nodes,
+		})
+		if err != nil {
+			fatalf("sched: submit %s: %v", tn.name, err)
+		}
+		tenants = append(tenants, tn)
+	}
+
+	// Both handles resolve concurrently; the scheduler interleaves the two
+	// jobs on the shared slots the whole time.
+	for _, tn := range tenants {
+		res, err := tn.h.Wait(ctx)
+		if err != nil {
+			fatalf("sched: job %s: %v", tn.name, err)
+		}
+		if err := workload.Validate(c.FS(), tn.out, kv.BytesComparator, tn.want, true); err != nil {
+			fatalf("sched: job %s output invalid: %v", tn.name, err)
+		}
+		fmt.Fprintf(os.Stderr, "sched: job %s (%s) valid: %d maps, %d reduces, %d speculated\n",
+			tn.name, res.JobID, res.Counters["map.tasks.completed"], res.Counters["reduce.tasks.completed"],
+			res.Counters["mapred.map.task.attempts.speculated"])
+	}
+	sched.Wait()
+	c.JobsReport().WriteText(os.Stdout)
+
+	if !check {
+		return
+	}
+	if kills := sched.Kills(); len(kills) != 1 {
+		fatalf("sched-check: kills = %v, want exactly one", kills)
+	}
+	counters := c.Counters()
+	if got := counters.Get("mapred.jobtracker.jobs.admitted"); got != 2 {
+		fatalf("sched-check: jobs.admitted = %d, want 2", got)
+	}
+	if got := counters.Get("mapred.jobtracker.jobs.completed"); got != 2 {
+		fatalf("sched-check: jobs.completed = %d, want 2", got)
+	}
+	if got := counters.Get("mapred.jobtracker.jobs.queued"); got != 0 {
+		fatalf("sched-check: jobs.queued = %d, want 0 at max.running=2", got)
+	}
+	rep := c.JobsReport()
+	done := 0
+	for _, j := range rep.Jobs {
+		if j.State == "succeeded" {
+			done++
+		}
+	}
+	if done != 2 {
+		fatalf("sched-check: %d jobs succeeded in /jobs report, want 2", done)
+	}
+	fmt.Fprintf(os.Stderr, "sched-check ok: 2 tenants byte-identical across a node kill (%v), %d map + %d reduce slots shared\n",
+		sched.Kills(), rep.TotalMapSlots, rep.TotalReduceSlots)
+}

@@ -123,6 +123,24 @@ const (
 	// KeyObsClusterWindow is how many heartbeat-shipped metric deltas the
 	// scheduler's cluster view retains per node for rate computation.
 	KeyObsClusterWindow = "mapred.obs.cluster.window"
+	// KeyJTMaxRunning bounds how many jobs the JobTracker runs
+	// concurrently; later submissions queue FIFO for admission.
+	KeyJTMaxRunning = "mapred.jobtracker.max.running"
+	// KeyJTStragglerPercent is the speculative-execution threshold: a
+	// running attempt whose elapsed time exceeds this percentage of the
+	// job's median completed attempt duration is a straggler eligible for
+	// a backup attempt (150 = 1.5× the median).
+	KeyJTStragglerPercent = "mapred.jobtracker.straggler.percent"
+	// KeyJTStragglerMinFinished is how many attempts must have completed
+	// before the median is trusted and speculation may fire (capped at
+	// numTasks-1 so small jobs can still speculate their last task).
+	KeyJTStragglerMinFinished = "mapred.jobtracker.straggler.min.finished"
+	// KeyJTCacheJobQuota is the per-job PrefetchCache budget in bytes:
+	// one tenant's pinned registered memory may not exceed it (its own
+	// least valuable entries are evicted first, and capacity eviction
+	// prefers over-quota tenants). 0 disables per-job isolation and
+	// leaves only the global capacity bound.
+	KeyJTCacheJobQuota = "mapred.jobtracker.cache.job.quota.bytes"
 )
 
 // Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
@@ -167,6 +185,10 @@ var defaults = map[string]string{
 	KeyObsTrace:               "false",
 	KeyObsEventsCap:           "256",
 	KeyObsClusterWindow:       "64",
+	KeyJTMaxRunning:           "4",
+	KeyJTStragglerPercent:     "150",
+	KeyJTStragglerMinFinished: "3",
+	KeyJTCacheJobQuota:        "0", // 0 = no per-job cache isolation
 }
 
 // Fetch arm values for KeyRDMAFetchArm.
@@ -390,6 +412,20 @@ func (c *Config) Validate() error {
 		if v := c.Int(key); v < 1 || v > 100 {
 			return fmt.Errorf("config: %s = %d outside [1, 100]", key, v)
 		}
+	}
+	if v := c.Int(KeyJTMaxRunning); v < 1 || v > 256 {
+		return fmt.Errorf("config: %s = %d outside [1, 256]", KeyJTMaxRunning, v)
+	}
+	if v := c.Int(KeyJTStragglerPercent); v < 100 || v > 10000 {
+		return fmt.Errorf("config: %s = %d outside [100, 10000] (percent of median)",
+			KeyJTStragglerPercent, v)
+	}
+	if v := c.Int(KeyJTStragglerMinFinished); v < 1 || v > 10000 {
+		return fmt.Errorf("config: %s = %d outside [1, 10000]", KeyJTStragglerMinFinished, v)
+	}
+	if v := c.Int(KeyJTCacheJobQuota); v < 0 {
+		return fmt.Errorf("config: %s = %d must be >= 0 (0 disables per-job isolation)",
+			KeyJTCacheJobQuota, v)
 	}
 	if c.Bool(KeyCachingEnabled) && !c.Bool(KeyRDMAEnabled) {
 		// Caching is part of the RDMA design; allowed but meaningless

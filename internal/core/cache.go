@@ -106,6 +106,14 @@ type PrefetchCache struct {
 	shards    []*cacheShard
 	regMu     sync.Mutex
 	registrar Registrar
+
+	// Multi-tenant accounting (D12): tenants tracks cached bytes per job
+	// across every shard; quota, when >0, caps any one job's share of the
+	// registered-memory budget. Lock order is shard.mu -> tmu; tmu is a
+	// leaf lock and no code path acquires a shard lock while holding it.
+	tmu     sync.Mutex
+	quota   int64
+	tenants map[string]int64
 }
 
 type cacheShard struct {
@@ -149,7 +157,7 @@ func NewPrefetchCache(capacity int64, policy string, counters *stats.Counters) *
 		policy = "priority"
 	}
 	n := shardsFor(capacity)
-	c := &PrefetchCache{policy: policy, counters: counters, shards: make([]*cacheShard, n)}
+	c := &PrefetchCache{policy: policy, counters: counters, shards: make([]*cacheShard, n), tenants: make(map[string]int64)}
 	per := capacity / int64(n)
 	for i := range c.shards {
 		cap := per
@@ -174,6 +182,43 @@ func (c *PrefetchCache) getRegistrar() Registrar {
 	c.regMu.Lock()
 	defer c.regMu.Unlock()
 	return c.registrar
+}
+
+// SetJobQuota caps how many cached bytes any single job may hold
+// (mapred.jobtracker.cache.job.quota.bytes). Zero disables per-job
+// isolation: tenants then compete for the whole budget on entry value
+// alone. The quota applies at Put time; already-resident entries of a
+// tenant that shrank its quota are evicted preferentially (they make the
+// tenant "over quota" in victim selection) rather than synchronously.
+func (c *PrefetchCache) SetJobQuota(quota int64) {
+	c.tmu.Lock()
+	c.quota = quota
+	c.tmu.Unlock()
+}
+
+// JobBytes returns the cached byte total currently charged to jobID
+// across every shard.
+func (c *PrefetchCache) JobBytes(jobID string) int64 {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	return c.tenants[jobID]
+}
+
+func (c *PrefetchCache) jobQuota() int64 {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	return c.quota
+}
+
+func (c *PrefetchCache) tenantAdd(jobID string, delta int64) {
+	c.tmu.Lock()
+	n := c.tenants[jobID] + delta
+	if n <= 0 {
+		delete(c.tenants, jobID)
+	} else {
+		c.tenants[jobID] = n
+	}
+	c.tmu.Unlock()
 }
 
 func (c *PrefetchCache) shard(key CacheKey) *cacheShard {
@@ -266,6 +311,7 @@ func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
 		// Refresh by body swap; keep the higher priority. The old body
 		// is released (pinned readers keep it alive) rather than mutated.
 		s.used += size - int64(len(old.body.data))
+		c.tenantAdd(key.JobID, size-int64(len(old.body.data)))
 		old.body.release()
 		old.body = body
 		if priority > old.priority {
@@ -276,22 +322,47 @@ func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
 		s.evictLocked(c, nil)
 		return true
 	}
-	s.seq++
-	e := &cacheEntry{key: key, body: body, priority: priority, inserted: s.seq, lastUse: s.seq}
-	// Evict until the new entry fits, but never evict entries more
-	// valuable than the incoming one.
-	for s.used+size > s.capacity {
-		victim := s.victimLocked(c)
-		if victim == nil || c.less(e, victim) {
+	// Per-job quota (D12): a tenant over its registered-memory budget
+	// evicts its OWN least valuable entries to make room, never another
+	// job's — noisy neighbors pay for their churn themselves.
+	if quota := c.jobQuota(); quota > 0 {
+		if size > quota {
 			c.counters.Add("cache.rejected", 1)
 			body.release()
 			return false
 		}
-		s.removeLocked(victim)
+		for c.JobBytes(key.JobID)+size > quota {
+			victim := s.tenantVictimLocked(c, key.JobID)
+			if victim == nil {
+				// The tenant's remaining bytes live in other shards;
+				// reject rather than breach the budget or reach across
+				// shard locks.
+				c.counters.Add("cache.rejected", 1)
+				body.release()
+				return false
+			}
+			s.removeLocked(c, victim)
+			c.counters.Add("cache.quota.evictions", 1)
+		}
+	}
+	s.seq++
+	e := &cacheEntry{key: key, body: body, priority: priority, inserted: s.seq, lastUse: s.seq}
+	// Evict until the new entry fits, but never evict entries more
+	// valuable than the incoming one — unless the victim's tenant is over
+	// its quota, in which case reclaiming its surplus trumps entry value.
+	for s.used+size > s.capacity {
+		victim, victimOver := s.victimLocked(c)
+		if victim == nil || (!victimOver && c.less(e, victim)) {
+			c.counters.Add("cache.rejected", 1)
+			body.release()
+			return false
+		}
+		s.removeLocked(c, victim)
 		c.counters.Add("cache.evictions", 1)
 	}
 	s.entries[key] = e
 	s.used += size
+	c.tenantAdd(key.JobID, size)
 	c.counters.Add("cache.inserted", 1)
 	return true
 }
@@ -319,10 +390,35 @@ func (c *PrefetchCache) less(a, b *cacheEntry) bool {
 	return a.lastUse < b.lastUse
 }
 
-// victimLocked returns the shard's least valuable entry (nil when empty).
-func (s *cacheShard) victimLocked(c *PrefetchCache) *cacheEntry {
+// victimLocked returns the shard's least valuable entry (nil when
+// empty) and whether that entry's tenant is over its job quota. With a
+// quota set, entries of over-quota tenants are always preferred as
+// victims over entries of compliant tenants, regardless of value: the
+// surplus is memory the tenant was never entitled to keep.
+func (s *cacheShard) victimLocked(c *PrefetchCache) (*cacheEntry, bool) {
+	quota := c.jobQuota()
+	var victim *cacheEntry
+	victimOver := false
+	for _, e := range s.entries {
+		over := quota > 0 && c.JobBytes(e.key.JobID) > quota
+		switch {
+		case victim == nil,
+			over && !victimOver,
+			over == victimOver && c.less(e, victim):
+			victim, victimOver = e, over
+		}
+	}
+	return victim, victimOver
+}
+
+// tenantVictimLocked returns the shard's least valuable entry belonging
+// to jobID (nil when the tenant has no entries in this shard).
+func (s *cacheShard) tenantVictimLocked(c *PrefetchCache, jobID string) *cacheEntry {
 	var victim *cacheEntry
 	for _, e := range s.entries {
+		if e.key.JobID != jobID {
+			continue
+		}
 		if victim == nil || c.less(e, victim) {
 			victim = e
 		}
@@ -330,9 +426,10 @@ func (s *cacheShard) victimLocked(c *PrefetchCache) *cacheEntry {
 	return victim
 }
 
-func (s *cacheShard) removeLocked(e *cacheEntry) {
+func (s *cacheShard) removeLocked(c *PrefetchCache, e *cacheEntry) {
 	delete(s.entries, e.key)
 	s.used -= int64(len(e.body.data))
+	c.tenantAdd(e.key.JobID, -int64(len(e.body.data)))
 	e.body.release()
 }
 
@@ -340,26 +437,34 @@ func (s *cacheShard) removeLocked(e *cacheEntry) {
 // growth). protect is never evicted.
 func (s *cacheShard) evictLocked(c *PrefetchCache, protect *cacheEntry) {
 	for s.used > s.capacity {
-		victim := s.victimLocked(c)
+		victim, _ := s.victimLocked(c)
 		if victim == nil || victim == protect {
 			return
 		}
-		s.removeLocked(victim)
+		s.removeLocked(c, victim)
 		c.counters.Add("cache.evictions", 1)
 	}
 }
 
-// RemoveJob drops every entry belonging to jobID (job completion).
-// Entries pinned by in-flight sends stay registered until released.
+// RemoveJob drops every entry belonging to jobID (job completion) and
+// returns the tenant's registered memory to the shared pool; the bytes
+// reclaimed are summed into cache.removejob.bytes so tests and the obs
+// plane can assert exact per-tenant reclamation. Entries pinned by
+// in-flight sends stay registered until released.
 func (c *PrefetchCache) RemoveJob(jobID string) {
+	var reclaimed int64
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for k, e := range s.entries {
 			if k.JobID == jobID {
-				s.removeLocked(e)
+				reclaimed += int64(len(e.body.data))
+				s.removeLocked(c, e)
 			}
 		}
 		s.mu.Unlock()
+	}
+	if reclaimed > 0 {
+		c.counters.Add("cache.removejob.bytes", reclaimed)
 	}
 }
 

@@ -1302,7 +1302,7 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	if depth < 1 {
 		depth = 1
 	}
-	prof := task.Local.Profile()
+	prof := task.Local.ProfileFor(task.Job.ID)
 	c := task.Local.Counters()
 	f := &fetcher{
 		task:           task,
@@ -1328,7 +1328,7 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 	f.cReadIssued = c.Handle("shuffle.rdma.read.issued")
 	f.cReadBytes = c.Handle("shuffle.rdma.read.bytes")
 	f.cReadFallbacks = c.Handle("shuffle.rdma.read.fallbacks")
-	f.tr = task.Local.Trace()
+	f.tr = task.Local.TraceFor(task.Job.ID)
 	nreg := task.Local.NodeRegistry()
 	f.nFetchBytes = nreg.Counter("node.fetch.bytes")
 	f.nFetchChunks = nreg.Counter("node.fetch.chunks")

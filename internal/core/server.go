@@ -105,6 +105,9 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		ctx:        ctx,
 		cancel:     cancel,
 	}
+	// D12: per-job registered-memory quota — one tenant's churn cannot
+	// evict the whole cluster cache (0 keeps the shared free-for-all).
+	s.cache.SetJobQuota(conf.Int(config.KeyJTCacheJobQuota))
 	s.nServedReqs = tt.NodeRegistry().Counter("node.served.requests")
 	s.nServedBytes = tt.NodeRegistry().Counter("node.served.bytes")
 	// The READ arm serves only cache-resident, registered runs; without the

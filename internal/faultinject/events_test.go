@@ -45,12 +45,6 @@ func TestNodeDeathEmitsOrderedEventSequence(t *testing.T) {
 	sched := chaos.WrapNodeSchedule(core.New(), inj, chaos.NodeCrash{AfterOutputs: 2})
 	conf := nodeDeathConf()
 	conf.Set(config.KeyObsHTTPAddr, "127.0.0.1:0")
-	// Double the headline test's expiry: the sequence is unchanged
-	// (detection at ~0.25s still far undercuts the 5s fetch-deadline
-	// escalation that would otherwise recover the outputs), but a
-	// race-detector scheduling stall can't spuriously expire the whole
-	// cluster mid-run.
-	conf.SetInt(config.KeyTrackerExpiry, 100)
 	c, err := mapred.NewCluster(4, conf, sched)
 	if err != nil {
 		t.Fatal(err)

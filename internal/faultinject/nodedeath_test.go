@@ -16,10 +16,14 @@ import (
 
 // nodeDeathConf shrinks the heartbeat expiry so the scheduler detects a
 // killed tracker within the test's lifetime, and gives the transport
-// budget headroom so self-healing never fails by bad luck.
+// budget headroom so self-healing never fails by bad luck. 250 ms keeps
+// detection sub-second while staying above the goroutine-scheduling
+// jitter of a loaded race-detector run — below that, live trackers
+// expire spuriously and their reducers burn retry budgets on stale
+// death verdicts faster than the sweep can re-admit the hosts.
 func nodeDeathConf() *config.Config {
 	conf := testConf()
-	conf.SetInt(config.KeyTrackerExpiry, 50)
+	conf.SetInt(config.KeyTrackerExpiry, 250)
 	conf.SetInt(config.KeyRDMAConnectRetries, 8)
 	conf.SetInt(config.KeyRDMARequestTimeout, 5000)
 	return conf

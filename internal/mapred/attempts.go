@@ -22,6 +22,11 @@ type attemptQueue struct {
 	remaining int
 	budget    int // max attempts per task (>=1)
 	speculate bool
+	// gate, when non-nil, is consulted before a backup attempt is handed
+	// out: speculation launches only for tasks the straggler detector
+	// confirms. A nil gate keeps the legacy eager behaviour (any running
+	// un-backed task may be speculated the moment a slot goes idle).
+	gate func(id int) bool
 
 	wake     chan struct{} // closed+replaced whenever work may appear
 	doneCh   chan struct{} // closed when every task completed
@@ -57,28 +62,44 @@ func (q *attemptQueue) wakeAllLocked() {
 	q.wake = make(chan struct{})
 }
 
+// setGate installs the speculation gate (see the field doc). Must be
+// called before workers start taking from the queue.
+func (q *attemptQueue) setGate(gate func(id int) bool) {
+	q.mu.Lock()
+	q.gate = gate
+	q.mu.Unlock()
+}
+
 // take hands out the next attempt: a pending task with a replica on host
-// first (data-local), then any pending task, then — with speculation —
-// a backup of a running straggler. When nothing is available, wait is a
-// channel to park on (nil means every task is done and the worker
-// should exit).
-func (q *attemptQueue) take(host string) (id, attempt int, backup, ok bool, wait <-chan struct{}) {
+// first (data-local), then — unless localOnly — any pending task, then,
+// with speculation, a backup of a running straggler. When nothing is
+// available, wait is a channel to park on (nil means every task is done
+// and the worker should exit). localOnly is the fair-share dispatcher's
+// first pass: it probes every job for data-local work before settling
+// for a remote split. pendingOK=false skips the pending picks entirely —
+// the dispatcher's per-host balance says this host already holds its
+// share of the job's tasks — while still allowing a speculative backup
+// (a backup MUST be able to land on an already-loaded host, or a
+// straggler could pin its job forever).
+func (q *attemptQueue) take(host string, localOnly, pendingOK bool) (id, attempt int, backup, ok bool, wait <-chan struct{}) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	pick := -1
-	for i, cand := range q.pending {
-		for _, h := range q.hosts[cand] {
-			if h == host {
-				pick = i
+	if pendingOK {
+		for i, cand := range q.pending {
+			for _, h := range q.hosts[cand] {
+				if h == host {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
 				break
 			}
 		}
-		if pick >= 0 {
-			break
+		if pick < 0 && len(q.pending) > 0 && !localOnly {
+			pick = 0
 		}
-	}
-	if pick < 0 && len(q.pending) > 0 {
-		pick = 0
 	}
 	if pick >= 0 {
 		id = q.pending[pick]
@@ -87,9 +108,9 @@ func (q *attemptQueue) take(host string) (id, attempt int, backup, ok bool, wait
 		q.started[id]++
 		return id, q.started[id], false, true, nil
 	}
-	if q.speculate {
+	if q.speculate && !localOnly {
 		for cand := range q.running {
-			if !q.done[cand] && !q.backed[cand] {
+			if !q.done[cand] && !q.backed[cand] && (q.gate == nil || q.gate(cand)) {
 				q.backed[cand] = true
 				q.started[cand]++
 				return cand, q.started[cand], true, true, nil
@@ -100,6 +121,43 @@ func (q *attemptQueue) take(host string) (id, attempt int, backup, ok bool, wait
 		return 0, 0, false, false, nil
 	}
 	return 0, 0, false, false, q.wake
+}
+
+// isDone reports whether task id already has a winning completion — the
+// check a cancelled duplicate attempt uses to tell "I lost the race"
+// from "I failed".
+func (q *attemptQueue) isDone(id int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.done[id]
+}
+
+// completedCount returns how many tasks have a winning completion.
+func (q *attemptQueue) completedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.done)
+}
+
+// hasDispatchable reports whether a take could plausibly succeed: work
+// is pending, or speculation could launch a backup. The gate is NOT
+// consulted (it is time-dependent); the fair-share dispatcher treats a
+// true here as "worth probing", not a guarantee.
+func (q *attemptQueue) hasDispatchable() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) > 0 {
+		return true
+	}
+	if !q.speculate {
+		return false
+	}
+	for cand := range q.running {
+		if !q.done[cand] && !q.backed[cand] {
+			return true
+		}
+	}
+	return false
 }
 
 // complete records a finished attempt, returning true for the FIRST

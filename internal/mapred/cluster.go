@@ -41,17 +41,18 @@ type Cluster struct {
 	liveness *livenessMonitor
 	attempts *attemptRegistry
 
-	// profile is the running job's shuffle profile (nil when profiling
-	// is off); lastReport keeps the most recent finished job's report so
-	// the debug endpoint can serve it between jobs. Both are atomic —
-	// trackers and the HTTP handler read them concurrently with RunJob.
-	profile    atomic.Pointer[obs.JobProfile]
+	// jobObs maps running jobs to their profiles and traces, keyed by
+	// jobID — concurrent jobs each get their own instrumentation.
+	// lastReport/lastTrace keep the most recent finished job's report and
+	// trace so the debug endpoint can serve them between jobs (a failed
+	// job's trace is worth the most when debugging).
+	jobObs     *jobObsRegistry
 	lastReport atomic.Pointer[obs.Report]
-	// trace is the running job's lifecycle trace (nil when tracing is
-	// off); lastTrace keeps the most recent job's trace — including a
-	// failed job's, worth the most when debugging — for /trace.json.
-	trace     atomic.Pointer[obs.JobTrace]
-	lastTrace atomic.Pointer[obs.JobTrace]
+	lastTrace  atomic.Pointer[obs.JobTrace]
+	// jt is the JobTracker: admission control, the shared slot-worker
+	// pool, and the fair-share arbiter every running job's attempts
+	// dispatch through.
+	jt *jobTracker
 	// events is the scheduler's structured event log (always on — its
 	// producers are rare control-plane transitions, never data-path);
 	// view merges heartbeat-shipped node deltas (nil with telemetry off).
@@ -63,7 +64,13 @@ type Cluster struct {
 	mu     sync.Mutex
 	jobSeq int
 	jobIDs map[string]bool
-	closed bool
+	// outputs maps a reserved output directory to the job holding the
+	// reservation — granted at Submit (with the emptiness check under
+	// this mutex) and released when the job finishes.
+	outputs   map[string]string
+	jobStatus map[string]*jobStatus
+	jobOrder  []string
+	closed    bool
 }
 
 // NewCluster builds a cluster of n nodes named node0..node{n-1} running
@@ -89,7 +96,10 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		counters: &stats.Counters{},
 		phases:   &stats.Phases{},
 		jobIDs:   make(map[string]bool),
+		outputs:  make(map[string]string),
+		jobObs:   newJobObsRegistry(),
 	}
+	c.jobStatus = make(map[string]*jobStatus)
 	c.events = obs.NewEventLog(int(conf.Int(config.KeyObsEventsCap)))
 	// Attach the fabric to the registry — and stand up the per-node
 	// telemetry plane (node registries, delta shippers, cluster view) —
@@ -114,8 +124,7 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		}
 		tt := &TaskTracker{
 			host: host, store: store, fab: c.fabric, dev: dev,
-			conf: conf, counters: c.counters, profile: &c.profile,
-			trace: &c.trace,
+			conf: conf, counters: c.counters, jobObs: c.jobObs,
 		}
 		var nodeReg *obs.Registry
 		if telemetry {
@@ -148,6 +157,17 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 		c.counters.Add("mapred.tasktracker.heartbeats", 1)
 		c.view.Ingest(c.trackers[ti].ShipDelta(time.Now()))
 	}
+	// A decommissioned tracker whose heartbeats resume was never dead —
+	// the expiry was a false positive (e.g. a starved beat goroutine on a
+	// loaded machine). Re-admit it through the same path as an explicit
+	// revive: fresh shuffle server, restored membership, woken workers.
+	c.liveness.onRecover = func(ti int, host string) {
+		_ = c.reviveTracker(host, "heartbeats resumed after expiry (false positive)")
+	}
+	// The JobTracker must exist before the sweep goroutine can run: the
+	// recovery hook walks its running jobs.
+	c.jt = newJobTracker(c)
+	c.jt.start()
 	c.liveness.start()
 	if addr := conf.Get(config.KeyObsHTTPAddr); addr != "" {
 		ln, err := net.Listen("tcp", addr)
@@ -162,6 +182,7 @@ func NewCluster(n int, conf *config.Config, engine ShuffleEngine) (*Cluster, err
 			Cluster:  c.ClusterReport,
 			Events:   c.events,
 			Trace:    c.TraceReport,
+			Jobs:     c.JobsReport,
 		})}
 		go func() { _ = c.httpSrv.Serve(ln) }()
 	}
@@ -177,19 +198,21 @@ func (c *Cluster) ObsAddr() string {
 	return c.httpLn.Addr().String()
 }
 
-// ProfileReport snapshots the running job's shuffle profile, falling
-// back to the last finished job's report; nil when nothing was profiled.
+// ProfileReport snapshots the newest running job's shuffle profile,
+// falling back to the last finished job's report; nil when nothing was
+// profiled. Per-job reports are available through ProfileFor on any
+// tracker while the job runs, and on its JobResult after.
 func (c *Cluster) ProfileReport() *obs.Report {
-	if p := c.profile.Load(); p != nil {
+	if p := c.jobObs.latestProfile(); p != nil {
 		return p.Report()
 	}
 	return c.lastReport.Load()
 }
 
-// TraceReport returns the running job's lifecycle trace, falling back
-// to the most recent job's; nil when nothing was traced.
+// TraceReport returns the newest running job's lifecycle trace, falling
+// back to the most recent job's; nil when nothing was traced.
 func (c *Cluster) TraceReport() *obs.JobTrace {
-	if t := c.trace.Load(); t != nil {
+	if t := c.jobObs.latestTrace(); t != nil {
 		return t
 	}
 	return c.lastTrace.Load()
@@ -275,6 +298,10 @@ func (c *Cluster) KillTracker(host string) error {
 // shuffle server is started for it, heartbeats resume, membership is
 // restored, and parked slot workers wake up and take new work.
 func (c *Cluster) ReviveTracker(host string) error {
+	return c.reviveTracker(host, "")
+}
+
+func (c *Cluster) reviveTracker(host, cause string) error {
 	ti, err := c.trackerIndex(host)
 	if err != nil {
 		return err
@@ -290,15 +317,20 @@ func (c *Cluster) ReviveTracker(host string) error {
 	c.servers[ti] = srv
 	c.smu.Unlock()
 	c.liveness.revive(ti)
+	// Stale death announcements would condemn the revived host to every
+	// future reduce attempt; retract them so only subscribers that
+	// already marked it lost still have to retry their way back.
+	c.jt.forEachRunning(func(rj *runningJob) { rj.losses.Retract(host) })
 	c.counters.Add("mapred.tasktracker.revived", 1)
-	c.events.Append(obs.Event{Type: obs.EvTrackerRevived, Host: host})
+	c.events.Append(obs.Event{Type: obs.EvTrackerRevived, Host: host, Cause: cause})
 	return nil
 }
 
 // decommission is the liveness monitor's expiry hook: the scheduler has
 // declared tracker ti dead. Its running attempts are cancelled, its
-// responder is fenced off, and the per-job watcher (registered by
-// execute) reschedules its work and re-hosts its completed map outputs.
+// responder is fenced off, and each running job's watcher (registered
+// when the job was admitted) reschedules its work and re-hosts its
+// completed map outputs.
 func (c *Cluster) decommission(ti int, host string) {
 	c.counters.Add("mapred.tasktracker.expired", 1)
 	c.events.Append(obs.Event{Type: obs.EvHeartbeatExpired, Host: host,
@@ -320,6 +352,9 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	if c.jt != nil {
+		c.jt.shutdown()
+	}
 	if c.liveness != nil {
 		c.liveness.stopAll()
 	}
@@ -389,423 +424,15 @@ func (c *Cluster) planSplits(job *Job) ([]*split, error) {
 	return splits, nil
 }
 
-// RunJob executes a job to completion, returning its result.
+// RunJob executes a job to completion, returning its result. It is
+// Submit followed by an unconditional wait: when RunJob returns, the
+// job has fully finished — including output scrubbing on failure — so
+// callers never observe a half-cleaned cluster. Cancel the passed
+// context to abort the job.
 func (c *Cluster) RunJob(ctx context.Context, spec *Job) (*JobResult, error) {
-	job, err := spec.withDefaults(c.conf)
+	h, err := c.Submit(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := job.Conf.Validate(); err != nil {
-		return nil, err
-	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("mapred: cluster closed")
-	}
-	if c.jobIDs[job.Name] {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("mapred: job name %q already used", job.Name)
-	}
-	c.jobIDs[job.Name] = true
-	c.jobSeq++
-	jobID := fmt.Sprintf("job_%04d_%s", c.jobSeq, job.Name)
-	c.mu.Unlock()
-
-	if existing := c.fs.List(job.Output + "/"); len(existing) > 0 {
-		return nil, fmt.Errorf("mapred: output directory %s not empty", job.Output)
-	}
-
-	splits, err := c.planSplits(job)
-	if err != nil {
-		return nil, err
-	}
-	numReduces := job.NumReduces
-	if numReduces == 0 {
-		numReduces = len(c.trackers) * int(job.Conf.Int(config.KeyReduceSlots))
-	}
-	info := JobInfo{
-		ID: jobID, Conf: job.Conf, Comparator: job.Comparator,
-		NumMaps: len(splits), NumReduces: numReduces,
-	}
-
-	// Install the job's shuffle profile (nil when disabled — the nil is
-	// what every instrumentation site fast-paths on). Concurrent RunJobs
-	// share the slot; the profile follows the most recently started job.
-	// Tracing needs the profile's fetch spans, so enabling the trace
-	// forces a profile even when profiling itself is off — the report is
-	// then simply not attached to the result.
-	profileOn := job.Conf.Bool(config.KeyObsProfile)
-	traceOn := job.Conf.Bool(config.KeyObsTrace)
-	var prof *obs.JobProfile
-	if profileOn || traceOn {
-		prof = obs.NewJobProfile(jobID)
-	}
-	c.profile.Store(prof)
-	var tr *obs.JobTrace
-	if traceOn {
-		tr = obs.NewJobTrace(jobID)
-	}
-	c.trace.Store(tr)
-
-	before := c.counters.Snapshot()
-	phasesBefore := c.phases.Snapshot()
-	eventsBefore := c.events.Seq()
-	start := time.Now()
-	if err := c.execute(ctx, info, job, splits); err != nil {
-		c.profile.Store(nil)
-		c.trace.Store(nil)
-		if tr != nil {
-			// A failed job's trace is the one most worth reading.
-			c.lastTrace.Store(tr)
-		}
-		// Attach the scheduler events that fired during the job — the
-		// expiry/re-host/retry story behind the failure.
-		if evs := c.events.TailSince(eventsBefore, 32); len(evs) > 0 {
-			err = fmt.Errorf("%w\nscheduler events during job:\n%s", err, obs.FormatEvents(evs))
-		}
-		// A failed or cancelled job must not leave partial output: the
-		// directory was empty at admission, so everything under it —
-		// committed parts from finished reduces, uncommitted attempt
-		// temp files, abandoned writer placeholders — is ours to remove.
-		for _, p := range c.fs.List(job.Output + "/") {
-			_ = c.fs.Delete(p)
-		}
-		for i, tt := range c.trackers {
-			c.server(i).JobComplete(info)
-			tt.CleanupJob(jobID)
-		}
-		return nil, err
-	}
-	dur := time.Since(start)
-
-	// Commit-protocol debris: losing duplicate attempts delete their own
-	// temp files, but attempts killed mid-write leave reserved names
-	// under _temporary; clear the scratch dir before listing the output.
-	for _, p := range c.fs.List(job.Output + "/_temporary/") {
-		_ = c.fs.Delete(p)
-	}
-	for i, tt := range c.trackers {
-		c.server(i).JobComplete(info)
-		tt.CleanupJob(jobID)
-	}
-	after := c.counters.Snapshot()
-	delta := make(map[string]int64, len(after))
-	for k, v := range after {
-		if d := v - before[k]; d != 0 {
-			delta[k] = d
-		}
-	}
-	phasesAfter := c.phases.Snapshot()
-	phaseDelta := make(map[string]time.Duration, len(phasesAfter))
-	for k, v := range phasesAfter {
-		if d := v - phasesBefore[k]; d != 0 {
-			phaseDelta[k] = d
-		}
-	}
-	res := &JobResult{
-		JobID: jobID, Duration: dur,
-		NumMaps: len(splits), NumReduces: numReduces,
-		OutputFiles: c.fs.List(job.Output + "/"),
-		Counters:    delta,
-		Phases:      phaseDelta,
-	}
-	if prof != nil {
-		if profileOn {
-			rep := prof.Report()
-			res.Profile = rep
-			c.lastReport.Store(rep)
-		}
-		c.profile.Store(nil)
-	}
-	if tr != nil {
-		res.Trace = tr
-		c.lastTrace.Store(tr)
-		c.trace.Store(nil)
-	}
-	return res, nil
-}
-
-// execute runs the map and reduce phases concurrently (reduces start
-// immediately and their fetchers wait on map-completion events).
-//
-// Both phases schedule through attemptQueues: slot workers on every
-// tracker pull attempts, a failed attempt is retried up to
-// mapred.{map,reduce}.max.attempts times, an attempt that dies with its
-// node is requeued without consuming budget, and speculation launches
-// one backup per straggler with first-finisher-wins arbitration (the
-// split queue's old contract for maps, the output-commit rename for
-// reduces). Workers on a dead tracker park until revive, job end, or
-// cancellation; a decommissioned tracker's completed map outputs are
-// proactively re-executed elsewhere and in-flight fetchers learn of the
-// loss through the TrackerLossFeed.
-func (c *Cluster) execute(ctx context.Context, info JobInfo, job *Job, splits []*split) error {
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		if err == nil {
-			return
-		}
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-
-	board := newEventBoard(info.NumMaps)
-	defer board.abort()
-	losses := NewTrackerLossFeed()
-	recovery := newJobRecovery(ctx, c, info, job, splits)
-
-	// React to decommissions for the duration of this job: tell
-	// in-flight reducers the host is gone (they fast-fail its
-	// connections) and re-execute its completed map outputs elsewhere so
-	// fetchers that escalate find the replacement already running. The
-	// re-executions run outside the worker WaitGroup — they are bounded
-	// by ctx and touch only job-scoped state.
-	unwatch := c.liveness.watch(func(ti int, host string) {
-		losses.Announce(host)
-		for _, mapID := range board.servedBy(host) {
-			go func(mapID int) {
-				if newHost, err := recovery.RecoverAway(ctx, mapID, host); err == nil {
-					board.relocate(mapID, newHost)
-					c.events.Append(obs.Event{Type: obs.EvOutputRehosted,
-						Job: info.ID, Task: fmt.Sprintf("m%d", mapID), Host: newHost,
-						Cause: "map output lost with " + host})
-				}
-			}(mapID)
-		}
-	})
-	defer unwatch()
-
-	var wg sync.WaitGroup
-
-	// runWorkers starts slots workers per tracker pulling attempts from
-	// q. Workers on a down tracker park until it changes state; they
-	// exit when the queue drains, the phase is aborted, or ctx ends.
-	// The slot index names the trace lane ("map slot 2" on a node is one
-	// tid in the Chrome export), so each worker's attempts line up on one
-	// timeline row.
-	runWorkers := func(q *attemptQueue, slots int, run func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool)) {
-		for ti, tt := range c.trackers {
-			for s := 0; s < slots; s++ {
-				wg.Add(1)
-				go func(ti int, tt *TaskTracker, slot int) {
-					defer wg.Done()
-					for {
-						if ctx.Err() != nil || q.finished() {
-							return
-						}
-						if up, changed := c.liveness.status(ti); !up {
-							select {
-							case <-changed:
-							case <-q.doneCh:
-								return
-							case <-ctx.Done():
-								return
-							}
-							continue
-						}
-						id, attempt, backup, ok, wait := q.take(tt.Host())
-						if !ok {
-							if wait == nil {
-								return
-							}
-							select {
-							case <-wait:
-							case <-ctx.Done():
-								return
-							}
-							continue
-						}
-						run(ti, tt, slot, id, attempt, backup)
-					}
-				}(ti, tt, s)
-			}
-		}
-	}
-
-	// Map phase. With mapred.map.tasks.speculative.execution, idle
-	// workers launch backup attempts for stragglers; the first completion
-	// wins and later duplicates are discarded.
-	splitByID := make(map[int]*split, len(splits))
-	mapIDs := make([]int, 0, len(splits))
-	hostHints := make(map[int][]string, len(splits))
-	for _, sp := range splits {
-		splitByID[sp.id] = sp
-		mapIDs = append(mapIDs, sp.id)
-		hostHints[sp.id] = sp.hosts
-	}
-	mq := newAttemptQueue(mapIDs, hostHints,
-		int(info.Conf.Int(config.KeyMapMaxAttempts)),
-		info.Conf.Bool(config.KeySpeculativeMaps))
-	runWorkers(mq, int(info.Conf.Int(config.KeyMapSlots)),
-		func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool) {
-			task := fmt.Sprintf("m%d", id)
-			if backup {
-				c.counters.Add("map.tasks.speculative", 1)
-				c.events.Append(obs.Event{Type: obs.EvSpeculationLaunched,
-					Job: info.ID, Task: task, Host: tt.Host(), Cause: "straggler backup"})
-			}
-			tr := tt.Trace()
-			var lane string
-			var dispatched time.Time
-			if tr != nil {
-				lane = fmt.Sprintf("map slot %d", slot)
-				dispatched = time.Now()
-			}
-			actx, h := c.attempts.begin(ctx, ti)
-			err := c.runMapTask(actx, tt, info, job, splitByID[id], lane, attempt)
-			killed := h.finish()
-			if tr != nil {
-				tr.Span(tt.Host(), lane, obs.CatSched,
-					fmt.Sprintf("dispatch m%d@%d", id, attempt), dispatched, time.Now(),
-					map[string]string{"corr": fmt.Sprintf("%s/m%d@%d", info.ID, id, attempt)})
-			}
-			if err == nil && killed {
-				// Ran to completion on a node the scheduler killed
-				// mid-attempt: its server is gone, so the output cannot
-				// be served. Discard and reschedule.
-				err = fmt.Errorf("mapred: map %d attempt %d: %s died mid-attempt", id, attempt, tt.Host())
-			}
-			if err == nil {
-				if !mq.complete(id) {
-					c.counters.Add("map.tasks.duplicate.discarded", 1)
-					c.events.Append(obs.Event{Type: obs.EvSpeculationLost,
-						Job: info.ID, Task: task, Host: tt.Host(), Cause: "another attempt finished first"})
-					return
-				}
-				if backup {
-					c.events.Append(obs.Event{Type: obs.EvSpeculationWon,
-						Job: info.ID, Task: task, Host: tt.Host()})
-				}
-				c.server(ti).MapOutputReady(info, id)
-				board.announce(MapEvent{MapID: id, Host: tt.Host()})
-				return
-			}
-			if ctx.Err() != nil && !killed {
-				return // job is aborting, not this attempt's fault
-			}
-			c.counters.Add("map.task.attempts.failed", 1)
-			if killed {
-				if mq.requeueKilled(id, backup) {
-					c.counters.Add("map.task.attempts.retried", 1)
-					c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
-						Job: info.ID, Task: task, Host: tt.Host(), Cause: "node death"})
-				}
-				return
-			}
-			if backup {
-				// A failed backup is harmless; the original attempt is
-				// still running.
-				return
-			}
-			requeued, fatal := mq.fail(id)
-			if requeued {
-				c.counters.Add("map.task.attempts.retried", 1)
-				c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
-					Job: info.ID, Task: task, Host: tt.Host(), Cause: err.Error()})
-			}
-			if fatal {
-				c.events.Append(obs.Event{Type: obs.EvAttemptExhausted,
-					Job: info.ID, Task: task, Host: tt.Host(),
-					Cause: fmt.Sprintf("failed after %d attempts: %v", mq.attempts(id), err)})
-				fail(fmt.Errorf("map %d on %s failed after %d attempts: %w",
-					id, tt.Host(), mq.attempts(id), err))
-			}
-		})
-
-	// Reduce phase: no locality hints — any tracker's reduce slots may
-	// take any partition, so losing a node just shifts its partitions to
-	// the survivors. Duplicate attempts (speculation) are arbitrated by
-	// the output-commit rename: the loser's commit fails cleanly.
-	reduceIDs := make([]int, info.NumReduces)
-	for r := range reduceIDs {
-		reduceIDs[r] = r
-	}
-	rq := newAttemptQueue(reduceIDs, nil,
-		int(info.Conf.Int(config.KeyReduceMaxAttempts)),
-		info.Conf.Bool(config.KeySpeculativeReduces))
-	runWorkers(rq, int(info.Conf.Int(config.KeyReduceSlots)),
-		func(ti int, tt *TaskTracker, slot, id, attempt int, backup bool) {
-			task := fmt.Sprintf("r%d", id)
-			if backup {
-				c.counters.Add("reduce.tasks.speculative", 1)
-				c.events.Append(obs.Event{Type: obs.EvSpeculationLaunched,
-					Job: info.ID, Task: task, Host: tt.Host(), Cause: "straggler backup"})
-			}
-			tr := tt.Trace()
-			var lane string
-			var dispatched time.Time
-			if tr != nil {
-				lane = fmt.Sprintf("reduce slot %d", slot)
-				dispatched = time.Now()
-			}
-			events, unsubscribe := board.subscribe()
-			actx, h := c.attempts.begin(ctx, ti)
-			committed, err := c.runReduceTask(actx, tt, info, job, id, attempt, events, recovery, losses, lane)
-			killed := h.finish()
-			unsubscribe()
-			if tr != nil {
-				tr.Span(tt.Host(), lane, obs.CatSched,
-					fmt.Sprintf("dispatch r%d@%d", id, attempt), dispatched, time.Now(),
-					map[string]string{"corr": fmt.Sprintf("%s/r%d@%d", info.ID, id, attempt)})
-			}
-			if err == nil {
-				if committed {
-					rq.complete(id)
-					if backup {
-						c.events.Append(obs.Event{Type: obs.EvSpeculationWon,
-							Job: info.ID, Task: task, Host: tt.Host()})
-					}
-				} else {
-					// Another attempt committed first; ours was
-					// discarded by the rename arbiter.
-					rq.complete(id)
-					c.counters.Add("reduce.tasks.duplicate.discarded", 1)
-					c.events.Append(obs.Event{Type: obs.EvSpeculationLost,
-						Job: info.ID, Task: task, Host: tt.Host(), Cause: "another attempt committed first"})
-				}
-				return
-			}
-			if ctx.Err() != nil && !killed {
-				return
-			}
-			c.counters.Add("reduce.task.attempts.failed", 1)
-			if killed {
-				if rq.requeueKilled(id, backup) {
-					c.counters.Add("reduce.task.attempts.retried", 1)
-					c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
-						Job: info.ID, Task: task, Host: tt.Host(), Cause: "node death"})
-				}
-				return
-			}
-			if backup {
-				return
-			}
-			requeued, fatal := rq.fail(id)
-			if requeued {
-				c.counters.Add("reduce.task.attempts.retried", 1)
-				c.events.Append(obs.Event{Type: obs.EvAttemptRetried,
-					Job: info.ID, Task: task, Host: tt.Host(), Cause: err.Error()})
-			}
-			if fatal {
-				c.events.Append(obs.Event{Type: obs.EvAttemptExhausted,
-					Job: info.ID, Task: task, Host: tt.Host(),
-					Cause: fmt.Sprintf("failed after %d attempts: %v", rq.attempts(id), err)})
-				fail(fmt.Errorf("reduce %d on %s failed after %d attempts: %w",
-					id, tt.Host(), rq.attempts(id), err))
-			}
-		})
-
-	wg.Wait()
-	if firstErr == nil && ctx.Err() != nil {
-		firstErr = ctx.Err()
-	}
-	return firstErr
+	return h.wait()
 }

@@ -10,14 +10,15 @@ import (
 )
 
 var jobCounterRe = regexp.MustCompile(
-	`(?:mapred\.tasktracker|(?:map|reduce)\.task\.attempts)\.[a-z][a-z0-9._]*[a-z0-9]`)
+	`(?:mapred\.tasktracker|mapred\.jobtracker|(?:map|reduce)\.task\.attempts)\.[a-z][a-z0-9._]*[a-z0-9]`)
 
-// TestJobCounterNamesMatchDocs pins the job-layer robustness counter
-// namespaces (`mapred.tasktracker.*` and `{map,reduce}.task.attempts.*`)
-// to the README's job-layer counter reference, exactly as the core
-// package pins `shuffle.rdma.*`: every name used in this package's
-// non-test sources must be documented, and every documented name must
-// exist in the sources.
+// TestJobCounterNamesMatchDocs pins the job-layer robustness and
+// scheduler namespaces (`mapred.tasktracker.*`, `mapred.jobtracker.*`,
+// and `{map,reduce}.task.attempts.*` — config keys and counters alike)
+// to the README's tables, exactly as the core package pins
+// `shuffle.rdma.*`: every name used in this package's non-test sources
+// must be documented, and every documented name must exist in the
+// sources.
 func TestJobCounterNamesMatchDocs(t *testing.T) {
 	inCode := map[string]bool{}
 	entries, err := os.ReadDir(".")

@@ -1,0 +1,96 @@
+// Package jobtracker provides the multi-tenant scheduling primitives the
+// cluster's JobTracker composes: a bounded admission queue
+// (mapred.jobtracker.max.running), a deficit-weighted round-robin
+// fair-share arbiter for shared TaskTracker slots, and a straggler
+// detector (attempt elapsed time vs. the job's median completed attempt
+// duration) that gates speculative execution.
+//
+// The package is deliberately free of mapred types: everything is keyed
+// by opaque job-ID strings and integer task IDs so the primitives are
+// unit-testable without a cluster.
+package jobtracker
+
+import "sync"
+
+// Admission is a FIFO admission queue bounding how many jobs run
+// concurrently. Submit either admits immediately (an already-closed
+// channel) or enqueues the job; Release admits the next queued job.
+type Admission struct {
+	mu      sync.Mutex
+	max     int
+	running int
+	queue   []*ticket
+}
+
+type ticket struct {
+	id string
+	ch chan struct{}
+}
+
+// NewAdmission returns an admission queue running at most max jobs at
+// once (minimum 1).
+func NewAdmission(max int) *Admission {
+	if max < 1 {
+		max = 1
+	}
+	return &Admission{max: max}
+}
+
+// Max returns the configured concurrency bound.
+func (a *Admission) Max() int { return a.max }
+
+// Submit asks to run job id. The returned channel is closed when the job
+// is admitted; queued reports whether the job had to wait (false means
+// the channel is already closed).
+func (a *Admission) Submit(id string) (admit <-chan struct{}, queued bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running < a.max {
+		a.running++
+		ch := make(chan struct{})
+		close(ch)
+		return ch, false
+	}
+	t := &ticket{id: id, ch: make(chan struct{})}
+	a.queue = append(a.queue, t)
+	return t.ch, true
+}
+
+// Cancel withdraws a still-queued job, returning true when it was
+// removed before admission. False means the job was already admitted
+// (or never queued): the caller then owns a running slot and must
+// Release it.
+func (a *Admission) Cancel(id string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, t := range a.queue {
+		if t.id == id {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns a running slot and admits the longest-queued job, if
+// any.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) > 0 {
+		t := a.queue[0]
+		a.queue = a.queue[1:]
+		close(t.ch) // the slot transfers to the admitted job
+		return
+	}
+	if a.running > 0 {
+		a.running--
+	}
+}
+
+// Stats returns how many jobs hold running slots and how many wait.
+func (a *Admission) Stats() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, len(a.queue)
+}

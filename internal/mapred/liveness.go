@@ -30,12 +30,17 @@ import (
 // task may run there). `alive` models the scheduler's view: true until
 // the missing heartbeats exceed the expiry window and the tracker is
 // decommissioned. The gap between the two is the detection delay the
-// paper's Hadoop baseline also has.
+// paper's Hadoop baseline also has. `killed` separates real process
+// death (KillTracker) from a sweep's expiry verdict: only a killed
+// tracker's heartbeats stop for good, so a decommissioned-but-unkilled
+// member that beats again was a false positive and is re-admitted by
+// the next sweep.
 type trackerLiveState struct {
 	host     string
 	lastBeat time.Time
 	up       bool
 	alive    bool
+	killed   bool
 	changed  chan struct{} // closed and replaced on every transition
 }
 
@@ -51,6 +56,13 @@ type livenessMonitor struct {
 	// onExpire is the cluster-level decommission hook (counters, attempt
 	// cancellation, responder shutdown); job-level watchers run after it.
 	onExpire func(ti int, host string)
+	// onRecover is the cluster-level re-admission hook, invoked by the
+	// sweep when a decommissioned (but never killed) tracker's heartbeats
+	// resume — an expiry false positive, e.g. a starved beat goroutine on
+	// an overloaded machine. Runs in the sweep goroutine, serialized with
+	// onExpire, so a revival can never interleave with the decommission
+	// that preceded it.
+	onRecover func(ti int, host string)
 	// onBeat, when set, runs on every heartbeat OUTSIDE the state lock —
 	// the cluster telemetry plane's ride-along: it collects the node's
 	// metric delta and ingests it into the scheduler's ClusterView.
@@ -145,7 +157,10 @@ func (lv *livenessMonitor) beat(ti int) {
 	lv.mu.Lock()
 	up := lv.states[ti].up
 	var prev time.Time
-	if up {
+	// A killed tracker's process is gone: its clock freezes. A merely
+	// decommissioned one still beats — keep stamping lastBeat so the
+	// sweep can notice the expiry was a false positive and re-admit it.
+	if !lv.states[ti].killed {
 		prev = lv.states[ti].lastBeat
 		lv.states[ti].lastBeat = t0
 	}
@@ -163,14 +178,16 @@ func (lv *livenessMonitor) beat(ti int) {
 	lv.hbRTT.Observe(lv.now().Sub(t0))
 }
 
-// sweep decommissions every member whose heartbeat has expired. Hooks
-// and watchers run outside the lock (they call back into liveness).
+// sweep decommissions every member whose heartbeat has expired, and
+// re-admits any decommissioned (never killed) member whose heartbeats
+// have resumed — the expiry was a false positive. Hooks and watchers
+// run outside the lock (they call back into liveness).
 func (lv *livenessMonitor) sweep() {
 	type victim struct {
 		ti   int
 		host string
 	}
-	var victims []victim
+	var victims, ghosts []victim
 	now := lv.now()
 	lv.mu.Lock()
 	for ti := range lv.states {
@@ -180,6 +197,8 @@ func (lv *livenessMonitor) sweep() {
 			st.up = false
 			lv.transitionLocked(ti)
 			victims = append(victims, victim{ti, st.host})
+		} else if !st.alive && !st.killed && now.Sub(st.lastBeat) <= lv.expiry {
+			ghosts = append(ghosts, victim{ti, st.host})
 		}
 	}
 	var watchers []func(int, string)
@@ -195,6 +214,11 @@ func (lv *livenessMonitor) sweep() {
 		}
 		for _, w := range watchers {
 			w(v.ti, v.host)
+		}
+	}
+	for _, g := range ghosts {
+		if lv.onRecover != nil {
+			lv.onRecover(g.ti, g.host)
 		}
 	}
 }
@@ -224,6 +248,7 @@ func (lv *livenessMonitor) suppress(ti int) error {
 		return fmt.Errorf("mapred: refusing to kill %s: last live tracker", lv.states[ti].host)
 	}
 	lv.states[ti].up = false
+	lv.states[ti].killed = true
 	lv.transitionLocked(ti)
 	return nil
 }
@@ -236,6 +261,7 @@ func (lv *livenessMonitor) revive(ti int) {
 	st := &lv.states[ti]
 	st.up = true
 	st.alive = true
+	st.killed = false
 	st.lastBeat = lv.now()
 	lv.transitionLocked(ti)
 }
@@ -394,6 +420,25 @@ func (f *TrackerLossFeed) Announce(host string) {
 		default:
 		}
 	}
+}
+
+// Retract removes a host from the replay list after it is revived, so
+// attempts that subscribe later don't condemn a live host on stale
+// news. A subscriber that already marked the host lost keeps its
+// verdict — its retry subscribes fresh and converges.
+func (f *TrackerLossFeed) Retract(host string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	kept := f.lost[:0]
+	for _, h := range f.lost {
+		if h != host {
+			kept = append(kept, h)
+		}
+	}
+	f.lost = kept
 }
 
 // Lost returns the hosts announced so far (latest snapshot).

@@ -167,6 +167,66 @@ func TestLivenessReviveRestoresMembership(t *testing.T) {
 	}
 }
 
+func TestLivenessFalsePositiveExpiryRecovers(t *testing.T) {
+	lv, clk, rec := testMonitor(t, []string{"node0", "node1"}, 100*time.Millisecond)
+	var recovered []string
+	lv.onRecover = func(ti int, host string) {
+		recovered = append(recovered, host)
+		lv.revive(ti) // what the cluster hook does (via ReviveTracker)
+	}
+
+	// node1's beat goroutine stalls past the window (nobody killed it):
+	// the sweep decommissions it like any other silent member.
+	clk.advance(200 * time.Millisecond)
+	lv.beat(0)
+	lv.sweep()
+	if got := rec.snapshot(); len(got) != 1 || got[0] != "node1" {
+		t.Fatalf("expected node1 decommissioned, got %v", got)
+	}
+	if lv.isUp(1) {
+		t.Fatal("decommissioned tracker must be down until its beats resume")
+	}
+
+	// Its process was alive all along: the next beat proves it, and the
+	// next sweep re-admits it through onRecover.
+	clk.advance(10 * time.Millisecond)
+	lv.beat(1)
+	lv.sweep()
+	if len(recovered) != 1 || recovered[0] != "node1" {
+		t.Fatalf("onRecover = %v, want [node1]", recovered)
+	}
+	if !lv.isUp(1) {
+		t.Fatal("recovered tracker must be up")
+	}
+	// Recovery is edge-triggered: a further beating sweep must not re-fire.
+	clk.advance(10 * time.Millisecond)
+	lv.beat(0)
+	lv.beat(1)
+	lv.sweep()
+	if len(recovered) != 1 {
+		t.Fatalf("onRecover must fire once per false positive, got %v", recovered)
+	}
+
+	// A KILLED tracker's beats are dropped, so it can never ghost back:
+	// suppress, expire, then call beat anyway (as a bug would).
+	if err := lv.suppress(1); err != nil {
+		t.Fatalf("suppress: %v", err)
+	}
+	clk.advance(200 * time.Millisecond)
+	lv.beat(0)
+	lv.beat(1)
+	lv.sweep()
+	clk.advance(10 * time.Millisecond)
+	lv.beat(1)
+	lv.sweep()
+	if len(recovered) != 1 {
+		t.Fatalf("killed tracker must not auto-recover, got %v", recovered)
+	}
+	if lv.isUp(1) {
+		t.Fatal("killed tracker must stay down")
+	}
+}
+
 func TestLivenessStatusChangeChannelClosesOnTransition(t *testing.T) {
 	lv, _, _ := testMonitor(t, []string{"node0", "node1"}, time.Second)
 
@@ -350,6 +410,36 @@ func TestTrackerLossFeedReplayAndLive(t *testing.T) {
 		}
 	default:
 	}
+}
+
+func TestTrackerLossFeedRetractStopsReplay(t *testing.T) {
+	f := NewTrackerLossFeed()
+	f.Announce("node1")
+	f.Announce("node2")
+	f.Retract("node1") // node1 revived: stale news must not replay
+
+	ch, unsub := f.Subscribe()
+	defer unsub()
+	select {
+	case h := <-ch:
+		if h != "node2" {
+			t.Fatalf("replayed host = %q, want node2 only", h)
+		}
+	default:
+		t.Fatal("still-lost host must replay")
+	}
+	select {
+	case h := <-ch:
+		t.Fatalf("retracted host %q must not replay", h)
+	default:
+	}
+	if got := f.Lost(); len(got) != 1 || got[0] != "node2" {
+		t.Fatalf("Lost() = %v, want [node2]", got)
+	}
+	// Retracting on a nil feed or for an unknown host is a no-op.
+	var nilFeed *TrackerLossFeed
+	nilFeed.Retract("node0")
+	f.Retract("node9")
 }
 
 func TestTrackerLossFeedNilSafe(t *testing.T) {

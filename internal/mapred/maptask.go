@@ -20,11 +20,11 @@ func (c *Cluster) runMapTask(ctx context.Context, tt *TaskTracker, info JobInfo,
 	}
 	start := time.Now()
 	defer func() { c.phases.Observe("map.task", time.Since(start)) }()
-	if prof := tt.Profile(); prof != nil {
+	if prof := tt.ProfileFor(info.ID); prof != nil {
 		prof.Mark(obs.PhaseMap, sp.id, start)
 		defer func() { prof.Mark(obs.PhaseMap, sp.id, time.Now()) }()
 	}
-	tr := tt.Trace()
+	tr := tt.TraceFor(info.ID)
 	if tr != nil {
 		defer func(name string) {
 			tr.Span(tt.Host(), lane, obs.CatMap, name, start, time.Now(), nil)

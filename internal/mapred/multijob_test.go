@@ -1,0 +1,384 @@
+package mapred_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmamr/internal/config"
+	"rdmamr/internal/kv"
+	"rdmamr/internal/mapred"
+	"rdmamr/internal/obs"
+	"rdmamr/internal/workload"
+)
+
+// terasortSpec generates a seeded TeraGen input under /<name>/in and
+// returns a ready-to-submit TeraSort spec plus the input checksum the
+// output must reproduce (same records, globally sorted).
+func terasortSpec(t *testing.T, c *mapred.Cluster, name string, rows, seed int64, reduces int) (*mapred.Job, workload.Checksum) {
+	t.Helper()
+	fs := c.FS()
+	paths, err := workload.TeraGen(fs, "/"+name+"/in", rows, 16<<10, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := workload.SampleKeys(fs, paths, mapred.TeraInput, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := kv.NewTotalOrderPartitioner(kv.SampleSplits(sample, reduces))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := workload.ChecksumInput(fs, paths, mapred.TeraInput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mapred.Job{
+		Name: name, Input: paths, Output: "/" + name + "/out",
+		InputFormat: mapred.TeraInput, Partitioner: part, NumReduces: reduces,
+	}, want
+}
+
+// waitReport polls the JobTracker's /jobs report until pred accepts it.
+func waitReport(t *testing.T, c *mapred.Cluster, what string, pred func(*obs.JobsReport) bool) *obs.JobsReport {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rep := c.JobsReport()
+		if pred(rep) {
+			return rep
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs report never showed %s: %+v", what, rep)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestConcurrentJobsByteIdentical is the headline multi-tenant case: two
+// TeraSorts over different seeded inputs submitted to ONE cluster run
+// concurrently on the shared slot pool, and each commits output
+// checksum-identical to what a solo run of the same input produces
+// (ordered validation against the input checksum pins exactly that).
+func TestConcurrentJobsByteIdentical(t *testing.T) {
+	c := newTestCluster(t, 3, nil)
+	jobA, wantA := terasortSpec(t, c, "tenant-a", 1500, 11, 3)
+	jobB, wantB := terasortSpec(t, c, "tenant-b", 1500, 12, 3)
+
+	ctx := ctxT(t)
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := c.Submit(ctx, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hA.Wait(ctx); err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+	if _, err := hB.Wait(ctx); err != nil {
+		t.Fatalf("job B: %v", err)
+	}
+	if err := workload.Validate(c.FS(), jobA.Output, kv.BytesComparator, wantA, true); err != nil {
+		t.Fatalf("job A output: %v", err)
+	}
+	if err := workload.Validate(c.FS(), jobB.Output, kv.BytesComparator, wantB, true); err != nil {
+		t.Fatalf("job B output: %v", err)
+	}
+	if got := c.Counters().Get("mapred.jobtracker.jobs.admitted"); got != 2 {
+		t.Fatalf("jobs.admitted = %d, want 2", got)
+	}
+	if got := c.Counters().Get("mapred.jobtracker.jobs.completed"); got != 2 {
+		t.Fatalf("jobs.completed = %d, want 2", got)
+	}
+}
+
+// gatedJob returns a WordCount-shaped job whose mappers all block on the
+// returned release channel — a job that stays running (or queued) until
+// the test says otherwise.
+func gatedJob(t *testing.T, c *mapred.Cluster, name string) (*mapred.Job, chan struct{}) {
+	t.Helper()
+	if err := workload.WordGen(c.FS(), "/"+name+"/in", []string{"a", "b", "c"}, 20); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	return &mapred.Job{
+		Name: name, Input: []string{"/" + name + "/in"}, Output: "/" + name + "/out",
+		Mapper: func(_, value []byte, emit func(k, v []byte)) error {
+			<-release
+			if len(value) > 0 {
+				emit(value, []byte("1"))
+			}
+			return nil
+		},
+		InputFormat: mapred.LineInput{}, NumReduces: 1,
+	}, release
+}
+
+// TestAdmissionQueuesBeyondMaxRunning pins the admission queue: with
+// mapred.jobtracker.max.running=1 the second submission parks in FIFO
+// order — visible as "queued" on /jobs and in the jobs.queued counter —
+// and is admitted only when the first job releases its slot.
+func TestAdmissionQueuesBeyondMaxRunning(t *testing.T) {
+	conf := testConf()
+	conf.SetInt(config.KeyJTMaxRunning, 1)
+	c := newTestCluster(t, 2, conf)
+	ctx := ctxT(t)
+
+	jobA, release := gatedJob(t, c, "adm-a")
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReport(t, c, "job A running", func(r *obs.JobsReport) bool { return r.Running == 1 })
+
+	jobB, wantB := terasortSpec(t, c, "adm-b", 400, 13, 2)
+	hB, err := c.Submit(ctx, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := waitReport(t, c, "job B queued", func(r *obs.JobsReport) bool { return r.Queued == 1 })
+	if rep.Jobs[1].State != obs.JobStateQueued || rep.Jobs[1].Name != "adm-b" {
+		t.Fatalf("second job not queued: %+v", rep.Jobs)
+	}
+	if got := c.Counters().Get("mapred.jobtracker.jobs.queued"); got != 1 {
+		t.Fatalf("jobs.queued = %d, want 1", got)
+	}
+	// B must not be admitted while A holds the only admission slot.
+	if got := c.Counters().Get("mapred.jobtracker.jobs.admitted"); got != 1 {
+		t.Fatalf("jobs.admitted = %d while A still running, want 1", got)
+	}
+
+	close(release)
+	if _, err := hA.Wait(ctx); err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+	if _, err := hB.Wait(ctx); err != nil {
+		t.Fatalf("job B: %v", err)
+	}
+	if err := workload.Validate(c.FS(), jobB.Output, kv.BytesComparator, wantB, true); err != nil {
+		t.Fatalf("job B output: %v", err)
+	}
+	if got := c.Counters().Get("mapred.jobtracker.jobs.admitted"); got != 2 {
+		t.Fatalf("jobs.admitted = %d, want 2", got)
+	}
+}
+
+// TestOutputReservationClosesTOCTOU pins the Submit-time output
+// reservation: a second job naming a directory an admitted-but-unfinished
+// job will write to is rejected at Submit — the old emptiness check alone
+// raced (both directories empty at both submit times, data loss at
+// commit). After the first job finishes, the directory is released but
+// non-empty, so a resubmission trips the emptiness check instead.
+func TestOutputReservationClosesTOCTOU(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	ctx := ctxT(t)
+
+	jobA, release := gatedJob(t, c, "toctou")
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, &mapred.Job{
+		Name: "toctou-b", Input: jobA.Input, Output: jobA.Output,
+		Mapper:      jobA.Mapper,
+		InputFormat: mapred.LineInput{}, NumReduces: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "already reserved") {
+		t.Fatalf("overlapping output admitted: err = %v", err)
+	}
+
+	close(release)
+	if _, err := hA.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The reservation is gone, but the committed output now fails the
+	// emptiness check — a different, accurate error.
+	_, err = c.Submit(ctx, &mapred.Job{
+		Name: "toctou-c", Input: jobA.Input, Output: jobA.Output,
+		Mapper:      jobA.Mapper,
+		InputFormat: mapred.LineInput{}, NumReduces: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "not empty") {
+		t.Fatalf("committed output reusable: err = %v", err)
+	}
+}
+
+// TestDuplicateJobNameRejectedWhileRunning: job names key profiles,
+// traces, and output paths, so reuse is rejected at Submit even while
+// the first holder is still running (the sequential case is pinned by
+// TestDuplicateJobNameRejected).
+func TestDuplicateJobNameRejectedWhileRunning(t *testing.T) {
+	c := newTestCluster(t, 2, nil)
+	ctx := ctxT(t)
+	jobA, release := gatedJob(t, c, "dupname")
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := terasortSpec(t, c, "dupname2", 200, 3, 1)
+	spec.Name = "dupname"
+	if _, err := c.Submit(ctx, spec); err == nil || !strings.Contains(err.Error(), "already used") {
+		t.Fatalf("duplicate name admitted: err = %v", err)
+	}
+	close(release)
+	if _, err := hA.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairShareSlotSampling measures fairness the way the acceptance
+// criterion states it: while two equal-weight jobs both have runnable
+// maps, sample the per-job slot occupancy from the /jobs report; each
+// job's mean share must be at least one third of its fair share (half
+// the slots). DWRR should hold both near one half; one third catches a
+// starving scheduler without flaking on scheduling noise.
+func TestFairShareSlotSampling(t *testing.T) {
+	c := newTestCluster(t, 2, nil) // 2 nodes x 2 map slots
+	ctx := ctxT(t)
+
+	mkJob := func(name string, seed int64) (*mapred.Job, workload.Checksum) {
+		spec, want := terasortSpec(t, c, name, 1200, seed, 2)
+		// Slow every record so maps run long enough to sample.
+		spec.Mapper = func(key, value []byte, emit func(k, v []byte)) error {
+			time.Sleep(time.Millisecond)
+			emit(key, value)
+			return nil
+		}
+		return spec, want
+	}
+	jobA, wantA := mkJob("fair-a", 21)
+	jobB, wantB := mkJob("fair-b", 22)
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := c.Submit(ctx, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	samples := 0
+	slots := map[string]int{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			rep := c.JobsReport()
+			// Count only joint samples: both jobs running with map work left.
+			live := 0
+			for _, j := range rep.Jobs {
+				if j.State == obs.JobStateRunning && j.MapsDone < j.Maps {
+					live++
+				}
+			}
+			if live != 2 {
+				continue
+			}
+			mu.Lock()
+			samples++
+			for _, j := range rep.Jobs {
+				slots[j.Name] += j.MapSlots
+			}
+			mu.Unlock()
+		}
+	}()
+
+	if _, err := hA.Wait(ctx); err != nil {
+		t.Fatalf("job A: %v", err)
+	}
+	if _, err := hB.Wait(ctx); err != nil {
+		t.Fatalf("job B: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := workload.Validate(c.FS(), jobA.Output, kv.BytesComparator, wantA, true); err != nil {
+		t.Fatalf("job A output: %v", err)
+	}
+	if err := workload.Validate(c.FS(), jobB.Output, kv.BytesComparator, wantB, true); err != nil {
+		t.Fatalf("job B output: %v", err)
+	}
+	if samples < 10 {
+		t.Fatalf("only %d joint samples; jobs never overlapped on the slot pool", samples)
+	}
+	total := c.JobsReport().TotalMapSlots
+	fairShare := float64(total) / 2
+	for _, name := range []string{"fair-a", "fair-b"} {
+		mean := float64(slots[name]) / float64(samples)
+		t.Logf("%s: mean %.2f of %d map slots over %d samples (fair share %.1f)", name, mean, total, samples, fairShare)
+		if mean < fairShare/3 {
+			t.Errorf("%s starved: mean %.2f slots < 1/3 of fair share %.1f", name, mean, fairShare)
+		}
+	}
+}
+
+// TestPerJobProfileIsolation: with profiling on, two concurrent jobs get
+// disjoint per-job reports — each keyed by its own job ID, each counting
+// only its own reduces' fetches — not one blended cluster-wide profile.
+func TestPerJobProfileIsolation(t *testing.T) {
+	conf := testConf()
+	conf.SetBool(config.KeyObsProfile, true)
+	c := newTestCluster(t, 2, conf)
+	ctx := ctxT(t)
+
+	jobA, _ := terasortSpec(t, c, "prof-a", 800, 31, 2)
+	jobB, _ := terasortSpec(t, c, "prof-b", 800, 32, 3)
+	hA, err := c.Submit(ctx, jobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := c.Submit(ctx, jobB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := hA.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := hB.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Profile == nil || resB.Profile == nil {
+		t.Fatalf("profiles missing: A=%v B=%v", resA.Profile, resB.Profile)
+	}
+	if resA.Profile.JobID == resB.Profile.JobID {
+		t.Fatalf("both jobs share profile %q", resA.Profile.JobID)
+	}
+	if resA.Profile.JobID != resA.JobID || resB.Profile.JobID != resB.JobID {
+		t.Fatalf("profile/job mismatch: %q vs %q, %q vs %q",
+			resA.Profile.JobID, resA.JobID, resB.Profile.JobID, resB.JobID)
+	}
+	// Each profile saw only its own job's reduces: the reduce-phase
+	// timeline has one window per reduce task of THAT job. (Fetch-level
+	// stats like TTFB are the core engine's instrumentation; this test
+	// runs the HTTP ablation engine, which records phases only.)
+	reduceWindows := func(rep *obs.Report) int {
+		for _, ph := range rep.Phases {
+			if ph.Phase == string(obs.PhaseReduce) {
+				return len(ph.Windows)
+			}
+		}
+		return 0
+	}
+	if got := reduceWindows(resA.Profile); got != 2 {
+		t.Errorf("job A profile tracks %d reduce windows, want 2", got)
+	}
+	if got := reduceWindows(resB.Profile); got != 3 {
+		t.Errorf("job B profile tracks %d reduce windows, want 3", got)
+	}
+}

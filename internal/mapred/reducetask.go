@@ -28,7 +28,7 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 		hosts[i] = tr.Host()
 	}
 	taskStart := time.Now()
-	jt := tt.Trace()
+	jt := tt.TraceFor(info.ID)
 	if jt != nil {
 		defer func(name string) {
 			jt.Span(tt.Host(), lane, obs.CatReduce, name, taskStart, time.Now(), nil)
@@ -57,7 +57,7 @@ func (c *Cluster) runReduceTask(ctx context.Context, tt *TaskTracker, info JobIn
 	// The reduce window opens when the reduce function can first pull
 	// merged records; with a streaming engine that is while shuffle and
 	// merge are still running — the overlap the profile measures.
-	if prof := tt.Profile(); prof != nil {
+	if prof := tt.ProfileFor(info.ID); prof != nil {
 		prof.Mark(obs.PhaseReduce, reduceID, reduceStart)
 		defer func() { prof.Mark(obs.PhaseReduce, reduceID, time.Now()) }()
 	}

@@ -2,7 +2,6 @@ package mapred
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"rdmamr/internal/config"
@@ -25,14 +24,12 @@ type TaskTracker struct {
 	dev      *verbs.Device
 	conf     *config.Config
 	counters *stats.Counters
-	// profile points at the running job's shuffle profile (nil when
-	// profiling is disabled or no job is running). It is an atomic
-	// pointer because the debug HTTP endpoint reads it concurrently
-	// with the cluster swapping it per job.
-	profile *atomic.Pointer[obs.JobProfile]
-	// trace points at the running job's lifecycle trace, same contract
-	// as profile: nil pointer-to-pointer or nil load IS tracing off.
-	trace *atomic.Pointer[obs.JobTrace]
+	// jobObs is the cluster's per-job profile/trace registry: task code
+	// asks for the profile of the job it is running (keyed by jobID), so
+	// concurrent jobs never see each other's instrumentation. A nil
+	// registry, or a job with neither plane enabled, yields nils — the
+	// disabled-observability fast path at every call site.
+	jobObs *jobObsRegistry
 	// nodeReg is this node's OWN registry (node.* namespace), distinct
 	// from the cluster-wide one behind counters. Its counters are what
 	// the DeltaShipper diffs and ships on the heartbeat path. Nil when
@@ -86,23 +83,42 @@ func (tt *TaskTracker) Counters() *stats.Counters { return tt.counters }
 // that want gauges or histograms alongside (and for the debug endpoint).
 func (tt *TaskTracker) Registry() *obs.Registry { return tt.counters.Registry() }
 
-// Profile returns the running job's shuffle profile, or nil when
-// profiling is disabled — the nil IS the disabled profiler; every obs
-// call site treats it as a free no-op.
-func (tt *TaskTracker) Profile() *obs.JobProfile {
-	if tt.profile == nil {
+// ProfileFor returns the given job's shuffle profile, or nil when
+// profiling is off for that job — the nil IS the disabled profiler;
+// every obs call site treats it as a free no-op.
+func (tt *TaskTracker) ProfileFor(jobID string) *obs.JobProfile {
+	if tt.jobObs == nil {
 		return nil
 	}
-	return tt.profile.Load()
+	return tt.jobObs.profileFor(jobID)
 }
 
-// Trace returns the running job's lifecycle trace, or nil when tracing
-// is disabled — the nil IS tracing off, free at every call site.
-func (tt *TaskTracker) Trace() *obs.JobTrace {
-	if tt.trace == nil {
+// TraceFor returns the given job's lifecycle trace, or nil when tracing
+// is off for that job — the nil IS tracing off, free at every call site.
+func (tt *TaskTracker) TraceFor(jobID string) *obs.JobTrace {
+	if tt.jobObs == nil {
 		return nil
 	}
-	return tt.trace.Load()
+	return tt.jobObs.traceFor(jobID)
+}
+
+// Profile returns the newest running job's profile (nil when none).
+// Job-scoped code should use ProfileFor; this remains for diagnostics
+// that have no job in hand.
+func (tt *TaskTracker) Profile() *obs.JobProfile {
+	if tt.jobObs == nil {
+		return nil
+	}
+	return tt.jobObs.latestProfile()
+}
+
+// Trace returns the newest running job's trace (nil when none). Same
+// contract as Profile.
+func (tt *TaskTracker) Trace() *obs.JobTrace {
+	if tt.jobObs == nil {
+		return nil
+	}
+	return tt.jobObs.latestTrace()
 }
 
 // NodeRegistry returns this node's own metric registry (node.* names,

@@ -38,6 +38,21 @@ const (
 	// EvLeaseExpired: a responder expired read leases whose copier went
 	// quiet, unpinning the published cache bytes.
 	EvLeaseExpired = "lease.expired"
+	// EvJobQueued: a submitted job found mapred.jobtracker.max.running
+	// jobs already running and is waiting for admission.
+	EvJobQueued = "job.queued"
+	// EvJobAdmitted: the JobTracker admitted a job; its attempts now
+	// compete for shared slots.
+	EvJobAdmitted = "job.admitted"
+	// EvJobCompleted: a job finished successfully and released its slot.
+	EvJobCompleted = "job.completed"
+	// EvJobFailed: a job failed or was cancelled; its partial output was
+	// scrubbed and its admission slot released.
+	EvJobFailed = "job.failed"
+	// EvAttemptSpeculated: the straggler detector launched a speculative
+	// backup attempt (the scheduler-side decision; the per-attempt race
+	// outcome is reported by speculation.won / speculation.lost).
+	EvAttemptSpeculated = "attempt.speculated"
 )
 
 // Event is one structured scheduler event: what happened, to which

@@ -22,6 +22,8 @@ type HandlerSources struct {
 	// Trace returns the current (or last finished) job trace for
 	// /trace.json.
 	Trace func() *JobTrace
+	// Jobs returns the JobTracker's job listing for /jobs(.json).
+	Jobs func() *JobsReport
 }
 
 // Handler serves the node-local debug surface — the pre-telemetry
@@ -43,6 +45,8 @@ func Handler(reg *Registry, profile func() *Report) http.Handler {
 //	/events        structured scheduler event log, one per line
 //	/events.json   the same as JSON (404 when no event log)
 //	/trace.json    job trace as Chrome trace-event JSON (404 when none)
+//	/jobs          JobTracker job listing, human-readable
+//	/jobs.json     the same as JSON (404 when no JobTracker)
 //	/              a tiny index
 func NewHandler(src HandlerSources) http.Handler {
 	profile := src.Profile
@@ -66,6 +70,8 @@ func NewHandler(src HandlerSources) http.Handler {
 		fmt.Fprintln(w, "  /events        scheduler event log as text")
 		fmt.Fprintln(w, "  /events.json   scheduler event log as JSON")
 		fmt.Fprintln(w, "  /trace.json    job trace (Chrome trace-event JSON)")
+		fmt.Fprintln(w, "  /jobs          jobtracker job listing as text")
+		fmt.Fprintln(w, "  /jobs.json     jobtracker job listing as JSON")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -160,7 +166,37 @@ func NewHandler(src HandlerSources) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(out)
 	})
+	mux.HandleFunc("/jobs.json", func(w http.ResponseWriter, r *http.Request) {
+		rep := jobsReport(src)
+		if rep == nil {
+			http.Error(w, "no jobtracker", http.StatusNotFound)
+			return
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(out)
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		rep := jobsReport(src)
+		if rep == nil {
+			http.Error(w, "no jobtracker", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rep.WriteText(w)
+	})
 	return mux
+}
+
+func jobsReport(src HandlerSources) *JobsReport {
+	if src.Jobs == nil {
+		return nil
+	}
+	return src.Jobs()
 }
 
 func clusterReport(src HandlerSources) *ClusterReport {

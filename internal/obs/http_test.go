@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -140,5 +141,54 @@ func TestHandlerTelemetryEndpoints(t *testing.T) {
 	h = NewHandler(HandlerSources{Trace: func() *JobTrace { return nil }})
 	if code, _, body = get(t, h, "/trace.json"); code != http.StatusNotFound || !strings.Contains(body, "mapred.obs.trace.enabled") {
 		t.Errorf("/trace.json nil-returning source: status %d body %q", code, body)
+	}
+}
+
+func TestHandlerJobsEndpoints(t *testing.T) {
+	rep := &JobsReport{
+		MaxRunning: 2, Running: 1, Queued: 1,
+		TotalMapSlots: 16, TotalReduceSlots: 16,
+		Jobs: []JobSummary{
+			{ID: "job_0001_sort", Name: "sort", State: JobStateRunning,
+				Maps: 8, MapsDone: 3, Reduces: 4,
+				MapSlots: 6, MapShare: 0.375},
+			{ID: "job_0002_grep", Name: "grep", State: JobStateQueued,
+				Maps: 8, Reduces: 4},
+		},
+	}
+	h := NewHandler(HandlerSources{Jobs: func() *JobsReport { return rep }})
+
+	code, ct, body := get(t, h, "/jobs")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/jobs: status %d type %q", code, ct)
+	}
+	for _, want := range []string{"1 running, 1 queued (max running 2)",
+		"job_0001_sort", "maps 3/8", "m=6 (38%)", "job_0002_grep", "queued"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/jobs body missing %q:\n%s", want, body)
+		}
+	}
+	if code, ct, body = get(t, h, "/jobs.json"); code != http.StatusOK ||
+		!strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/jobs.json: status %d type %q", code, ct)
+	}
+	var decoded JobsReport
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("/jobs.json: invalid JSON: %v", err)
+	}
+	if decoded.MaxRunning != 2 || len(decoded.Jobs) != 2 || decoded.Jobs[0].MapSlots != 6 {
+		t.Errorf("/jobs.json round-trip = %+v", decoded)
+	}
+
+	// No JobTracker source (or one that reports nothing): 404.
+	for _, h := range []http.Handler{
+		NewHandler(HandlerSources{}),
+		NewHandler(HandlerSources{Jobs: func() *JobsReport { return nil }}),
+	} {
+		for _, p := range []string{"/jobs", "/jobs.json"} {
+			if code, _, _ := get(t, h, p); code != http.StatusNotFound {
+				t.Errorf("%s without a jobtracker: status %d", p, code)
+			}
+		}
 	}
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Job states as reported on /jobs(.json).
+const (
+	JobStateQueued    = "queued"
+	JobStateRunning   = "running"
+	JobStateSucceeded = "succeeded"
+	JobStateFailed    = "failed"
+)
+
+// JobSummary is one job's row in the JobTracker's /jobs(.json) listing:
+// lifecycle state, task progress, and — for running jobs — how many
+// shared slots it holds right now and what fraction of the cluster's
+// slot capacity that is.
+type JobSummary struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+
+	Maps        int `json:"maps"`
+	MapsDone    int `json:"maps_done"`
+	Reduces     int `json:"reduces"`
+	ReducesDone int `json:"reduces_done"`
+
+	// MapSlots / ReduceSlots are the shared slots this job's attempts
+	// occupy at snapshot time; the Share fields normalize by the
+	// cluster's total slot capacity of that kind.
+	MapSlots    int     `json:"map_slots"`
+	ReduceSlots int     `json:"reduce_slots"`
+	MapShare    float64 `json:"map_share"`
+	ReduceShare float64 `json:"reduce_share"`
+}
+
+// JobsReport is the /jobs(.json) payload: the admission bound, the
+// cluster's shared slot capacity, and every job the JobTracker knows
+// about (queued, running, and finished), submission order.
+type JobsReport struct {
+	MaxRunning       int          `json:"max_running"`
+	Running          int          `json:"running"`
+	Queued           int          `json:"queued"`
+	TotalMapSlots    int          `json:"total_map_slots"`
+	TotalReduceSlots int          `json:"total_reduce_slots"`
+	Jobs             []JobSummary `json:"jobs"`
+}
+
+// JSON renders the report.
+func (r *JobsReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteText renders the report human-readably, one job per line.
+func (r *JobsReport) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "jobtracker: %d running, %d queued (max running %d); %d map + %d reduce slots\n",
+		r.Running, r.Queued, r.MaxRunning, r.TotalMapSlots, r.TotalReduceSlots)
+	for _, j := range r.Jobs {
+		fmt.Fprintf(w, "  %-28s %-9s maps %d/%d reduces %d/%d",
+			j.ID, j.State, j.MapsDone, j.Maps, j.ReducesDone, j.Reduces)
+		if j.State == JobStateRunning {
+			fmt.Fprintf(w, " slots m=%d (%.0f%%) r=%d (%.0f%%)",
+				j.MapSlots, 100*j.MapShare, j.ReduceSlots, 100*j.ReduceShare)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -38,6 +38,9 @@ type (
 	Cluster = mapred.Cluster
 	// Job describes one MapReduce job.
 	Job = mapred.Job
+	// JobHandle is a submitted job: Wait blocks for its result, so any
+	// number of jobs can run concurrently against one cluster.
+	JobHandle = mapred.JobHandle
 	// JobResult summarizes a completed job.
 	JobResult = mapred.JobResult
 	// Config is a Hadoop-style configuration.
@@ -65,6 +68,10 @@ const (
 	// depth per host connection (0 = follow KeyParallelCopies).
 	KeyRDMAOutstandingPerConn = config.KeyRDMAOutstandingPerConn
 	KeyParallelCopies         = config.KeyParallelCopies
+	// Multi-tenant JobTracker keys (README "Multi-tenant scheduling").
+	KeyJTMaxRunning    = config.KeyJTMaxRunning
+	KeyJTCacheJobQuota = config.KeyJTCacheJobQuota
+	KeySpeculativeMaps = config.KeySpeculativeMaps
 )
 
 // NewConfig returns a configuration at the paper's tuned defaults.
