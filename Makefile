@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-smoke fuzz profile-smoke trace-smoke sched-smoke bench-obs
+.PHONY: verify fmt vet build test race chaos bench-depth bench-shuffle bench-conn bench-smoke fuzz profile-smoke trace-smoke sched-smoke bench-obs
 
 verify: fmt vet build race chaos profile-smoke trace-smoke sched-smoke bench-smoke
 
@@ -36,7 +36,7 @@ race:
 # gate always executes.
 chaos:
 	$(GO) test -race -count=1 -run 'TestCopierHealsFromSeveredQP|TestCopierRequestDeadlineReissues|TestCopierLegacyEscalationNoRetries|TestCopierSeededChaosMultiHost|TestCopierBlacklistSharedAcrossFetchers' ./internal/core/
-	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestNodeDeath|TestRecoveryExhaustionFailsJob' ./internal/faultinject/
+	$(GO) test -race -count=1 -run 'TestFaultMatrix|TestNodeDeath|TestRecoveryExhaustionFailsJob|TestConnCacheChurnChaos' ./internal/faultinject/
 	$(GO) test -race -count=1 -run 'TestNodeSchedule' ./internal/chaos/
 
 # D7 observability gate: run a real profiled Sort on the OSU-IB engine,
@@ -78,16 +78,29 @@ bench-shuffle:
 	$(GO) test -run=NONE -bench='AblationZeroCopy|AblationFetchArm|FetchChunkAllocs' -benchtime=2000x ./internal/core/ > BENCH_shuffle.txt
 	$(GO) test -run=NONE -bench='ObsOverheadDisabled|ObsOverheadEnabled' ./internal/core/ >> BENCH_shuffle.txt
 	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=200x . >> BENCH_shuffle.txt
+	$(GO) test -run=NONE -bench='AblationConnScale' -benchtime=16x . >> BENCH_shuffle.txt
 	$(GO) run ./cmd/benchjson < BENCH_shuffle.txt > BENCH_shuffle.json
 	@rm -f BENCH_shuffle.txt
 	@echo "wrote BENCH_shuffle.json"
+
+# D13 connection & registered-memory scaling sweep: per-device endpoint
+# counts and pinned MR bytes for the legacy per-(fetcher, host)
+# transport vs the shared connection plane at {16, 64, 256, 1024} sim
+# nodes. Folds its rows into BENCH_shuffle.json in place (benchjson
+# -merge), leaving the other recorded benchmarks untouched.
+bench-conn:
+	$(GO) test -run=NONE -bench='AblationConnScale' -benchtime=16x . > BENCH_conn.txt
+	$(GO) run ./cmd/benchjson -merge BENCH_shuffle.json < BENCH_conn.txt > BENCH_conn.json
+	@mv BENCH_conn.json BENCH_shuffle.json
+	@rm -f BENCH_conn.txt
+	@echo "merged conn-scaling sweep into BENCH_shuffle.json"
 
 # One-iteration smoke pass over every shuffle benchmark: the gate is
 # that the harnesses build, run, and their internal assertions (e.g.
 # "the read arm actually issued READs") hold — not the numbers.
 bench-smoke:
 	$(GO) test -run=NONE -bench='AblationFetchArm|AblationZeroCopy|FetchChunkAllocs' -benchtime=1x ./internal/core/
-	$(GO) test -run=NONE -bench='AblationOutstandingDepth' -benchtime=1x .
+	$(GO) test -run=NONE -bench='AblationOutstandingDepth|AblationConnScale' -benchtime=1x .
 
 # D5 ablation: copier outstanding-request depth (bounce-buffer ring).
 bench-depth:

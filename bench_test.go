@@ -197,7 +197,7 @@ func BenchmarkAblationResponderPool(b *testing.B) {
 // where the residual per-chunk stall scales with depth.
 func BenchmarkAblationOutstandingDepth(b *testing.B) {
 	for _, depth := range []int64{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
 			conf := functionalConf()
 			conf.SetInt(config.KeyRDMAPacketBytes, 4096) // more chunks per segment
 			conf.SetInt(config.KeyRDMAOutstandingPerConn, depth)
@@ -213,6 +213,29 @@ func BenchmarkAblationOutstandingDepth(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(res.JobSeconds, "job_vsec")
+		})
+	}
+}
+
+// BenchmarkAblationConnScale sweeps the D13 connection & registered-
+// memory scaling model over cluster sizes the paper's testbed could
+// never reach: per-node endpoint counts and pinned MR bytes for the
+// legacy per-(fetcher, host) transport versus the shared connection
+// plane (LRU-capped endpoints, SRQ receives, slab MR carves). The
+// plane's series goes flat once remote hosts exceed cap + active fetch
+// streams; the legacy series grows linearly without bound. Feeds the
+// conn-scaling rows of BENCH_shuffle.json via `make bench-conn`.
+func BenchmarkAblationConnScale(b *testing.B) {
+	for _, nodes := range []int{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var pt sim.ConnScalePoint
+			for i := 0; i < b.N; i++ {
+				pt = sim.ConnScale(sim.ConnScaleParams{Nodes: nodes})
+			}
+			b.ReportMetric(float64(pt.LegacyConns), "legacy_conns")
+			b.ReportMetric(float64(pt.PlaneConns), "plane_conns")
+			b.ReportMetric(float64(pt.LegacyMRBytes)/1e6, "legacy_mr_mb")
+			b.ReportMetric(float64(pt.PlaneMRBytes)/1e6, "plane_mr_mb")
 		})
 	}
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -95,7 +96,37 @@ func gitSHA() string {
 	return strings.TrimSpace(string(out))
 }
 
+// merge folds the freshly parsed results into a prior report: a new
+// result replaces the old row with the same name, everything else in the
+// prior report is carried forward. This lets a focused sweep (e.g.
+// `make bench-conn`) refresh its rows of BENCH_shuffle.json without
+// rerunning every other benchmark.
+func merge(prior Report, rep *Report) {
+	fresh := make(map[string]bool, len(rep.Results))
+	for _, r := range rep.Results {
+		fresh[r.Name] = true
+	}
+	kept := make([]Result, 0, len(prior.Results)+len(rep.Results))
+	for _, r := range prior.Results {
+		if !fresh[r.Name] {
+			kept = append(kept, r)
+		}
+	}
+	rep.Results = append(kept, rep.Results...)
+	if rep.Goos == "" {
+		rep.Goos = prior.Goos
+	}
+	if rep.Goarch == "" {
+		rep.Goarch = prior.Goarch
+	}
+	if rep.CPU == "" {
+		rep.CPU = prior.CPU
+	}
+}
+
 func main() {
+	mergePath := flag.String("merge", "", "fold stdin's results into this prior report (new names replace old rows)")
+	flag.Parse()
 	rep := Report{
 		GitSHA:    gitSHA(),
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -129,6 +160,19 @@ func main() {
 	if len(rep.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *mergePath != "" {
+		raw, err := os.ReadFile(*mergePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var prior Report
+		if err := json.Unmarshal(raw, &prior); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *mergePath, err)
+			os.Exit(1)
+		}
+		merge(prior, &rep)
 	}
 	rep.ObsOverhead = obsOverhead(rep.Results)
 	enc := json.NewEncoder(os.Stdout)

@@ -141,6 +141,23 @@ const (
 	// prefers over-quota tenants). 0 disables per-job isolation and
 	// leaves only the global capacity bound.
 	KeyJTCacheJobQuota = "mapred.jobtracker.cache.job.quota.bytes"
+	// KeyRDMAConnCacheMax caps the per-device shared-endpoint cache (D13):
+	// at most this many remote hosts stay dialed at once; idle entries
+	// beyond the cap are evicted LRU (entries with leases in flight are
+	// never evicted, so the cache may transiently exceed the cap).
+	KeyRDMAConnCacheMax = "mapred.rdma.conn.cache.max"
+	// KeyRDMAConnIdleTimeout retires a fetcher's connection lease after
+	// this many milliseconds without traffic, unpinning its bounce ring
+	// and letting the endpoint cache evict the idle host. 0 disables idle
+	// retirement (connections live for the fetch).
+	KeyRDMAConnIdleTimeout = "mapred.rdma.conn.idle.timeout"
+	// KeyRDMAMRBudget is the per-device hard budget in bytes for slab-
+	// registered memory (rings, staging, headers, cache bodies): the slab
+	// allocator fails allocations rather than pin past it. 0 = unlimited.
+	KeyRDMAMRBudget = "mapred.rdma.mr.budget.bytes"
+	// KeyRDMAMRSlabBytes is the size of one registered slab in the
+	// per-device MR pool; registration cost amortizes across every carve.
+	KeyRDMAMRSlabBytes = "mapred.rdma.mr.slab.bytes"
 )
 
 // Defaults mirror the paper's tuned values: 4 map + 4 reduce slots per
@@ -189,6 +206,10 @@ var defaults = map[string]string{
 	KeyJTStragglerPercent:     "150",
 	KeyJTStragglerMinFinished: "3",
 	KeyJTCacheJobQuota:        "0", // 0 = no per-job cache isolation
+	KeyRDMAConnCacheMax:       "16",
+	KeyRDMAConnIdleTimeout:    "1000", // ms; 0 = connections never idle out
+	KeyRDMAMRBudget:           "0",    // 0 = unlimited pinned slab bytes
+	KeyRDMAMRSlabBytes:        strconv.Itoa(8 << 20),
 }
 
 // Fetch arm values for KeyRDMAFetchArm.
@@ -426,6 +447,19 @@ func (c *Config) Validate() error {
 	if v := c.Int(KeyJTCacheJobQuota); v < 0 {
 		return fmt.Errorf("config: %s = %d must be >= 0 (0 disables per-job isolation)",
 			KeyJTCacheJobQuota, v)
+	}
+	if v := c.Int(KeyRDMAConnCacheMax); v < 1 || v > 65536 {
+		return fmt.Errorf("config: %s = %d outside [1, 65536]", KeyRDMAConnCacheMax, v)
+	}
+	if v := c.Int(KeyRDMAConnIdleTimeout); v < 0 || v > 600000 {
+		return fmt.Errorf("config: %s = %d outside [0, 600000] ms (0 disables idle retirement)",
+			KeyRDMAConnIdleTimeout, v)
+	}
+	if v := c.Int(KeyRDMAMRBudget); v < 0 {
+		return fmt.Errorf("config: %s = %d must be >= 0 (0 = unlimited)", KeyRDMAMRBudget, v)
+	}
+	if v := c.Int(KeyRDMAMRSlabBytes); v < 65536 || v > 1<<30 {
+		return fmt.Errorf("config: %s = %d outside [65536, %d]", KeyRDMAMRSlabBytes, v, 1<<30)
 	}
 	if c.Bool(KeyCachingEnabled) && !c.Bool(KeyRDMAEnabled) {
 		// Caching is part of the RDMA design; allowed but meaningless

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/stats"
 	"rdmamr/internal/verbs"
 )
@@ -35,30 +36,34 @@ const (
 	PriorityDemand   = 1 // re-cache after a demand miss
 )
 
-// Registrar registers cache entry buffers with the RNIC so responders can
-// serve them by scatter-gather RDMA without a staging copy (D8). It is
-// satisfied by *verbs.Device.
+// Registrar supplies registered backing store for cache entry bodies so
+// responders can serve them by scatter-gather RDMA without a staging
+// copy (D8). Since D13 it is satisfied by *mrpool.Pool: entries carve
+// window-advertised blocks out of the device's slab pool instead of
+// registering each body as its own region.
 type Registrar interface {
-	RegisterMemory(buf []byte) (*verbs.MemoryRegion, error)
+	AllocRemote(n int, class string) (*mrpool.Block, error)
 }
 
 // cacheBody is the immutable backing store of one cache entry: the bytes,
-// the memory region registered over them (nil when no registrar is wired
-// or registration failed), and a reference count. The cache itself holds
-// one reference for as long as the entry is in the map; every pinned
-// CacheView holds another. The region is deregistered only when the last
-// reference drops, so an in-flight zero-copy send keeps its source bytes
-// registered even if the entry is evicted mid-transfer.
+// the slab block carved for them (nil when no registrar is wired or the
+// slab budget rejected them), and a reference count. The cache itself
+// holds one reference for as long as the entry is in the map; every
+// pinned CacheView holds another. The block is freed only when the last
+// reference drops, so an in-flight zero-copy send or remote READ lease
+// keeps its source bytes pinned even if the entry is evicted mid-transfer
+// — and the block's window invalidates at that same instant, so a READ
+// arriving later faults instead of observing reused slab bytes.
 type cacheBody struct {
 	data []byte
-	mr   *verbs.MemoryRegion
+	blk  *mrpool.Block
 	refs atomic.Int32
 }
 
 func (b *cacheBody) release() {
 	if n := b.refs.Add(-1); n == 0 {
-		if b.mr != nil {
-			_ = b.mr.Deregister()
+		if b.blk != nil {
+			b.blk.Free()
 		}
 	} else if n < 0 {
 		panic("core: cacheBody over-released")
@@ -75,10 +80,42 @@ type CacheView struct {
 // Bytes returns the cached run. Treat as read-only.
 func (v *CacheView) Bytes() []byte { return v.body.data }
 
-// MR returns the memory region registered over Bytes, or nil when the
-// entry was cached without registration (no registrar, or the device
-// rejected it); callers must then fall back to the staging path.
-func (v *CacheView) MR() *verbs.MemoryRegion { return v.body.mr }
+// MR returns the slab region backing Bytes (pair with MROffset for local
+// SGEs), or nil when the entry was cached without registration (no
+// registrar, or the slab budget rejected it); callers must then fall
+// back to the staging path.
+func (v *CacheView) MR() *verbs.MemoryRegion {
+	if v.body.blk == nil {
+		return nil
+	}
+	return v.body.blk.MR()
+}
+
+// MROffset is Bytes' offset inside MR() for scatter-gather SGEs.
+func (v *CacheView) MROffset() int {
+	if v.body.blk == nil {
+		return 0
+	}
+	return v.body.blk.Offset()
+}
+
+// Addr is the remote virtual address of Bytes[0] — the base one-sided
+// READ descriptors are built against (zero when unregistered).
+func (v *CacheView) Addr() uint64 {
+	if v.body.blk == nil {
+		return 0
+	}
+	return v.body.blk.Addr()
+}
+
+// RKey is the revocable window key advertised with Addr (zero when
+// unregistered).
+func (v *CacheView) RKey() uint32 {
+	if v.body.blk == nil {
+		return 0
+	}
+	return v.body.blk.RKey()
+}
 
 // Release drops the pin. Idempotent on the same view.
 func (v *CacheView) Release() {
@@ -295,8 +332,14 @@ func (c *PrefetchCache) Put(key CacheKey, data []byte, priority int) bool {
 	body := &cacheBody{data: data}
 	body.refs.Store(1) // the cache's own reference
 	if r := c.getRegistrar(); r != nil && len(data) > 0 {
-		if mr, err := r.RegisterMemory(data); err == nil {
-			body.mr = mr
+		// Carve a window-advertised block from the device's slab pool and
+		// move the bytes into it, so the entry serves zero-copy sends and
+		// one-sided READs without its own registration. On budget rejection
+		// the entry caches unregistered (staging path) — degraded, not dead.
+		if blk, err := r.AllocRemote(len(data), "cache"); err == nil {
+			body.blk = blk
+			body.data = blk.Bytes()
+			copy(body.data, data)
 		}
 	}
 	s := c.shard(key)

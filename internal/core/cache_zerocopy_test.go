@@ -6,16 +6,17 @@ import (
 	"sync"
 	"testing"
 
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/verbs"
 )
 
-// trackingRegistrar registers on a real emulated device and remembers
-// every region it handed out, so tests can assert exactly when each one
-// was deregistered.
+// trackingRegistrar carves from a real slab pool on an emulated device
+// and remembers every block it handed out, so tests can assert exactly
+// when each one was freed (and its window revoked).
 type trackingRegistrar struct {
-	dev *verbs.Device
-	mu  sync.Mutex
-	mrs []*verbs.MemoryRegion
+	pool *mrpool.Pool
+	mu   sync.Mutex
+	blks []*mrpool.Block
 }
 
 func newTrackingRegistrar(t *testing.T) *trackingRegistrar {
@@ -24,26 +25,37 @@ func newTrackingRegistrar(t *testing.T) *trackingRegistrar {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &trackingRegistrar{dev: dev}
+	return &trackingRegistrar{pool: mrpool.For(dev)}
 }
 
-func (r *trackingRegistrar) RegisterMemory(buf []byte) (*verbs.MemoryRegion, error) {
-	mr, err := r.dev.RegisterMemory(buf)
+func (r *trackingRegistrar) AllocRemote(n int, class string) (*mrpool.Block, error) {
+	blk, err := r.pool.AllocRemote(n, class)
 	if err != nil {
 		return nil, err
 	}
 	r.mu.Lock()
-	r.mrs = append(r.mrs, mr)
+	r.blks = append(r.blks, blk)
 	r.mu.Unlock()
-	return mr, nil
+	return blk, nil
+}
+
+// last returns the most recently carved block.
+func (r *trackingRegistrar) last(t *testing.T) *mrpool.Block {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.blks) == 0 {
+		t.Fatal("registrar was never asked for a block")
+	}
+	return r.blks[len(r.blks)-1]
 }
 
 func (r *trackingRegistrar) liveCount() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := 0
-	for _, mr := range r.mrs {
-		if !mr.Dead() {
+	for _, blk := range r.blks {
+		if !blk.Freed() {
 			n++
 		}
 	}
@@ -65,8 +77,20 @@ func TestCachePutRegistersEntries(t *testing.T) {
 	if v.MR() == nil {
 		t.Fatal("cached entry has no memory region despite registrar")
 	}
-	if !bytes.Equal(v.MR().Bytes(), []byte("registered bytes")) {
-		t.Fatal("region does not cover the entry bytes")
+	if !bytes.Equal(v.Bytes(), []byte("registered bytes")) {
+		t.Fatalf("view bytes = %q", v.Bytes())
+	}
+	// The view's bytes live inside the slab region at MROffset, and the
+	// entry advertises a revocable window over exactly that carve.
+	off := v.MROffset()
+	if got := v.MR().Bytes()[off : off+len(v.Bytes())]; !bytes.Equal(got, v.Bytes()) {
+		t.Fatal("MROffset does not locate the entry inside the slab region")
+	}
+	if v.RKey() == 0 || v.Addr() == 0 {
+		t.Fatal("registered entry has no advertisable rkey/addr")
+	}
+	if v.RKey() == v.MR().RKey() {
+		t.Fatal("entry advertises the raw slab rkey — eviction could not revoke it")
 	}
 }
 
@@ -81,14 +105,17 @@ func TestCacheNoRegistrarServesNilMR(t *testing.T) {
 	if v.MR() != nil {
 		t.Fatal("unexpected region without registrar")
 	}
+	if v.RKey() != 0 || v.Addr() != 0 {
+		t.Fatal("unregistered entry advertises remote access")
+	}
 	if string(v.Bytes()) != "plain" {
 		t.Fatalf("bytes = %q", v.Bytes())
 	}
 }
 
 // TestCachePinnedEntrySurvivesEviction: an in-flight send's view keeps
-// the bytes valid and the region registered after the entry is evicted;
-// deregistration happens only on the last Release.
+// the bytes valid and the block pinned after the entry is evicted; the
+// block is freed (and its window revoked) only on the last Release.
 func TestCachePinnedEntrySurvivesEviction(t *testing.T) {
 	reg := newTrackingRegistrar(t)
 	cache := NewPrefetchCache(100, "priority", nil)
@@ -98,23 +125,27 @@ func TestCachePinnedEntrySurvivesEviction(t *testing.T) {
 	if !ok {
 		t.Fatal("acquire missed")
 	}
-	mr := v.MR()
+	blk := reg.last(t)
 	// Force eviction of the pinned entry.
 	cache.Put(key(1, 0), make([]byte, 80), PriorityDemand)
 	if cache.Contains(key(0, 0)) {
 		t.Fatal("entry not evicted")
 	}
-	if mr.Dead() {
-		t.Fatal("region deregistered while pinned")
+	if blk.Freed() {
+		t.Fatal("block freed while pinned")
 	}
 	for _, b := range v.Bytes() {
 		if b != 'x' {
 			t.Fatal("pinned bytes corrupted after eviction")
 		}
 	}
+	win := blk.Window()
 	v.Release()
-	if !mr.Dead() {
-		t.Fatal("region survived last release")
+	if !blk.Freed() {
+		t.Fatal("block survived last release")
+	}
+	if !win.Dead() {
+		t.Fatal("window survived last release: stale READs would hit reused slab bytes")
 	}
 	v.Release() // idempotent
 }
@@ -126,21 +157,21 @@ func TestCachePinnedEntrySurvivesRemoveJob(t *testing.T) {
 	cache.Put(key(0, 0), []byte("job data"), PriorityPrefetch)
 	v1, _ := cache.Acquire(key(0, 0))
 	v2, _ := cache.Acquire(key(0, 0))
-	mr := v1.MR()
+	blk := reg.last(t)
 	cache.RemoveJob("job")
 	if cache.Len() != 0 {
 		t.Fatal("job not removed")
 	}
-	if mr.Dead() {
-		t.Fatal("region deregistered with two pins outstanding")
+	if blk.Freed() {
+		t.Fatal("block freed with two pins outstanding")
 	}
 	v1.Release()
-	if mr.Dead() {
-		t.Fatal("region deregistered with one pin outstanding")
+	if blk.Freed() {
+		t.Fatal("block freed with one pin outstanding")
 	}
 	v2.Release()
-	if !mr.Dead() {
-		t.Fatal("region survived last release")
+	if !blk.Freed() {
+		t.Fatal("block survived last release")
 	}
 }
 
@@ -150,27 +181,28 @@ func TestCacheRefreshKeepsOldBodyForPinnedReaders(t *testing.T) {
 	cache.SetRegistrar(reg)
 	cache.Put(key(0, 0), []byte("old-bytes"), PriorityPrefetch)
 	v, _ := cache.Acquire(key(0, 0))
-	oldMR := v.MR()
+	oldBlk := reg.last(t)
 	cache.Put(key(0, 0), []byte("new-bytes!"), PriorityDemand)
 	if string(v.Bytes()) != "old-bytes" {
 		t.Fatalf("pinned view mutated by refresh: %q", v.Bytes())
 	}
-	if oldMR.Dead() {
-		t.Fatal("old region deregistered while pinned")
+	if oldBlk.Freed() {
+		t.Fatal("old block freed while pinned")
 	}
 	if got, _ := cache.Get(key(0, 0)); string(got) != "new-bytes!" {
 		t.Fatalf("refresh lost: %q", got)
 	}
 	v.Release()
-	if !oldMR.Dead() {
-		t.Fatal("old region leaked after release")
+	if !oldBlk.Freed() {
+		t.Fatal("old block leaked after release")
 	}
 }
 
 // TestCacheZeroCopyStress races pinned readers against evicting writers
 // and RemoveJob (run under -race): every view's bytes stay intact for the
-// life of the pin, and when the dust settles the only live regions are
-// the entries still resident in the cache.
+// life of the pin, and when the dust settles the only live blocks are
+// the entries still resident in the cache — the slab accountant's leak
+// assertion over cache churn.
 func TestCacheZeroCopyStress(t *testing.T) {
 	reg := newTrackingRegistrar(t)
 	cache := NewPrefetchCache(4096, "priority", nil)
@@ -215,15 +247,15 @@ func TestCacheZeroCopyStress(t *testing.T) {
 						}
 					}
 				}
-				if mr := v.MR(); mr != nil && mr.Dead() {
-					t.Error("pinned view holds a dead region")
-				}
 				v.Release()
 			}
 		}(r)
 	}
 	wg.Wait()
 	if live, resident := reg.liveCount(), cache.Len(); live != resident {
-		t.Fatalf("%d live regions but %d resident entries: deregistration leak", live, resident)
+		t.Fatalf("%d live blocks but %d resident entries: free leak", live, resident)
+	}
+	if outstanding := reg.pool.OutstandingBlocks(); int(outstanding) != cache.Len() {
+		t.Fatalf("pool reports %d outstanding blocks, cache holds %d entries", outstanding, cache.Len())
 	}
 }

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdmamr/internal/shuffle/wire"
+	"rdmamr/internal/stats"
+	"rdmamr/internal/ucr"
+	"rdmamr/internal/verbs"
+)
+
+// planeHarness stands up a real ucr fabric with one client device and an
+// echo responder per "host": whatever bytes a lease sends come straight
+// back, so a test can inject any tagged frame it likes and watch the
+// pump route it. Each harness gets fresh devices, hence a fresh plane —
+// planeFor is process-global, keyed by device.
+type planeHarness struct {
+	t      *testing.T
+	fab    *ucr.Fabric
+	dev    *verbs.Device
+	plane  *connPlane
+	c      *stats.Counters
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	dials map[string]int
+}
+
+func newPlaneHarness(t *testing.T) *planeHarness {
+	t.Helper()
+	fab := ucr.NewFabric()
+	dev, err := fab.NewDevice(t.Name() + "-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	h := &planeHarness{
+		t: t, fab: fab, dev: dev, plane: planeFor(dev),
+		c: &stats.Counters{}, ctx: ctx, cancel: cancel,
+		dials: make(map[string]int),
+	}
+	return h
+}
+
+// serve registers an echo responder for host and returns once it accepts.
+func (h *planeHarness) serve(host string) {
+	h.t.Helper()
+	dev, err := h.fab.NewDevice(host)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	l, err := h.fab.Listen(dev, "plane")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(l.Close)
+	go func() {
+		for {
+			ep, err := l.Accept(h.ctx)
+			if err != nil {
+				return
+			}
+			go func() {
+				defer ep.Close()
+				for {
+					msg, err := ep.Recv(h.ctx)
+					if err != nil {
+						return
+					}
+					if err := ep.Send(h.ctx, msg); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// dial is the plane's dial callback, counting invocations per host.
+func (h *planeHarness) dial(host string) func(context.Context) (*ucr.EndPoint, error) {
+	return func(ctx context.Context) (*ucr.EndPoint, error) {
+		h.mu.Lock()
+		h.dials[host]++
+		h.mu.Unlock()
+		return h.fab.Connect(ctx, h.dev, host, "plane")
+	}
+}
+
+func (h *planeHarness) dialCount(host string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dials[host]
+}
+
+// acquire wraps plane.acquire with the harness dialer and a fatal on error.
+func (h *planeHarness) acquire(host string) *connLease {
+	h.t.Helper()
+	l, _, err := h.plane.acquire(h.ctx, host, 8, h.dial(host))
+	if err != nil {
+		h.t.Fatalf("acquire %s: %v", host, err)
+	}
+	return l
+}
+
+// hosts reports which hosts currently have cached connections.
+func (h *planeHarness) hosts() map[string]bool {
+	h.plane.mu.Lock()
+	defer h.plane.mu.Unlock()
+	out := make(map[string]bool, len(h.plane.conns))
+	for host := range h.plane.conns {
+		out[host] = true
+	}
+	return out
+}
+
+// echo sends a DataResponse frame carrying tag through the via lease and
+// returns it once the responder bounces it back and the pump routes it —
+// the caller picks which lease it should land on.
+func (h *planeHarness) echo(via, on *connLease, tag uint32) *wire.DataResponse {
+	h.t.Helper()
+	resp := &wire.DataResponse{MapID: int32(tag), Tag: tag}
+	if err := via.Send(h.ctx, resp.Encode()); err != nil {
+		h.t.Fatalf("send: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(h.ctx, 5*time.Second)
+	defer cancel()
+	lm, err := on.Recv(ctx)
+	if err != nil {
+		h.t.Fatalf("recv tag %#x: %v", tag, err)
+	}
+	if lm.resp == nil {
+		h.t.Fatalf("recv tag %#x: got manifest, want response", tag)
+	}
+	return lm.resp
+}
+
+// TestConnPlaneSharesEndpoint: two leases to the same host share one
+// dialed connection, partition the tag space, and the pump routes each
+// frame to the lease owning its high 16 bits — even when the frame was
+// sent through the other lease's handle (same endpoint underneath).
+func TestConnPlaneSharesEndpoint(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(4, time.Hour, h.c)
+	h.serve("tt1")
+
+	l1 := h.acquire("tt1")
+	l2 := h.acquire("tt1")
+	defer l1.Close(false, nil)
+	defer l2.Close(false, nil)
+
+	if got := h.plane.open(); got != 1 {
+		t.Fatalf("open connections = %d, want 1 (shared)", got)
+	}
+	if h.dialCount("tt1") != 1 {
+		t.Fatalf("dialed %d times, want 1", h.dialCount("tt1"))
+	}
+	if h.c.Get("shuffle.rdma.conn.opened") != 1 || h.c.Get("shuffle.rdma.conn.reused") != 1 {
+		t.Fatalf("opened=%d reused=%d, want 1/1",
+			h.c.Get("shuffle.rdma.conn.opened"), h.c.Get("shuffle.rdma.conn.reused"))
+	}
+	if l1.Gen() != l2.Gen() {
+		t.Fatal("leases on one connection report different generations")
+	}
+	if l1.Tag(3)>>16 == l2.Tag(3)>>16 {
+		t.Fatalf("leases share tag space: %#x vs %#x", l1.Tag(3), l2.Tag(3))
+	}
+	if l1.Tag(3)&0xffff != 3 {
+		t.Fatalf("slot not preserved in low bits: %#x", l1.Tag(3))
+	}
+
+	if resp := h.echo(l1, l1, l1.Tag(7)); resp.Tag != l1.Tag(7) {
+		t.Fatalf("l1 got tag %#x, want %#x", resp.Tag, l1.Tag(7))
+	}
+	// Cross-send: frame tagged for l2 but written through l1's handle
+	// still lands on l2 — routing is by tag, not by sender.
+	if resp := h.echo(l1, l2, l2.Tag(9)); resp.Tag != l2.Tag(9) {
+		t.Fatalf("l2 got tag %#x, want %#x", resp.Tag, l2.Tag(9))
+	}
+}
+
+// TestConnPlaneSingleflightDial: concurrent acquirers to an undailed host
+// share exactly one dial; the losers wait on ready and count as reuses.
+func TestConnPlaneSingleflightDial(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(4, time.Hour, h.c)
+	h.serve("tt1")
+
+	const n = 8
+	var wg sync.WaitGroup
+	leases := make([]*connLease, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			leases[i], _, errs[i] = h.plane.acquire(h.ctx, "tt1", 4, h.dial("tt1"))
+		}(i)
+	}
+	wg.Wait()
+	seqs := make(map[uint32]bool)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("acquire %d: %v", i, errs[i])
+		}
+		seq := leases[i].Tag(0) >> 16
+		if seqs[seq] {
+			t.Fatalf("duplicate lease seq %d", seq)
+		}
+		seqs[seq] = true
+		defer leases[i].Close(false, nil)
+	}
+	if h.dialCount("tt1") != 1 {
+		t.Fatalf("dialed %d times for %d concurrent acquirers, want 1", h.dialCount("tt1"), n)
+	}
+	if h.plane.open() != 1 {
+		t.Fatalf("open = %d, want 1", h.plane.open())
+	}
+	if got := h.c.Get("shuffle.rdma.conn.reused"); got != n-1 {
+		t.Fatalf("reused = %d, want %d", got, n-1)
+	}
+}
+
+// TestConnPlaneDialFailureSharedOnce: a failed dial surfaces to the
+// acquirer with a non-zero generation (so health dedupe can charge the
+// failure once) and leaves nothing cached — the next acquire redials.
+func TestConnPlaneDialFailureSharedOnce(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(4, time.Hour, h.c)
+
+	boom := errors.New("no route to tt9")
+	var dials atomic.Int64
+	failDial := func(context.Context) (*ucr.EndPoint, error) {
+		dials.Add(1)
+		return nil, boom
+	}
+	_, gen1, err := h.plane.acquire(h.ctx, "tt9", 4, failDial)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if gen1 == 0 {
+		t.Fatal("failed dial reported generation 0: health dedupe cannot key on it")
+	}
+	if h.plane.open() != 0 {
+		t.Fatal("failed dial left a cached connection")
+	}
+	_, gen2, err := h.plane.acquire(h.ctx, "tt9", 4, failDial)
+	if !errors.Is(err, boom) {
+		t.Fatalf("second err = %v", err)
+	}
+	if gen2 == gen1 {
+		t.Fatal("second dial attempt reused the failed generation")
+	}
+	if dials.Load() != 2 {
+		t.Fatalf("dials = %d, want 2", dials.Load())
+	}
+}
+
+// TestConnPlaneLRUCapEvictsOldestIdle: over the cap, the plane retires
+// the least-recently-used connection among those with no leases.
+func TestConnPlaneLRUCapEvictsOldestIdle(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(2, time.Hour, h.c)
+	clock := time.Unix(1000, 0)
+	h.plane.now = func() time.Time { return clock }
+	for _, host := range []string{"ttA", "ttB", "ttC"} {
+		h.serve(host)
+	}
+
+	h.acquire("ttA").Close(false, nil) // lastUse t=1000
+	clock = clock.Add(time.Second)
+	h.acquire("ttB").Close(false, nil) // lastUse t=1001
+	clock = clock.Add(time.Second)
+
+	lc := h.acquire("ttC") // cache now {A idle, B idle, C busy}: over cap 2
+	defer lc.Close(false, nil)
+	if got := h.plane.open(); got != 2 {
+		t.Fatalf("open = %d after cap enforcement, want 2", got)
+	}
+	hosts := h.hosts()
+	if hosts["ttA"] || !hosts["ttB"] || !hosts["ttC"] {
+		t.Fatalf("cache = %v, want oldest idle (ttA) evicted", hosts)
+	}
+	if got := h.c.Get("shuffle.rdma.conn.evicted"); got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+}
+
+// TestConnPlaneBusyConnSurvivesCap is satellite (b)'s pinning test: a
+// connection with a live lease is never an eviction victim no matter how
+// far over cap the plane runs, so an in-flight READ lease can never race
+// its ring MR teardown. The plane trims back down only once the lease
+// closes.
+func TestConnPlaneBusyConnSurvivesCap(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(1, time.Hour, h.c)
+	clock := time.Unix(2000, 0)
+	h.plane.now = func() time.Time { return clock }
+	for _, host := range []string{"ttA", "ttB", "ttC"} {
+		h.serve(host)
+	}
+
+	la := h.acquire("ttA") // held: ttA is busy and must survive
+	clock = clock.Add(time.Second)
+	h.acquire("ttB").Close(false, nil) // idle cache entry
+	clock = clock.Add(time.Second)
+	lc := h.acquire("ttC") // over cap: only idle ttB is evictable
+
+	hosts := h.hosts()
+	if !hosts["ttA"] {
+		t.Fatal("busy connection evicted while its lease was live")
+	}
+	if hosts["ttB"] {
+		t.Fatal("idle connection survived while the plane was over cap")
+	}
+	// Both held connections are over cap (2 > 1) — allowed while busy.
+	if got := h.plane.open(); got != 2 {
+		t.Fatalf("open = %d, want 2 (cap overrun while busy)", got)
+	}
+
+	// The surviving busy connection must still be fully usable: a tagged
+	// frame round-trips through its endpoint and pump.
+	if resp := h.echo(la, la, la.Tag(1)); resp.Tag != la.Tag(1) {
+		t.Fatalf("busy conn unusable after cap pressure: tag %#x", resp.Tag)
+	}
+
+	// Once the leases close the plane trims back to cap on next demand.
+	la.Close(false, nil)
+	lc.Close(false, nil)
+	clock = clock.Add(time.Second)
+	h.acquire("ttB").Close(false, nil)
+	if got := h.plane.open(); got != 1 {
+		t.Fatalf("open = %d after leases closed, want cap 1", got)
+	}
+}
+
+// TestConnPlaneIdleSweep: a connection nobody has leased for the idle
+// timeout is retired by the opportunistic sweep at the next lease close.
+func TestConnPlaneIdleSweep(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(8, 50*time.Millisecond, h.c)
+	clock := time.Unix(3000, 0)
+	h.plane.now = func() time.Time { return clock }
+	h.serve("ttA")
+	h.serve("ttB")
+
+	h.acquire("ttA").Close(false, nil)
+	clock = clock.Add(100 * time.Millisecond) // ttA now past the idle deadline
+	h.acquire("ttB").Close(false, nil)        // this Close's sweep collects ttA
+
+	hosts := h.hosts()
+	if hosts["ttA"] {
+		t.Fatal("idle connection survived the sweep")
+	}
+	if !hosts["ttB"] {
+		t.Fatal("freshly used connection swept")
+	}
+	if got := h.c.Get("shuffle.rdma.conn.evicted"); got != 1 {
+		t.Fatalf("evicted = %d, want 1", got)
+	}
+}
+
+// TestConnPlaneStrayFrames: a frame tagged for a departed lease is
+// counted and dropped, not delivered to anyone — the late-responder-write
+// case the D13 design note calls out.
+func TestConnPlaneStrayFrames(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(4, time.Hour, h.c)
+	h.serve("tt1")
+
+	dead := h.acquire("tt1")
+	deadTag := dead.Tag(0)
+	dead.Close(false, nil) // conn stays cached; lease seq retired
+
+	live := h.acquire("tt1")
+	defer live.Close(false, nil)
+	if err := live.Send(h.ctx, (&wire.DataResponse{Tag: deadTag}).Encode()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.c.Get("shuffle.rdma.conn.strays") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stray frame never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The live lease saw nothing: its next frame is its own, in order.
+	if resp := h.echo(live, live, live.Tag(2)); resp.Tag != live.Tag(2) {
+		t.Fatalf("stray leaked into live lease: tag %#x", resp.Tag)
+	}
+}
+
+// TestConnLeaseDrainsBufferedOnDeath: frames already routed to a lease
+// are delivered before the connection's cause of death surfaces, so no
+// acknowledged payload is lost to a later failure.
+func TestConnLeaseDrainsBufferedOnDeath(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.plane.configure(4, time.Hour, h.c)
+	h.serve("tt1")
+
+	l := h.acquire("tt1")
+	for slot := uint32(0); slot < 2; slot++ {
+		if err := l.Send(h.ctx, (&wire.DataResponse{Tag: l.Tag(slot)}).Encode()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(l.msgs) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d frames buffered", len(l.msgs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	boom := fmt.Errorf("injected conn death")
+	l.sc.kill(boom)
+	for slot := uint32(0); slot < 2; slot++ {
+		lm, err := l.Recv(h.ctx)
+		if err != nil {
+			t.Fatalf("buffered frame %d lost to conn death: %v", slot, err)
+		}
+		if lm.resp.Tag != l.Tag(slot) {
+			t.Fatalf("frame %d out of order: tag %#x", slot, lm.resp.Tag)
+		}
+	}
+	if _, err := l.Recv(h.ctx); !errors.Is(err, boom) {
+		t.Fatalf("post-drain Recv = %v, want cause %v", err, boom)
+	}
+	l.Close(false, boom)
+	if h.plane.open() != 0 {
+		t.Fatal("killed connection still cached")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/obs"
 	"rdmamr/internal/shuffle/wire"
 	"rdmamr/internal/stats"
@@ -314,18 +315,20 @@ type pendingSlot struct {
 	slotWait time.Duration
 }
 
-// hostConn is ONE connection attempt to a TaskTracker: a UCR end-point
-// plus a ring of registered bounce-buffer slots the responder
-// RDMA-writes packets into. Up to depth requests are outstanding per
-// connection — one per slot — and responses carry the slot tag, so chunk
-// fetches for different segments on the same host complete out of order
-// while each segment's own byte stream stays ordered (a segment never has
-// more than one chunk in flight). A hostConn is single-use: on any
-// failure it is abandoned and the peer's supervisor dials a fresh one.
+// hostConn is ONE connection attempt to a TaskTracker: a lease on the
+// device's shared endpoint to that host (D13) plus a slab-carved ring of
+// registered bounce-buffer slots the responder RDMA-writes packets into.
+// Up to depth requests are outstanding per connection — one per slot —
+// and responses carry the lease-scoped slot tag, so chunk fetches for
+// different segments on the same host complete out of order while each
+// segment's own byte stream stays ordered (a segment never has more than
+// one chunk in flight). A hostConn is single-use: on any failure it is
+// abandoned and the peer's supervisor acquires a fresh lease.
 type hostConn struct {
 	host     string
-	ep       *ucr.EndPoint
-	ring     *verbs.MemoryRegion // depth × slotSize bytes
+	lease    *connLease
+	gen      uint64        // shared-connection incarnation (health dedupe)
+	ring     *mrpool.Block // depth × slotSize bytes, window-advertised
 	slotSize int
 	depth    int
 	free     chan uint32 // free slot indices
@@ -335,16 +338,19 @@ type hostConn struct {
 	// failures start a fresh streak.
 	progress atomic.Bool
 
+	// lastActive is the idle monitor's clock: UnixNano of the last send,
+	// delivery, or queued demand.
+	lastActive atomic.Int64
+
 	// readCh feeds the read pumps. Capacity is depth: a job owns a slot,
 	// so there can never be more queued jobs than slots.
 	readCh chan readJob
 
 	mu       sync.Mutex
-	pending  map[uint32]pendingSlot // slot tag → in-flight request
+	pending  map[uint32]pendingSlot // ring slot → in-flight request
 	unsent   []chunkReq             // claimed by sendLoop but never sent
 	plans    map[int]*readPlan      // mapID → live manifest plan
 	inFlight int
-	tainted  bool // protocol/transport failure: ring must not be pooled
 	failErr  error
 	failed   chan struct{} // closed by the first abort
 }
@@ -356,11 +362,18 @@ func (hc *hostConn) abort(err error) {
 	hc.mu.Lock()
 	if hc.failErr == nil {
 		hc.failErr = err
-		hc.tainted = true
 		close(hc.failed)
 	}
 	hc.mu.Unlock()
 }
+
+// touch stamps connection activity for the idle monitor.
+func (hc *hostConn) touch() { hc.lastActive.Store(time.Now().UnixNano()) }
+
+// errConnIdle is the clean cause the idle monitor aborts with: not a
+// failure — no health hit, no retry budget, no backoff. The supervisor
+// parks until the next demand and redials lazily.
+var errConnIdle = errors.New("core: connection idle")
 
 func (hc *hostConn) failure() error {
 	hc.mu.Lock()
@@ -461,65 +474,7 @@ func (hc *hostConn) releaseLease(ctx context.Context, id uint64) {
 	if id == 0 {
 		return
 	}
-	_ = hc.ep.Send(ctx, (&wire.LeaseRelease{LeaseID: id}).Encode())
-}
-
-// ringPools caches registered fetch rings per device so successive
-// fetcher lifetimes (one per reduce task) reuse memory regions instead of
-// churning registration. Pools are keyed by the device pointer itself, so
-// an entry can never be handed to a fetcher on a different device — the
-// cross-device staleness trap a process-global pool inspected at Get time
-// would have. An explicit bounded free list (not sync.Pool) keeps reuse
-// deterministic and deregisters overflow instead of letting registrations
-// vanish into the garbage collector.
-var ringPools sync.Map // map[*verbs.Device]*ringPool
-
-type ringPool struct {
-	mu    sync.Mutex
-	rings []*verbs.MemoryRegion
-}
-
-// ringPoolCap bounds retained rings per device; a tracker hosts at most a
-// few concurrent reduce tasks, each with one ring per peer host.
-const ringPoolCap = 16
-
-func ringPoolFor(dev *verbs.Device) *ringPool {
-	p, _ := ringPools.LoadOrStore(dev, &ringPool{})
-	return p.(*ringPool)
-}
-
-func ringGet(dev *verbs.Device, size int, c *stats.Counters) (*verbs.MemoryRegion, error) {
-	p := ringPoolFor(dev)
-	p.mu.Lock()
-	var mr *verbs.MemoryRegion
-	if n := len(p.rings); n > 0 {
-		mr = p.rings[n-1]
-		p.rings = p.rings[:n-1]
-	}
-	p.mu.Unlock()
-	if mr != nil {
-		if mr.Len() >= size {
-			c.Add("shuffle.rdma.ring.pool.hits", 1)
-			return mr, nil
-		}
-		// Too small for this configuration: replace it.
-		_ = mr.Deregister()
-	}
-	c.Add("shuffle.rdma.ring.pool.misses", 1)
-	return dev.RegisterMemory(make([]byte, size))
-}
-
-func ringPut(dev *verbs.Device, mr *verbs.MemoryRegion) {
-	p := ringPoolFor(dev)
-	p.mu.Lock()
-	if len(p.rings) < ringPoolCap {
-		p.rings = append(p.rings, mr)
-		mr = nil
-	}
-	p.mu.Unlock()
-	if mr != nil {
-		_ = mr.Deregister()
-	}
+	_ = hc.lease.Send(ctx, (&wire.LeaseRelease{LeaseID: id}).Encode())
 }
 
 // payloadPool recycles chunk payload buffers: the receive pump fills one
@@ -559,21 +514,28 @@ func putPayload(buf []byte) {
 	payloadPool.Put(&buf)
 }
 
-// dialConn establishes one connection attempt: UCR endpoint plus a
-// registered bounce-buffer ring. The pumps are started by runConn.
-func (f *fetcher) dialConn(ctx context.Context, host string) (*hostConn, error) {
+// dialConn establishes one connection attempt: a lease on the device's
+// shared endpoint to the host (dialed by the plane if absent) plus a
+// bounce-buffer ring carved from the device's registered slab pool. The
+// pumps are started by runConn. The returned generation identifies the
+// shared-connection incarnation even on failure, so health accounting
+// can dedupe one sever across every fetcher that shared it.
+func (f *fetcher) dialConn(ctx context.Context, host string) (*hostConn, uint64, error) {
 	local := f.task.Local
-	ep, err := local.Fabric().Connect(ctx, local.Device(), host, ServiceName)
+	dev := local.Device()
+	lease, gen, err := planeFor(dev).acquire(ctx, host, 2*f.depth+8, func(ctx context.Context) (*ucr.EndPoint, error) {
+		return local.Fabric().Connect(ctx, dev, host, ServiceName)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: connecting to %s: %w", host, err)
+		return nil, gen, fmt.Errorf("core: connecting to %s: %w", host, err)
 	}
-	ring, err := ringGet(local.Device(), f.depth*f.slotSize, local.Counters())
+	ring, err := mrpool.For(dev).AllocRemote(f.depth*f.slotSize, "ring")
 	if err != nil {
-		ep.Close()
-		return nil, err
+		lease.Close(false, nil)
+		return nil, gen, err
 	}
 	hc := &hostConn{
-		host: host, ep: ep, ring: ring,
+		host: host, lease: lease, gen: gen, ring: ring,
 		slotSize: f.slotSize, depth: f.depth,
 		free:    make(chan uint32, f.depth),
 		pending: make(map[uint32]pendingSlot, f.depth),
@@ -581,10 +543,11 @@ func (f *fetcher) dialConn(ctx context.Context, host string) (*hostConn, error) 
 		plans:   make(map[int]*readPlan),
 		failed:  make(chan struct{}),
 	}
+	hc.touch()
 	for s := 0; s < f.depth; s++ {
 		hc.free <- uint32(s)
 	}
-	return hc, nil
+	return hc, gen, nil
 }
 
 // peerLoop is the supervisor for one host: dial, run the connection
@@ -600,6 +563,7 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 	counters := f.task.Local.Counters()
 	attempt := 0 // consecutive failures since the last working connection
 	everConnected := false
+	idleClosed := false    // previous connection retired cleanly (idle)
 	var orphans []chunkReq // re-issues carried across the reconnect
 	for {
 		if ctx.Err() != nil {
@@ -611,6 +575,19 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			f.killPeer(ctx, p, errTrackerLost, orphans)
 			return
 		}
+		// Lazy dialing (D13): no connection exists until a segment
+		// actually wants bytes from this host. The first demand becomes
+		// the head of the orphan queue so nothing is lost across the wait.
+		if len(orphans) == 0 {
+			select {
+			case req := <-p.reqCh:
+				orphans = append(orphans, req)
+			case <-p.lostCh:
+				continue
+			case <-ctx.Done():
+				return
+			}
+		}
 		// Blacklist admission: another fetcher on this node may already
 		// have established that the host is dying.
 		if d := p.health.admissionDelay(); d > 0 {
@@ -618,12 +595,12 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 				return
 			}
 		}
-		hc, err := f.dialConn(ctx, p.host)
+		hc, gen, err := f.dialConn(ctx, p.host)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
 			}
-			p.health.recordFailure(counters)
+			p.health.recordFailureGen(gen, counters)
 			attempt++
 			if p.isLost() || !transientErr(err) || attempt > f.connectRetries {
 				f.killPeer(ctx, p, err, orphans)
@@ -634,10 +611,11 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			}
 			continue
 		}
-		if everConnected {
+		if everConnected && !idleClosed {
 			f.cReconnects.Add(1)
 		}
 		everConnected = true
+		idleClosed = false
 
 		p.setCur(hc)
 		if p.isLost() {
@@ -648,11 +626,10 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 		err = f.runConn(ctx, p, hc, orphans)
 		p.setCur(nil)
 		orphans = nil
-		if hc.poolable() {
-			ringPut(f.task.Local.Device(), hc.ring)
-		} else {
-			_ = hc.ring.Deregister()
-		}
+		// The ring's window invalidates here: a late responder write
+		// against a retired connection faults remotely and surfaces as a
+		// counted stray, never as corruption of reused slab bytes.
+		hc.ring.Free()
 		if ctx.Err() != nil {
 			return
 		}
@@ -660,13 +637,22 @@ func (f *fetcher) peerLoop(ctx context.Context, p *hostPeer) {
 			// runConn only returns without error on shutdown.
 			return
 		}
+		if errors.Is(err, errConnIdle) {
+			// Clean idle retirement: no health hit, no backoff, and
+			// re-issues (normally none — the conn was quiet) keep their
+			// retry budget. Park at the loop top until the next demand.
+			orphans = hc.takePending()
+			idleClosed = true
+			attempt = 0
+			continue
+		}
 		if hc.progress.Load() {
 			// The link carried data before dying: past failures are a
 			// different incident, the streak restarts.
 			attempt = 0
 		}
 		attempt++
-		p.health.recordFailure(counters)
+		p.health.recordFailureGen(hc.gen, counters)
 
 		// Reclaim the dead connection's requests; each consumes one unit
 		// of its own retry budget.
@@ -715,14 +701,54 @@ func (f *fetcher) runConn(ctx context.Context, p *hostPeer, hc *hostConn, orphan
 		wg.Add(1)
 		go func() { defer wg.Done(); f.watchdog(cctx, p, hc) }()
 	}
+	if f.connIdle > 0 {
+		wg.Add(1)
+		go func() { defer wg.Done(); f.idleMonitor(cctx, p, hc) }()
+	}
 	select {
 	case <-hc.failed:
 	case <-ctx.Done():
 	}
 	cancel()
-	hc.ep.Close()
 	wg.Wait()
-	return hc.failure()
+	err := hc.failure()
+	// Idle retirement and orderly shutdown release the lease but leave the
+	// shared endpoint alive for other fetchers; real failures kill it so
+	// every sharer observes the sever at once.
+	kill := err != nil && !errors.Is(err, errConnIdle)
+	hc.lease.Close(kill, err)
+	return err
+}
+
+// idleMonitor retires a connection that has carried no traffic for the
+// configured idle timeout. Retirement is clean (errConnIdle): the lease
+// releases, the ring unpins, and the supervisor parks until the next
+// demand — the lazy-dial arm of D13's connection cache.
+func (f *fetcher) idleMonitor(cctx context.Context, p *hostPeer, hc *hostConn) {
+	tick := f.connIdle / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-cctx.Done():
+			return
+		case <-t.C:
+			hc.mu.Lock()
+			busy := hc.inFlight > 0 || len(hc.unsent) > 0
+			hc.mu.Unlock()
+			if busy || len(p.reqCh) > 0 {
+				hc.touch()
+				continue
+			}
+			if time.Duration(time.Now().UnixNano()-hc.lastActive.Load()) >= f.connIdle {
+				hc.abort(errConnIdle)
+				return
+			}
+		}
+	}
 }
 
 // killPeer marks the host permanently dead for this fetcher and answers
@@ -866,13 +892,13 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 			MaxRecords: int32(f.kvPerPacket),
 			RemoteAddr: hc.ring.Addr() + uint64(slot)*uint64(hc.slotSize),
 			RKey:       hc.ring.RKey(),
-			Tag:        slot,
+			Tag:        hc.lease.Tag(slot),
 		}
 		if f.readArm && !req.noRead {
 			wreq.Flags = wire.FlagFetchRead
 		}
 		scratch = wreq.EncodeAppend(scratch[:0])
-		if err := hc.ep.Send(cctx, scratch); err != nil {
+		if err := hc.lease.Send(cctx, scratch); err != nil {
 			// The request stays pending: takePending re-issues it on the
 			// next connection. (On shutdown nobody re-issues, which is
 			// fine — the merge is going away too.)
@@ -882,6 +908,7 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 			}
 			return
 		}
+		hc.touch()
 	}
 }
 
@@ -900,38 +927,33 @@ func (f *fetcher) sendLoop(cctx context.Context, p *hostPeer, hc *hostConn, orph
 func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 	counters := f.task.Local.Counters()
 	for {
-		msg, err := hc.ep.Recv(cctx)
+		lm, err := hc.lease.Recv(cctx)
 		if err != nil {
 			if cctx.Err() == nil {
 				hc.abort(fmt.Errorf("core: response from %s: %w", p.host, err))
 			}
 			return
 		}
-		if len(msg) > 0 && msg[0] == wire.TypeReadManifest {
+		hc.touch()
+		if lm.man != nil {
 			if !f.readArm {
 				hc.abort(fmt.Errorf("core: %s: %w: unsolicited read manifest", p.host, errProtocol))
 				return
 			}
-			m, err := wire.DecodeReadManifest(msg)
-			if err != nil {
-				hc.abort(fmt.Errorf("core: %s: %w: %v", p.host, errProtocol, err))
-				return
-			}
-			if err := f.installPlan(cctx, hc, m); err != nil {
+			if err := f.installPlan(cctx, hc, lm.man); err != nil {
 				hc.abort(fmt.Errorf("core: %s: %w", p.host, err))
 				return
 			}
 			continue
 		}
-		resp, err := wire.DecodeDataResponse(msg)
-		if err != nil {
-			hc.abort(fmt.Errorf("core: %s: %w: %v", p.host, errProtocol, err))
-			return
-		}
+		resp := lm.resp
+		// The lease's sequence prefix routed the message here; the low
+		// half-word is the ring slot.
+		slot := resp.Tag & 0xffff
 		hc.mu.Lock()
-		ps, ok := hc.pending[resp.Tag]
+		ps, ok := hc.pending[slot]
 		if ok {
-			delete(hc.pending, resp.Tag)
+			delete(hc.pending, slot)
 			hc.inFlight--
 		}
 		hc.mu.Unlock()
@@ -944,7 +966,7 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 		case resp.Err != "" && resp.Transient:
 			// The tracker could not serve this request right now but the
 			// data exists; retry within budget instead of escalating.
-			hc.free <- resp.Tag
+			hc.free <- slot
 			req.retries++
 			if req.retries > f.connectRetries {
 				deliver(f.runCtx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s (retry budget exhausted)", p.host, resp.Err)})
@@ -960,13 +982,13 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 				go func(r chunkReq) { _ = p.enqueue(f.runCtx, r) }(req)
 			}
 		case resp.Err != "":
-			hc.free <- resp.Tag
+			hc.free <- slot
 			deliver(f.runCtx, req.seg, chunk{off: req.offset, err: fmt.Errorf("core: tracker %s: %s", p.host, resp.Err)})
 		case resp.Bytes < 0 || int(resp.Bytes) > hc.slotSize:
 			// Put the request back so takePending re-issues it on the
 			// next connection.
 			hc.mu.Lock()
-			hc.pending[resp.Tag] = ps
+			hc.pending[slot] = ps
 			hc.inFlight++
 			hc.mu.Unlock()
 			hc.abort(fmt.Errorf("core: %s: %w: response claims %d bytes in a %d-byte slot", p.host, errProtocol, resp.Bytes, hc.slotSize))
@@ -975,14 +997,14 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 			var payload []byte
 			if resp.Bytes > 0 {
 				payload = getPayload(int(resp.Bytes), counters)
-				start := int(resp.Tag) * hc.slotSize
+				start := int(slot) * hc.slotSize
 				copy(payload, hc.ring.Bytes()[start:start+int(resp.Bytes)])
 			}
 			f.cRecvBytes.Add(int64(resp.Bytes))
 			f.nFetchBytes.Add(int64(resp.Bytes))
 			f.nFetchChunks.Add(1)
 			if !hc.progress.Swap(true) {
-				p.health.recordSuccess()
+				p.health.recordSuccessGen(hc.gen)
 			}
 			ck := chunk{data: payload, eof: resp.EOF, next: resp.Offset + int64(resp.Bytes), off: req.offset}
 			if f.prof != nil {
@@ -995,7 +1017,7 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 			}
 			// The slot's bytes are copied out: recycle it before delivery
 			// so the send pump can refill it immediately.
-			hc.free <- resp.Tag
+			hc.free <- slot
 			deliver(f.runCtx, req.seg, ck)
 		}
 	}
@@ -1009,8 +1031,9 @@ func (f *fetcher) recvLoop(cctx context.Context, p *hostPeer, hc *hostConn) {
 // protocol violation aborting the connection) when the manifest does not
 // match what the slot asked for.
 func (f *fetcher) installPlan(cctx context.Context, hc *hostConn, m *wire.ReadManifest) error {
+	slot := m.Tag & 0xffff
 	hc.mu.Lock()
-	ps, ok := hc.pending[m.Tag]
+	ps, ok := hc.pending[slot]
 	if !ok {
 		hc.mu.Unlock()
 		return fmt.Errorf("%w: manifest for unknown slot tag %d", errProtocol, m.Tag)
@@ -1029,7 +1052,7 @@ func (f *fetcher) installPlan(cctx context.Context, hc *hostConn, m *wire.ReadMa
 		hc.releaseLease(cctx, hc.detachPlan(stale))
 	}
 	select {
-	case hc.readCh <- readJob{slot: m.Tag, req: ps.req, entry: m.Chunks[0], plan: plan}:
+	case hc.readCh <- readJob{slot: slot, req: ps.req, entry: m.Chunks[0], plan: plan}:
 	case <-cctx.Done():
 	}
 	return nil
@@ -1079,14 +1102,15 @@ func (f *fetcher) executeRead(cctx context.Context, p *hostPeer, hc *hostConn, j
 			span += int(entry.Ranges[i].Len)
 			i++
 		}
-		sgl[0] = verbs.SGE{MR: hc.ring, Offset: base + local, Length: span}
-		if err := hc.ep.ReadSG(cctx, sgl[:], addr, job.plan.rkey); err != nil {
+		sgl[0] = verbs.SGE{MR: hc.ring.MR(), Offset: hc.ring.Offset() + base + local, Length: span}
+		if err := hc.lease.ReadSG(cctx, sgl[:], addr, job.plan.rkey); err != nil {
 			f.readFailed(cctx, p, hc, job, err)
 			return
 		}
 		local += span
 		reads++
 	}
+	hc.touch()
 	hc.mu.Lock()
 	ps, ok := hc.pending[job.slot]
 	if ok {
@@ -1111,7 +1135,7 @@ func (f *fetcher) executeRead(cctx context.Context, p *hostPeer, hc *hostConn, j
 	f.nFetchBytes.Add(int64(n))
 	f.nFetchChunks.Add(1)
 	if !hc.progress.Swap(true) {
-		p.health.recordSuccess()
+		p.health.recordSuccessGen(hc.gen)
 	}
 	ck := chunk{data: payload, eof: entry.EOF, next: entry.Offset + int64(n), off: job.req.offset}
 	if f.prof != nil {
@@ -1207,15 +1231,6 @@ func deliver(ctx context.Context, seg *segment, ck chunk) {
 	}
 }
 
-// poolable reports whether the ring can be returned to the device pool:
-// only when the connection saw no failure and nothing is in flight (a
-// pending request means the responder may still RDMA-write into a slot).
-func (hc *hostConn) poolable() bool {
-	hc.mu.Lock()
-	defer hc.mu.Unlock()
-	return !hc.tainted && len(hc.pending) == 0
-}
-
 // batch is one DataToReduceQueue entry: a slice of merged records in
 // sorted order, or a terminal error. spent carries the chunk buffers that
 // drained while the batch was assembled; their records ride in this batch
@@ -1247,6 +1262,12 @@ type fetcher struct {
 	backoffBase    time.Duration
 	backoffMax     time.Duration
 	reqTimeout     time.Duration
+
+	// Connection-plane policy (D13): quiet connections retire after
+	// connIdle (0 = never), and the device's shared-endpoint cache holds
+	// at most connCacheMax dialed hosts.
+	connIdle     time.Duration
+	connCacheMax int
 
 	// prof is the job's shuffle profile, or nil when profiling is off —
 	// the nil is the disabled fast path: every time.Now() and span
@@ -1315,6 +1336,8 @@ func newFetcher(task mapred.ReduceTaskInfo) *fetcher {
 		backoffBase:    time.Duration(conf.Int(config.KeyRDMABackoffBase)) * time.Millisecond,
 		backoffMax:     time.Duration(conf.Int(config.KeyRDMABackoffMax)) * time.Millisecond,
 		reqTimeout:     time.Duration(conf.Int(config.KeyRDMARequestTimeout)) * time.Millisecond,
+		connIdle:       time.Duration(conf.Int(config.KeyRDMAConnIdleTimeout)) * time.Millisecond,
+		connCacheMax:   int(conf.Int(config.KeyRDMAConnCacheMax)),
 		prof:           prof,
 		peers:          make(map[string]*hostPeer),
 		out:            make(chan batch, 8),
@@ -1361,6 +1384,13 @@ func (f *fetcher) Fetch(ctx context.Context) (kv.Iterator, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	f.cancel = cancel
 	f.runCtx = ctx
+
+	// Configure the device-wide connection plane and wire the slab
+	// accountant into this node's counters. Last writer wins, which is
+	// fine: every fetcher on a node reads the same job conf keys.
+	dev := f.task.Local.Device()
+	planeFor(dev).configure(f.connCacheMax, f.connIdle, f.task.Local.Counters())
+	mrpool.For(dev).SetCounters(f.task.Local.Counters())
 
 	// The shuffle window for this reduce opens now; deliveries extend it.
 	// Its open edge is also the TTFB origin.
@@ -1560,9 +1590,9 @@ func (f *fetcher) run(ctx context.Context) {
 }
 
 // Close implements mapred.ReduceFetcher. Cancellation unwinds each
-// peer's supervisor, which tears down its live connection and recycles
-// (or deregisters) its ring before exiting; waiting on the group is what
-// makes ring reuse safe across fetcher lifetimes.
+// peer's supervisor, which releases its endpoint lease and frees its
+// slab-carved ring before exiting; waiting on the group is what makes
+// slab reuse safe across fetcher lifetimes.
 func (f *fetcher) Close() error {
 	f.closeOnce.Do(func() {
 		if f.cancel != nil {

@@ -12,8 +12,7 @@ import (
 	"rdmamr/internal/fabric"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
-	"rdmamr/internal/stats"
-	"rdmamr/internal/verbs"
+	"rdmamr/internal/mrpool"
 )
 
 // ringHarness drives a fetcher directly against one live tracker server:
@@ -135,50 +134,19 @@ func TestRingStressManySegmentsOneHost(t *testing.T) {
 		t.Fatal("payload pool never hit: chunks are not being recycled")
 	}
 
-	// A second fetcher lifetime on the same device must reuse the
-	// registered ring instead of re-registering (the free list is
-	// deterministic, unlike sync.Pool).
+	// A second fetcher lifetime on the same device must carve its ring out
+	// of the already-registered slabs — the slab free list is the reuse
+	// mechanism that replaced the old per-ring registration pool — and
+	// leave the accountant's books where it found them.
+	pool := mrpool.For(h.tt.Device())
+	pinned := pool.PinnedBytes()
+	outstanding := pool.OutstandingBlocks()
 	h.fetch(ctx)
-	if c.Get("shuffle.rdma.ring.pool.hits") == 0 {
-		t.Fatal("ring MR pool never hit across fetcher lifetimes")
+	if got := pool.PinnedBytes(); got != pinned {
+		t.Fatalf("second fetcher lifetime grew pinned slab bytes %d -> %d: free-list reuse broken", pinned, got)
 	}
-}
-
-// TestRingMRPoolReuse pins the per-device ring pool contract directly:
-// same-device get-after-put reuses the registered region, and a larger
-// request replaces an undersized pooled region instead of returning it.
-func TestRingMRPoolReuse(t *testing.T) {
-	net := verbs.NewNetwork()
-	dev, err := net.NewDevice("ringpool-dev")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var c stats.Counters
-	mr, err := ringGet(dev, 4096, &c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ringPut(dev, mr)
-	got, err := ringGet(dev, 4096, &c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != mr {
-		t.Fatal("pooled ring not reused for a same-size request")
-	}
-	if c.Get("shuffle.rdma.ring.pool.hits") != 1 {
-		t.Fatalf("hits = %d, want 1", c.Get("shuffle.rdma.ring.pool.hits"))
-	}
-	ringPut(dev, got)
-	big, err := ringGet(dev, got.Len()*2, &c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if big == got || big.Len() < 8192 {
-		t.Fatal("undersized pooled ring returned for a larger request")
-	}
-	if c.Get("shuffle.rdma.ring.pool.hits") != 1 {
-		t.Fatal("undersized reuse counted as a hit")
+	if got := pool.OutstandingBlocks(); got != outstanding {
+		t.Fatalf("second fetcher lifetime leaked blocks: %d -> %d outstanding", outstanding, got)
 	}
 }
 

@@ -11,15 +11,18 @@ import (
 
 var counterNameRe = regexp.MustCompile(`shuffle\.rdma\.[a-z][a-z0-9._]*[a-z0-9]`)
 
-// TestCounterNamesMatchDocs pins the counter namespace to the README's
-// "Shuffle counter reference" table: every `shuffle.rdma.*` name used by
-// this package's non-test sources must be documented, and every name the
-// README mentions must exist in the sources. Rename a counter — or add
-// one — and this fails until the table is updated, so dashboards built
-// on the documented names never silently break.
-func TestCounterNamesMatchDocs(t *testing.T) {
-	inCode := map[string]bool{}
-	entries, err := os.ReadDir(".")
+// mrCounterNameRe covers the slab MR accountant's namespace, emitted by
+// internal/mrpool and documented in the same README table. The guard
+// group keeps the `mapred.rdma.mr.slab.bytes` config key (a dotted
+// superstring) from matching as a counter name; the counter is the
+// first capture group.
+var mrCounterNameRe = regexp.MustCompile(`(?:^|[^.a-z0-9])(mr\.slab\.[a-z][a-z0-9._]*[a-z0-9])`)
+
+// scanDir collects counter names matched by res in a directory's non-test
+// Go sources.
+func scanDir(t *testing.T, dir string, into map[string]bool, res ...*regexp.Regexp) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,14 +31,39 @@ func TestCounterNamesMatchDocs(t *testing.T) {
 		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		src, err := os.ReadFile(name)
+		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, m := range counterNameRe.FindAllString(string(src), -1) {
-			inCode[m] = true
+		for _, re := range res {
+			collect(re, string(src), into)
 		}
 	}
+}
+
+// collect adds re's matches in s to into — the first capture group when
+// the pattern has one, the whole match otherwise.
+func collect(re *regexp.Regexp, s string, into map[string]bool) {
+	for _, m := range re.FindAllStringSubmatch(s, -1) {
+		name := m[0]
+		if len(m) > 1 {
+			name = m[1]
+		}
+		into[name] = true
+	}
+}
+
+// TestCounterNamesMatchDocs pins the counter namespace to the README's
+// "Shuffle counter reference" table: every `shuffle.rdma.*` name used by
+// this package's non-test sources — and every `mr.slab.*` name used by
+// internal/mrpool — must be documented, and every name the README
+// mentions must exist in the sources. Rename a counter — or add one —
+// and this fails until the table is updated, so dashboards built on the
+// documented names never silently break.
+func TestCounterNamesMatchDocs(t *testing.T) {
+	inCode := map[string]bool{}
+	scanDir(t, ".", inCode, counterNameRe, mrCounterNameRe)
+	scanDir(t, filepath.Join("..", "mrpool"), inCode, mrCounterNameRe)
 	if len(inCode) == 0 {
 		t.Fatal("no shuffle.rdma.* counters found in package sources")
 	}
@@ -45,9 +73,8 @@ func TestCounterNamesMatchDocs(t *testing.T) {
 		t.Fatal(err)
 	}
 	inDocs := map[string]bool{}
-	for _, m := range counterNameRe.FindAllString(string(readme), -1) {
-		inDocs[m] = true
-	}
+	collect(counterNameRe, string(readme), inDocs)
+	collect(mrCounterNameRe, string(readme), inDocs)
 
 	var undocumented, phantom []string
 	for name := range inCode {

@@ -79,6 +79,12 @@ type peerHealth struct {
 	consecFails int
 	penalty     time.Duration
 	blackUntil  time.Time
+	// lastFailGen / lastOKGen dedupe health events by shared-connection
+	// incarnation (D13): when one endpoint sever unwinds every fetcher
+	// leasing it, only the first report per generation scores — one dead
+	// connection is one failure, not one per sharer.
+	lastFailGen uint64
+	lastOKGen   uint64
 	// now is the clock; nil means time.Now. Tests inject a fake so the
 	// decay and embargo arithmetic is checked without sleeping.
 	now func() time.Time
@@ -95,8 +101,23 @@ func (ph *peerHealth) clock() time.Time {
 // consecutive-failure count. Crossing the blacklist threshold embargoes
 // the host and bumps the shuffle.rdma.blacklist.trips counter.
 func (ph *peerHealth) recordFailure(c *stats.Counters) int {
+	return ph.recordFailureGen(0, c)
+}
+
+// recordFailureGen is recordFailure deduplicated by shared-connection
+// generation: the first fetcher to report a given incarnation's death
+// scores it, later sharers are no-ops (gen 0 = not shared, always
+// scores). Without this, one severed endpoint would multiply blacklist
+// penalties by the number of fetchers leasing it.
+func (ph *peerHealth) recordFailureGen(gen uint64, c *stats.Counters) int {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
+	if gen != 0 {
+		if gen <= ph.lastFailGen {
+			return ph.consecFails
+		}
+		ph.lastFailGen = gen
+	}
 	ph.consecFails++
 	if ph.consecFails >= blacklistAfter {
 		if ph.penalty < blacklistBase {
@@ -113,8 +134,21 @@ func (ph *peerHealth) recordFailure(c *stats.Counters) int {
 // recordSuccess clears the consecutive-failure streak and decays the
 // accumulated penalty.
 func (ph *peerHealth) recordSuccess() {
+	ph.recordSuccessGen(0)
+}
+
+// recordSuccessGen is recordSuccess deduplicated by shared-connection
+// generation, mirroring recordFailureGen: one working incarnation decays
+// the penalty once, not once per fetcher sharing it.
+func (ph *peerHealth) recordSuccessGen(gen uint64) {
 	ph.mu.Lock()
 	defer ph.mu.Unlock()
+	if gen != 0 {
+		if gen <= ph.lastOKGen {
+			return
+		}
+		ph.lastOKGen = gen
+	}
 	ph.consecFails = 0
 	ph.penalty /= 2
 }

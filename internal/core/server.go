@@ -9,6 +9,7 @@ import (
 	"rdmamr/internal/config"
 	"rdmamr/internal/kv"
 	"rdmamr/internal/mapred"
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/obs"
 	"rdmamr/internal/shuffle/wire"
 	"rdmamr/internal/ucr"
@@ -51,15 +52,11 @@ type trackerServer struct {
 	nServedReqs  *obs.Counter
 	nServedBytes *obs.Counter
 
-	// stagePool recycles registered staging regions across responses. It
-	// is per-server (therefore per-device), so a pooled region can never
-	// surface on a different tracker's device.
-	stagePool sync.Pool // of *verbs.MemoryRegion
-
-	// hdrPool recycles small registered regions the zero-copy path encodes
-	// response headers into, so the header send is gathered from registered
-	// memory without a per-response allocation or registration.
-	hdrPool sync.Pool // of *verbs.MemoryRegion
+	// mrp is the device's slab MR pool (D13): staging regions, response
+	// headers, and cache bodies all carve out of it, so the tracker's
+	// pinned bytes are budgeted and attributed in one accountant instead
+	// of scattered across per-subsystem sync.Pools of registrations.
+	mrp *mrpool.Pool
 
 	// descPool recycles descriptor scratch (pack ranges + SGE lists) across
 	// zero-copy responses.
@@ -105,6 +102,11 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		ctx:        ctx,
 		cancel:     cancel,
 	}
+	// D13: every registration on this tracker goes through the device's
+	// slab pool, under one budget and one set of gauges.
+	s.mrp = mrpool.For(tt.Device())
+	s.mrp.Configure(conf.Int(config.KeyRDMAMRBudget), conf.Int(config.KeyRDMAMRSlabBytes))
+	s.mrp.SetCounters(tt.Counters())
 	// D12: per-job registered-memory quota — one tenant's churn cannot
 	// evict the whole cluster cache (0 keeps the shared free-for-all).
 	s.cache.SetJobQuota(conf.Int(config.KeyJTCacheJobQuota))
@@ -119,7 +121,7 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 		// them by scatter-gather RDMA straight from cache memory. The
 		// ablation arm (zerocopy=false) leaves entries unregistered and
 		// every response goes through the staging copy.
-		s.cache.SetRegistrar(tt.Device())
+		s.cache.SetRegistrar(s.mrp)
 	}
 
 	// RDMAListener: accept incoming copier connections, "adds the
@@ -288,36 +290,23 @@ func (s *trackerServer) serve(p *pendingRequest) {
 }
 
 // sendHeader delivers the response header. With zero-copy enabled it is
-// encoded into a pooled registered region and gather-sent from there;
-// otherwise (or when an oversized error string overflows the pooled
-// region) it falls back to the allocating encode + staged send.
+// encoded into a slab-carved header block and gather-sent from there;
+// otherwise (or when an oversized error string overflows the block, or
+// the slab budget is exhausted) it falls back to the allocating encode +
+// staged send.
 func (s *trackerServer) sendHeader(ep *ucr.EndPoint, h *wire.DataResponse) {
 	if s.zeroCopy {
-		hmr := s.headerMR()
-		if hmr != nil {
-			buf := h.EncodeAppend(hmr.Bytes()[:0])
-			if len(buf) <= hmr.Len() {
-				_ = ep.SendSG(s.ctx, []verbs.SGE{{MR: hmr, Length: len(buf)}})
-				s.hdrPool.Put(hmr)
+		if blk, err := s.mrp.Alloc(4096, "header"); err == nil {
+			buf := h.EncodeAppend(blk.Bytes()[:0])
+			if len(buf) <= blk.Len() {
+				_ = ep.SendSG(s.ctx, []verbs.SGE{{MR: blk.MR(), Offset: blk.Offset(), Length: len(buf)}})
+				blk.Free()
 				return
 			}
-			s.hdrPool.Put(hmr)
+			blk.Free()
 		}
 	}
 	_ = ep.Send(s.ctx, h.Encode())
-}
-
-// headerMR returns a pooled registered header region (nil if the device
-// refuses registration — the caller then uses the staged send).
-func (s *trackerServer) headerMR() *verbs.MemoryRegion {
-	if v := s.hdrPool.Get(); v != nil {
-		return v.(*verbs.MemoryRegion)
-	}
-	mr, err := s.tt.Device().RegisterMemory(make([]byte, 4096))
-	if err != nil {
-		return nil
-	}
-	return mr
 }
 
 // descScratch is the reusable per-response descriptor state of the
@@ -365,50 +354,38 @@ func (r *builtResponse) release(s *trackerServer) {
 
 // stagedPayload is a registered staging buffer holding the packed chunk.
 // Responders copy the chunk from the (unregistered) cache entry into a
-// pooled registered region and RDMA-write from there — the staging-buffer
-// scheme RDMA middlewares use for data that is not pinned.
+// slab-carved block and RDMA-write from there — the staging-buffer
+// scheme RDMA middlewares use for data that is not pinned. Carving from
+// the pool replaced the old per-server sync.Pool of registrations: the
+// slab's free list is the reuse mechanism, and the bytes stay under the
+// device budget.
 type stagedPayload struct {
-	mr  *verbs.MemoryRegion
+	blk *mrpool.Block
 	n   int
 	srv *trackerServer
 }
 
-func (sp *stagedPayload) sge() verbs.SGE { return verbs.SGE{MR: sp.mr, Length: sp.n} }
+func (sp *stagedPayload) sge() verbs.SGE {
+	return verbs.SGE{MR: sp.blk.MR(), Offset: sp.blk.Offset(), Length: sp.n}
+}
 
 func (s *trackerServer) stage(data []byte) (*stagedPayload, error) {
-	// The pool is per-server, so every pooled region already belongs to
-	// this device; a simple per-call registration would churn MRs, so
-	// reuse staged regions big enough for the request.
-	if v := s.stagePool.Get(); v != nil {
-		mr := v.(*verbs.MemoryRegion)
-		if mr.Len() >= len(data) {
-			copy(mr.Bytes(), data)
-			s.tt.Counters().Add("shuffle.rdma.stage.outstanding", 1)
-			return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
-		}
-		// Too small for this request: drop it and allocate.
-		_ = mr.Deregister()
-	}
-	size := len(data)
-	if size < s.packetSize+64<<10 {
-		size = s.packetSize + 64<<10
-	}
-	mr, err := s.tt.Device().RegisterMemory(make([]byte, size))
+	blk, err := s.mrp.Alloc(len(data), "stage")
 	if err != nil {
 		return nil, err
 	}
-	copy(mr.Bytes(), data)
+	copy(blk.Bytes(), data)
 	s.tt.Counters().Add("shuffle.rdma.stage.outstanding", 1)
-	return &stagedPayload{mr: mr, n: len(data), srv: s}, nil
+	return &stagedPayload{blk: blk, n: len(data), srv: s}, nil
 }
 
-// release returns the staging region to the pool. Every stage() is paired
+// release returns the staging block to the slab. Every stage() is paired
 // with exactly one release via builtResponse.release; the
 // shuffle.rdma.stage.outstanding counter must therefore read zero
 // whenever the responder pool is idle (asserted by the server tests).
 func (sp *stagedPayload) release() {
 	sp.srv.tt.Counters().Add("shuffle.rdma.stage.outstanding", -1)
-	sp.srv.stagePool.Put(sp.mr)
+	sp.blk.Free()
 }
 
 func (s *trackerServer) buildResponse(p *pendingRequest) builtResponse {
@@ -517,10 +494,11 @@ func (s *trackerServer) buildZeroCopy(p *pendingRequest, header wire.DataRespons
 		return builtResponse{header: header}, true
 	}
 	sges := sc.sges[:0]
+	mrOff := view.MROffset()
 	for _, r := range ranges {
 		// Range offsets are relative to the record body; the SGE addresses
-		// the run-wide region, hence the +start rebase.
-		sges = append(sges, verbs.SGE{MR: mr, Offset: start + r.Off, Length: r.Len})
+		// the slab region backing the run, hence the +MROffset+start rebase.
+		sges = append(sges, verbs.SGE{MR: mr, Offset: mrOff + start + r.Off, Length: r.Len})
 	}
 	sc.sges = sges
 	return builtResponse{header: header, view: view, sges: sges, scratch: sc}, true
@@ -561,9 +539,13 @@ func (s *trackerServer) serveManifest(p *pendingRequest) bool {
 		view.Release()
 		return false
 	}
+	// Descriptors advertise the entry's revocable window, not the raw slab
+	// region: freeing the body (eviction past the last pin) invalidates
+	// the window, so a READ under an expired lease faults instead of
+	// observing whatever the slab reused those bytes for.
 	m := wire.ReadManifest{
 		MapID: req.MapID, ReduceID: req.ReduceID, Offset: req.Offset,
-		Tag: req.Tag, RKey: mr.RKey(),
+		Tag: req.Tag, RKey: view.RKey(),
 	}
 	sc := s.getScratch()
 	defer s.descPool.Put(sc)
@@ -587,8 +569,8 @@ func (s *trackerServer) serveManifest(p *pendingRequest) bool {
 		}
 		for _, r := range ranges {
 			// Range offsets are relative to the record body; the remote
-			// address targets the run-wide region, hence the +start rebase.
-			ch.Ranges = append(ch.Ranges, wire.ReadRange{Addr: mr.Addr() + uint64(start+r.Off), Len: int32(r.Len)})
+			// address targets the entry's window, hence the +start rebase.
+			ch.Ranges = append(ch.Ranges, wire.ReadRange{Addr: view.Addr() + uint64(start+r.Off), Len: int32(r.Len)})
 		}
 		m.Chunks = append(m.Chunks, ch)
 		if m.EncodedSize() > 4096 && len(m.Chunks) > 1 {
@@ -613,17 +595,17 @@ func (s *trackerServer) serveManifest(p *pendingRequest) bool {
 	return true
 }
 
-// sendManifest delivers a descriptor manifest, gather-sent from a pooled
-// registered header region when one is available.
+// sendManifest delivers a descriptor manifest, gather-sent from a
+// slab-carved header block when the budget allows one.
 func (s *trackerServer) sendManifest(ep *ucr.EndPoint, m *wire.ReadManifest) error {
-	if hmr := s.headerMR(); hmr != nil {
-		buf := m.EncodeAppend(hmr.Bytes()[:0])
-		if len(buf) <= hmr.Len() {
-			err := ep.SendSG(s.ctx, []verbs.SGE{{MR: hmr, Length: len(buf)}})
-			s.hdrPool.Put(hmr)
+	if blk, err := s.mrp.Alloc(4096, "header"); err == nil {
+		buf := m.EncodeAppend(blk.Bytes()[:0])
+		if len(buf) <= blk.Len() {
+			err := ep.SendSG(s.ctx, []verbs.SGE{{MR: blk.MR(), Offset: blk.Offset(), Length: len(buf)}})
+			blk.Free()
 			return err
 		}
-		s.hdrPool.Put(hmr)
+		blk.Free()
 	}
 	return ep.Send(s.ctx, m.Encode())
 }

@@ -1,0 +1,202 @@
+package mrpool
+
+import (
+	"errors"
+	"testing"
+
+	"rdmamr/internal/stats"
+	"rdmamr/internal/verbs"
+)
+
+func testPool(t *testing.T, slabBytes int64) *Pool {
+	t.Helper()
+	dev, err := verbs.NewNetwork().NewDevice("mrpool-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pool{dev: dev, slabBytes: DefaultSlabBytes}
+	if slabBytes > 0 {
+		p.slabBytes = slabBytes
+	}
+	return p
+}
+
+func TestForIsPerDevice(t *testing.T) {
+	net := verbs.NewNetwork()
+	a, _ := net.NewDevice("a")
+	b, _ := net.NewDevice("b")
+	if For(a) != For(a) {
+		t.Fatal("same device must share one pool")
+	}
+	if For(a) == For(b) {
+		t.Fatal("distinct devices must not share a pool")
+	}
+}
+
+// TestSlabReuse: blocks carve out of one slab, frees return the space,
+// and a full alloc/free cycle re-registers nothing.
+func TestSlabReuse(t *testing.T) {
+	p := testPool(t, 1<<20)
+	a, err := p.Alloc(1000, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(2000, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MR() != b.MR() {
+		t.Fatal("two small blocks did not share a slab")
+	}
+	pinned := p.PinnedBytes()
+	if pinned != 1<<20 {
+		t.Fatalf("pinned = %d, want one slab", pinned)
+	}
+	a.Free()
+	b.Free()
+	if p.InUseBytes() != 0 || p.OutstandingBlocks() != 0 {
+		t.Fatalf("leak after frees: inUse=%d blocks=%d", p.InUseBytes(), p.OutstandingBlocks())
+	}
+	for i := 0; i < 100; i++ {
+		blk, err := p.Alloc(10_000, "churn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk.Free()
+	}
+	if p.PinnedBytes() != pinned {
+		t.Fatalf("churn grew pinned bytes %d → %d: free-list reuse broken", pinned, p.PinnedBytes())
+	}
+}
+
+// TestFreeCoalesces: adjacent freed carves merge, so a block as large
+// as the sum fits without a new slab.
+func TestFreeCoalesces(t *testing.T) {
+	p := testPool(t, 1<<16)
+	var blks []*Block
+	for i := 0; i < 4; i++ {
+		blk, err := p.Alloc(1<<14, "x") // 4 × 16KB fills the slab
+		if err != nil {
+			t.Fatal(err)
+		}
+		blks = append(blks, blk)
+	}
+	for _, blk := range blks {
+		blk.Free()
+	}
+	big, err := p.Alloc(1<<16, "x")
+	if err != nil {
+		t.Fatalf("coalesced slab rejected a slab-sized block: %v", err)
+	}
+	if p.PinnedBytes() != 1<<16 {
+		t.Fatalf("pinned = %d, want one slab (no growth)", p.PinnedBytes())
+	}
+	big.Free()
+}
+
+// TestBudgetEnforced: the hard budget fails allocations instead of
+// pinning past it, and failures are counted.
+func TestBudgetEnforced(t *testing.T) {
+	p := testPool(t, 1<<16)
+	c := &stats.Counters{}
+	p.SetCounters(c)
+	p.Configure(1<<16, 1<<16)
+	a, err := p.Alloc(1<<15, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(1<<16, "q"); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over-budget alloc = %v, want ErrBudget", err)
+	}
+	if c.Get("mr.slab.failures") != 1 {
+		t.Fatalf("failures = %d, want 1", c.Get("mr.slab.failures"))
+	}
+	if got := c.Get("mr.slab.bytes.pinned"); got != 1<<16 {
+		t.Fatalf("bytes.pinned = %d, want %d", got, 1<<16)
+	}
+	// Freeing makes room within the already-pinned slab.
+	a.Free()
+	b, err := p.Alloc(1<<15, "q")
+	if err != nil {
+		t.Fatalf("alloc after free = %v", err)
+	}
+	b.Free()
+}
+
+// TestOversizeAllocGetsDedicatedSlab: a block larger than the slab size
+// still works (its own right-sized slab).
+func TestOversizeAllocGetsDedicatedSlab(t *testing.T) {
+	p := testPool(t, 1<<12)
+	blk, err := p.Alloc(1<<16, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Bytes()) != 1<<16 {
+		t.Fatalf("len = %d", len(blk.Bytes()))
+	}
+	blk.Free()
+}
+
+// TestAttributionByClass tracks per-subsystem in-use bytes.
+func TestAttributionByClass(t *testing.T) {
+	p := testPool(t, 1<<20)
+	r, _ := p.Alloc(4096, "ring")
+	h, _ := p.Alloc(4096, "header")
+	attr := p.Attribution()
+	if attr["ring"] != 4096 || attr["header"] != 4096 {
+		t.Fatalf("attribution = %v", attr)
+	}
+	r.Free()
+	h.Free()
+	if attr := p.Attribution(); len(attr) != 0 {
+		t.Fatalf("attribution after frees = %v, want empty", attr)
+	}
+}
+
+// TestRemoteBlockWindowLifecycle: AllocRemote advertises a window rkey
+// distinct from the slab's, and Free invalidates it so stale remote
+// descriptors fault instead of reading reused slab space.
+func TestRemoteBlockWindowLifecycle(t *testing.T) {
+	p := testPool(t, 1<<20)
+	blk, err := p.AllocRemote(8192, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk.RKey() == 0 || blk.Addr() == 0 {
+		t.Fatal("remote block has no advertisable rkey/addr")
+	}
+	if blk.RKey() == blk.MR().RKey() {
+		t.Fatal("remote block advertises the raw slab rkey — Free could not revoke it")
+	}
+	win := blk.Window()
+	blk.Free()
+	if !win.Dead() {
+		t.Fatal("window survived Free: stale remote RDMA would hit reused slab bytes")
+	}
+}
+
+// TestDoubleFreePanics: the accountant's books are strict.
+func TestDoubleFreePanics(t *testing.T) {
+	p := testPool(t, 1<<16)
+	blk, _ := p.Alloc(64, "x")
+	blk.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	blk.Free()
+}
+
+// TestCountersReplayPinnedBytes: wiring counters after slabs exist
+// replays the absolute pinned gauge.
+func TestCountersReplayPinnedBytes(t *testing.T) {
+	p := testPool(t, 1<<16)
+	blk, _ := p.Alloc(64, "x")
+	c := &stats.Counters{}
+	p.SetCounters(c)
+	if got := c.Get("mr.slab.bytes.pinned"); got != 1<<16 {
+		t.Fatalf("replayed bytes.pinned = %d, want %d", got, 1<<16)
+	}
+	blk.Free()
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"rdmamr/internal/mrpool"
+	"rdmamr/internal/ucr"
+)
+
+// TestConnScaleConstantsMatchImplementation cross-checks the model's
+// priced constants against the exported values of the layers it models,
+// so the sweep can't silently drift from the implementation.
+func TestConnScaleConstantsMatchImplementation(t *testing.T) {
+	if csMaxMessage != ucr.MaxMessage {
+		t.Fatalf("csMaxMessage = %d, ucr.MaxMessage = %d", csMaxMessage, ucr.MaxMessage)
+	}
+	if csSlabBytes != mrpool.DefaultSlabBytes {
+		t.Fatalf("csSlabBytes = %d, mrpool.DefaultSlabBytes = %d", csSlabBytes, mrpool.DefaultSlabBytes)
+	}
+}
+
+// TestConnScalingSubLinear is the D13 acceptance gate at simulated
+// scale: at 1024 nodes the shared plane's per-device endpoints are
+// bounded by the LRU cap plus active fetch streams — independent of
+// cluster size — and pinned MR bytes have stopped growing, while the
+// legacy per-pair transport grows linearly in both.
+func TestConnScalingSubLinear(t *testing.T) {
+	nodes := []int{16, 64, 256, 1024}
+	sweep := ConnScaleSweep(nodes)
+
+	for i, pt := range sweep {
+		t.Logf("nodes=%4d legacy: conns=%5d mr=%6.1f MB   plane: conns=%3d mr=%5.1f MB",
+			pt.Nodes, pt.LegacyConns, float64(pt.LegacyMRBytes)/1e6,
+			pt.PlaneConns, float64(pt.PlaneMRBytes)/1e6)
+
+		// Legacy is the O(fetchers × hosts) pathology.
+		if want := csReduceSlots * (pt.Nodes - 1); pt.LegacyConns != want {
+			t.Fatalf("legacy conns at %d nodes = %d, want %d", pt.Nodes, pt.LegacyConns, want)
+		}
+		// The plane never exceeds cap + active streams, at any size.
+		if bound := csCacheMax + csReduceSlots*csFetchWindow; pt.PlaneConns > bound {
+			t.Fatalf("plane conns at %d nodes = %d, exceeds cap+streams bound %d",
+				pt.Nodes, pt.PlaneConns, bound)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := sweep[i-1]
+		growth := float64(pt.Nodes) / float64(prev.Nodes)
+		// Sub-linear: each 4× node step grows plane MR bytes by strictly
+		// less than 4× (legacy grows by exactly ~4×).
+		if ratio := float64(pt.PlaneMRBytes) / float64(prev.PlaneMRBytes); ratio >= growth {
+			t.Fatalf("plane MR bytes grew %.2f× over a %g× node step (%d -> %d nodes)",
+				ratio, growth, prev.Nodes, pt.Nodes)
+		}
+	}
+
+	// Beyond saturation (hosts > cap + streams) the plane's footprint is
+	// flat: 1024 nodes costs exactly what 256 nodes costs.
+	at256, at1024 := sweep[2], sweep[3]
+	if at1024.PlaneConns != at256.PlaneConns {
+		t.Fatalf("plane conns grew past saturation: %d @256 -> %d @1024",
+			at256.PlaneConns, at1024.PlaneConns)
+	}
+	if at1024.PlaneMRBytes != at256.PlaneMRBytes {
+		t.Fatalf("plane MR bytes grew past saturation: %d @256 -> %d @1024",
+			at256.PlaneMRBytes, at1024.PlaneMRBytes)
+	}
+
+	// And the headline: at 1024 nodes the plane pins orders of magnitude
+	// less than legacy — at least 10× fewer connections and MR bytes.
+	if at1024.LegacyConns < 10*at1024.PlaneConns {
+		t.Fatalf("conns at 1024 nodes: legacy %d vs plane %d — no win", at1024.LegacyConns, at1024.PlaneConns)
+	}
+	if at1024.LegacyMRBytes < 10*at1024.PlaneMRBytes {
+		t.Fatalf("MR bytes at 1024 nodes: legacy %d vs plane %d — no win", at1024.LegacyMRBytes, at1024.PlaneMRBytes)
+	}
+}

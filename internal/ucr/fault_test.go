@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/verbs"
 )
 
@@ -100,15 +101,23 @@ func TestPeerDeathClassifiedAsTransport(t *testing.T) {
 }
 
 // TestCloseReleasesRegions: endpoint churn (connect/close in a loop, as
-// the self-healing copier does on reconnect) must not leak ring/send MRs.
+// the self-healing copier does on reconnect) must not leak registered
+// memory — every end-point's send carve goes back to the device's slab
+// pool at Close, and only the device-lifetime SRQ buffer stays.
 func TestCloseReleasesRegions(t *testing.T) {
-	cep, _ := connected(t)
+	cep, sep := connected(t)
+	pool := mrpool.For(cep.dev)
+	baseline := pool.InUseBytes()
 	cep.Close()
-	if err := cep.ringMR.Deregister(); !errors.Is(err, verbs.ErrDeregistered) {
-		t.Fatalf("ring MR still registered after Close (Deregister = %v)", err)
+	sep.Close()
+	if !cep.sendBlk.Freed() {
+		t.Fatal("send carve still allocated after Close")
 	}
-	if err := cep.sendMR.Deregister(); !errors.Is(err, verbs.ErrDeregistered) {
-		t.Fatalf("send MR still registered after Close (Deregister = %v)", err)
+	if got := pool.InUseBytes(); got >= baseline {
+		t.Fatalf("pool in-use bytes %d did not drop from %d after Close", got, baseline)
+	}
+	if attr := pool.Attribution()["ucr.send"]; attr != 0 {
+		t.Fatalf("ucr.send attribution = %d bytes after Close, want 0", attr)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdmamr/internal/mrpool"
 	"rdmamr/internal/obs"
 	"rdmamr/internal/verbs"
 )
@@ -29,8 +30,12 @@ const (
 	// MaxMessage is the largest Send payload; control messages in the
 	// shuffle protocol are far smaller.
 	MaxMessage = 8 << 10
-	// ringDepth is the pre-posted receive count per end-point.
-	ringDepth = 128
+	// srqDepth is the pre-posted receive count per DEVICE (DESIGN.md
+	// D13): end-points share one verbs.SRQ and one slab-carved buffer
+	// pool per device, so receive memory is sized for the device's
+	// aggregate inflow instead of ringDepth buffers per connection —
+	// the receive-side half of the QP-explosion fix.
+	srqDepth = 512
 )
 
 // Errors.
@@ -64,6 +69,12 @@ type Fabric struct {
 
 	mu       sync.Mutex
 	services map[string]*Listener
+
+	// devRecvs holds the per-device shared receive plane (SRQ + buffer
+	// pool + demux pump), created lazily at the first end-point on each
+	// device. drMu serializes creation.
+	devRecvs sync.Map // *verbs.Device → *devRecv
+	drMu     sync.Mutex
 
 	// metrics is the pre-resolved instrument set end-points inherit at
 	// Connect; nil (the default) means the data path never reads the
@@ -206,11 +217,11 @@ func (f *Fabric) Connect(ctx context.Context, dev *verbs.Device, remoteDev, serv
 		return nil, fmt.Errorf("%w: %s", ErrNoService, key)
 	}
 
-	client, err := newEndPoint(dev)
+	client, err := newEndPoint(f, dev)
 	if err != nil {
 		return nil, err
 	}
-	server, err := newEndPoint(l.dev)
+	server, err := newEndPoint(f, l.dev)
 	if err != nil {
 		client.Close()
 		return nil, err
@@ -251,15 +262,17 @@ type EndPoint struct {
 	dev    *verbs.Device
 	qp     *verbs.QueuePair
 	sendCQ *verbs.CQ
-	recvCQ *verbs.CQ
 	peer   string
 
-	// Receive ring: one registered region sliced into ringDepth buffers.
-	ringMR *verbs.MemoryRegion
+	// dr is the device's shared receive plane: the SRQ this end-point's
+	// QP draws buffers from and the demux pump that routes completions
+	// here by QPN.
+	dr *devRecv
 
-	// Send path: single registered send buffer, serialized by sendMu.
-	sendMR *verbs.MemoryRegion
-	sendMu sync.Mutex
+	// Send path: one slab-carved registered send buffer, serialized by
+	// sendMu.
+	sendBlk *mrpool.Block
+	sendMu  sync.Mutex
 
 	msgs chan []byte
 
@@ -267,95 +280,178 @@ type EndPoint struct {
 	// instrumentation site below is a dead branch (no clock reads).
 	metrics *fabricObs
 
-	closeOnce sync.Once
-	closed    chan struct{}
-	recvErr   error
-	errMu     sync.Mutex
+	closeOnce  sync.Once
+	closed     chan struct{}
+	recvFailed chan struct{}
+	failOnce   sync.Once
+	recvErr    error
+	errMu      sync.Mutex
 }
 
-func newEndPoint(dev *verbs.Device) (*EndPoint, error) {
+// devRecv is the per-device shared receive plane: one verbs.SRQ, one
+// completion queue, and one slab-carved buffer pool serving every
+// end-point on the device. A single pump goroutine demultiplexes
+// completions to end-points by the QPN the WC carries — receive memory
+// and receive-side goroutines now scale with devices, not connections.
+type devRecv struct {
+	dev    *verbs.Device
+	srq    *verbs.SRQ
+	recvCQ *verbs.CQ
+	buf    *mrpool.Block // srqDepth × MaxMessage
+
+	mu  sync.Mutex
+	eps map[uint32]*EndPoint // QPN → end-point
+}
+
+// devRecvFor returns the device's shared receive plane, creating it (and
+// starting its pump) on first use.
+func (f *Fabric) devRecvFor(dev *verbs.Device) (*devRecv, error) {
+	if v, ok := f.devRecvs.Load(dev); ok {
+		return v.(*devRecv), nil
+	}
+	f.drMu.Lock()
+	defer f.drMu.Unlock()
+	if v, ok := f.devRecvs.Load(dev); ok {
+		return v.(*devRecv), nil
+	}
+	srq, err := dev.CreateSRQ()
+	if err != nil {
+		return nil, err
+	}
+	buf, err := mrpool.For(dev).Alloc(srqDepth*MaxMessage, "ucr.recv")
+	if err != nil {
+		return nil, err
+	}
+	dr := &devRecv{
+		dev: dev, srq: srq,
+		recvCQ: dev.CreateCQ(srqDepth + 64),
+		buf:    buf,
+		eps:    make(map[uint32]*EndPoint),
+	}
+	for i := 0; i < srqDepth; i++ {
+		if err := srq.PostRecv(dr.recvWR(uint64(i))); err != nil {
+			buf.Free()
+			return nil, err
+		}
+	}
+	go dr.pump()
+	f.devRecvs.Store(dev, dr)
+	return dr, nil
+}
+
+// recvWR builds the posted-receive work request for buffer slot i.
+func (dr *devRecv) recvWR(i uint64) verbs.RecvWR {
+	return verbs.RecvWR{WRID: i, SGE: verbs.SGE{
+		MR: dr.buf.MR(), Offset: dr.buf.Offset() + int(i)*MaxMessage, Length: MaxMessage,
+	}}
+}
+
+func (dr *devRecv) register(qpn uint32, ep *EndPoint) {
+	dr.mu.Lock()
+	dr.eps[qpn] = ep
+	dr.mu.Unlock()
+}
+
+func (dr *devRecv) drop(qpn uint32) {
+	dr.mu.Lock()
+	delete(dr.eps, qpn)
+	dr.mu.Unlock()
+}
+
+func (dr *devRecv) lookup(qpn uint32) *EndPoint {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	return dr.eps[qpn]
+}
+
+// pump drains the shared receive CQ for the life of the device: copies
+// payloads out, immediately re-posts the SRQ buffer so peers rarely see
+// receiver-not-ready, and routes each message to the end-point whose
+// QPN the completion carries. Completions for QPs that already closed
+// are dropped (their buffer is still recycled). Error completions carry
+// the failing QP's number too — including the synthetic last-WQE flush
+// a severed SRQ-attached QP delivers — and fail only that end-point.
+func (dr *devRecv) pump() {
+	ctx := context.Background()
+	for {
+		wc, err := dr.recvCQ.Wait(ctx)
+		if err != nil {
+			return
+		}
+		ep := dr.lookup(wc.QPN)
+		if wc.Status != verbs.WCSuccess {
+			// The last-WQE notification consumed no SRQ buffer; anything
+			// else (flushed private recv, length error) did, so recycle it.
+			if wc.WRID != verbs.LastWQEWRID {
+				_ = dr.srq.PostRecv(dr.recvWR(wc.WRID))
+			}
+			if ep != nil {
+				// A flushed/errored completion racing a local Close is the
+				// close, not a fault. Only report ErrTransport when the
+				// fabric failed an endpoint nobody closed.
+				ep.failRecv(ep.classify(fmt.Errorf("receive failed: %v", wc.Status)))
+				dr.drop(wc.QPN)
+			}
+			continue
+		}
+		off := dr.buf.Offset() + int(wc.WRID)*MaxMessage
+		payload := make([]byte, wc.ByteLen)
+		copy(payload, dr.buf.MR().Bytes()[off:off+wc.ByteLen])
+		if err := dr.srq.PostRecv(dr.recvWR(wc.WRID)); err != nil {
+			return
+		}
+		if ep == nil {
+			continue // message for a QP that closed mid-flight
+		}
+		if m := ep.metrics; m != nil {
+			m.cMsgs.Add(1)
+			m.cBytes.Add(int64(wc.ByteLen))
+		}
+		select {
+		case ep.msgs <- payload:
+		case <-ep.closed:
+		}
+	}
+}
+
+func newEndPoint(f *Fabric, dev *verbs.Device) (*EndPoint, error) {
+	dr, err := f.devRecvFor(dev)
+	if err != nil {
+		return nil, err
+	}
 	sendCQ := dev.CreateCQ(256)
-	recvCQ := dev.CreateCQ(ringDepth + 8)
-	qp, err := dev.CreateQP(sendCQ, recvCQ)
+	qp, err := dev.CreateQPWithSRQ(sendCQ, dr.recvCQ, dr.srq)
 	if err != nil {
 		return nil, err
 	}
-	ringMR, err := dev.RegisterMemory(make([]byte, ringDepth*MaxMessage))
-	if err != nil {
-		qp.Destroy()
-		return nil, err
-	}
-	sendMR, err := dev.RegisterMemory(make([]byte, MaxMessage))
+	sendBlk, err := mrpool.For(dev).Alloc(MaxMessage, "ucr.send")
 	if err != nil {
 		qp.Destroy()
 		return nil, err
 	}
 	ep := &EndPoint{
-		dev: dev, qp: qp, sendCQ: sendCQ, recvCQ: recvCQ,
-		ringMR: ringMR, sendMR: sendMR,
-		msgs:   make(chan []byte, 1024),
-		closed: make(chan struct{}),
+		dev: dev, qp: qp, sendCQ: sendCQ, dr: dr,
+		sendBlk:    sendBlk,
+		msgs:       make(chan []byte, 1024),
+		closed:     make(chan struct{}),
+		recvFailed: make(chan struct{}),
 	}
-	for i := 0; i < ringDepth; i++ {
-		wr := verbs.RecvWR{WRID: uint64(i), SGE: verbs.SGE{MR: ringMR, Offset: i * MaxMessage, Length: MaxMessage}}
-		if err := qp.PostRecv(wr); err != nil {
-			qp.Destroy()
-			return nil, err
-		}
-	}
-	go ep.recvPump()
+	dr.register(qp.QPN(), ep)
 	return ep, nil
 }
 
-// recvPump drains the receive CQ, copies payloads out, and immediately
-// re-posts the ring buffer so the peer never sees receiver-not-ready.
-func (ep *EndPoint) recvPump() {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	go func() {
-		<-ep.closed
-		cancel()
-	}()
-	for {
-		wc, err := ep.recvCQ.Wait(ctx)
-		if err != nil {
-			ep.failRecv(ErrClosed)
-			return
-		}
-		if wc.Status != verbs.WCSuccess {
-			// A flushed/errored completion racing a local Close is the
-			// close, not a fault: Close destroys the QP, which flushes the
-			// pre-posted ring. Only report ErrTransport when the fabric
-			// failed an endpoint nobody closed.
-			ep.failRecv(ep.classify(fmt.Errorf("receive failed: %v", wc.Status)))
-			return
-		}
-		off := int(wc.WRID) * MaxMessage
-		payload := make([]byte, wc.ByteLen)
-		copy(payload, ep.ringMR.Bytes()[off:off+wc.ByteLen])
-		if m := ep.metrics; m != nil {
-			m.cMsgs.Add(1)
-			m.cBytes.Add(int64(wc.ByteLen))
-		}
-		if err := ep.qp.PostRecv(verbs.RecvWR{WRID: wc.WRID, SGE: verbs.SGE{MR: ep.ringMR, Offset: off, Length: MaxMessage}}); err != nil {
-			ep.failRecv(ep.classify(err))
-			return
-		}
-		select {
-		case ep.msgs <- payload:
-		case <-ep.closed:
-			return
-		}
-	}
-}
-
+// failRecv records the end-point's receive error and wakes blocked Recv
+// callers. It deliberately does NOT close msgs: the shared pump may be
+// delivering concurrently, and only a single owner may close a channel —
+// recvFailed carries the signal instead, and Recv drains buffered
+// messages before surfacing the error.
 func (ep *EndPoint) failRecv(err error) {
 	ep.errMu.Lock()
 	if ep.recvErr == nil {
 		ep.recvErr = err
 	}
 	ep.errMu.Unlock()
-	close(ep.msgs)
+	ep.failOnce.Do(func() { close(ep.recvFailed) })
 }
 
 // isClosed reports whether Close has begun on this end-point.
@@ -399,10 +495,16 @@ func (ep *EndPoint) Send(ctx context.Context, payload []byte) error {
 	}
 	ep.sendMu.Lock()
 	defer ep.sendMu.Unlock()
-	copy(ep.sendMR.Bytes(), payload)
+	// Checked under sendMu: Close frees the send carve back to the device
+	// pool under this same mutex, so past this point the block is ours
+	// until we unlock — a late Send must not scribble on a recycled carve.
+	if ep.isClosed() {
+		return fmt.Errorf("%w: send on closed end-point", ErrClosed)
+	}
+	copy(ep.sendBlk.Bytes(), payload)
 	return ep.sendLocked(ctx, verbs.SendWR{
 		Opcode: verbs.OpSend,
-		SGE:    verbs.SGE{MR: ep.sendMR, Length: len(payload)},
+		SGE:    verbs.SGE{MR: ep.sendBlk.MR(), Offset: ep.sendBlk.Offset(), Length: len(payload)},
 	})
 }
 
@@ -484,16 +586,28 @@ func (ep *EndPoint) sendLocked(ctx context.Context, wr verbs.SendWR) error {
 
 // Recv returns the next incoming message (a fresh buffer owned by the
 // caller), blocking until one arrives, the context cancels, or the
-// end-point fails.
+// end-point fails. Messages delivered before a failure are drained
+// before the error surfaces.
 func (ep *EndPoint) Recv(ctx context.Context) ([]byte, error) {
 	select {
-	case msg, ok := <-ep.msgs:
-		if !ok {
-			ep.errMu.Lock()
-			defer ep.errMu.Unlock()
-			return nil, ep.recvErr
-		}
+	case msg := <-ep.msgs:
 		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-ep.msgs:
+		return msg, nil
+	case <-ep.recvFailed:
+		// One more drain: a message may have landed between the failure
+		// signal and this wakeup.
+		select {
+		case msg := <-ep.msgs:
+			return msg, nil
+		default:
+		}
+		ep.errMu.Lock()
+		defer ep.errMu.Unlock()
+		return nil, ep.recvErr
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
@@ -585,17 +699,26 @@ func (ep *EndPoint) rdma(ctx context.Context, wr verbs.SendWR) error {
 // Close tears the end-point down. The peer's subsequent operations fail.
 // In-flight Recv/Send on THIS side return errors wrapping ErrClosed (not
 // ErrTransport), so callers can tell a deliberate local shutdown from a
-// fabric fault. The end-point's registered regions are released so
-// reconnect churn does not leak MRs on the device.
+// fabric fault. The end-point's slab carve is returned to the device's
+// pool so reconnect churn does not leak registered memory; the shared
+// SRQ buffers belong to the device and are untouched.
 func (ep *EndPoint) Close() {
 	ep.closeOnce.Do(func() {
 		close(ep.closed)
 		ep.qp.Destroy()
+		// Unregister from the demux BEFORE failing the receive stream:
+		// once dropped, the pump cannot deliver to (or block on) this
+		// end-point again.
+		ep.dr.drop(ep.qp.QPN())
+		ep.failRecv(ErrClosed)
 		// Destroy waited for the QP processor, so nothing references the
-		// ring or send regions through the fabric anymore. recvPump may
-		// still be copying out a delivered payload; Deregister only marks
-		// the region dead, the memory stays valid.
-		_ = ep.ringMR.Deregister()
-		_ = ep.sendMR.Deregister()
+		// send carve through the fabric anymore. sendMu excludes a Send
+		// that is still staging its payload into the carve: once the pool
+		// hands this memory to a new owner, a straggling copy would be a
+		// cross-owner data race. (That Send's post then fails on the
+		// destroyed QP; new Sends see the closed flag under the mutex.)
+		ep.sendMu.Lock()
+		ep.sendBlk.Free()
+		ep.sendMu.Unlock()
 	})
 }

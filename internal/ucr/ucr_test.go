@@ -90,10 +90,11 @@ func TestMessageTooLarge(t *testing.T) {
 }
 
 func TestManyMessagesExceedRing(t *testing.T) {
-	// More messages than ringDepth must flow, proving the pump re-posts.
+	// More messages than the device's SRQ depth must flow, proving the
+	// pump re-posts shared buffers.
 	cep, sep := connected(t)
 	ctx := ctxT(t)
-	const n = ringDepth * 3
+	const n = srqDepth * 3
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {

@@ -208,6 +208,7 @@ type QueuePair struct {
 	mu        sync.Mutex
 	state     QPState
 	recvQueue []RecvWR
+	srq       *SRQ // non-nil: receive side draws from the shared queue
 	peerDev   string
 	peerQPN   uint32
 
@@ -275,13 +276,17 @@ func (qp *QueuePair) State() QPState {
 }
 
 // PostRecv posts a receive work request. Allowed in RESET (pre-posting
-// before connect is standard practice) and RTS.
+// before connect is standard practice) and RTS. QPs attached to an SRQ
+// have no private receive queue; post to the SRQ instead.
 func (qp *QueuePair) PostRecv(wr RecvWR) error {
 	if _, err := wr.SGE.slice(); err != nil {
 		return err
 	}
 	qp.mu.Lock()
 	defer qp.mu.Unlock()
+	if qp.srq != nil {
+		return fmt.Errorf("%w: QP attached to SRQ", ErrQPState)
+	}
 	if qp.state == QPDestroyed || qp.state == QPError {
 		return fmt.Errorf("%w: state %v", ErrQPState, qp.state)
 	}
@@ -323,9 +328,17 @@ func (qp *QueuePair) enterError() {
 	qp.state = QPError
 	flushed := qp.recvQueue
 	qp.recvQueue = nil
+	srq := qp.srq
 	qp.mu.Unlock()
 	for _, wr := range flushed {
 		qp.recvCQ.push(WC{WRID: wr.WRID, Status: WCFlushErr, QPN: qp.qpn})
+	}
+	if srq != nil {
+		// An SRQ-attached QP has no private receives to flush (the shared
+		// buffers survive for the other QPs), so deliver the "last WQE
+		// reached" notification instead: one synthetic flush completion
+		// that wakes the shared consumer and names the dead QP.
+		qp.recvCQ.push(WC{WRID: LastWQEWRID, Status: WCFlushErr, QPN: qp.qpn})
 	}
 }
 
@@ -496,16 +509,29 @@ func (qp *QueuePair) executeSend(wr SendWR, sgl []SGE, total int, peer *Device, 
 		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
 		return
 	}
-	if len(rqp.recvQueue) == 0 {
+	var recv RecvWR
+	if rqp.srq != nil {
+		// SRQ-attached: the buffer comes from the shared pool; the
+		// completion still lands on this QP's recv CQ with its QPN.
+		srq := rqp.srq
 		rqp.mu.Unlock()
-		// Receiver not ready: on real RC QPs, RNR NAK then retry; with
-		// retries exceeded the sender completes in error.
-		qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRNRRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
-		return
+		var ok bool
+		if recv, ok = srq.pop(); !ok {
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRNRRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		}
+	} else {
+		if len(rqp.recvQueue) == 0 {
+			rqp.mu.Unlock()
+			// Receiver not ready: on real RC QPs, RNR NAK then retry; with
+			// retries exceeded the sender completes in error.
+			qp.sendCQ.push(WC{WRID: wr.WRID, Status: WCRNRRetryExceeded, Opcode: wr.Opcode, QPN: qp.qpn})
+			return
+		}
+		recv = rqp.recvQueue[0]
+		rqp.recvQueue = rqp.recvQueue[1:]
+		rqp.mu.Unlock()
 	}
-	recv := rqp.recvQueue[0]
-	rqp.recvQueue = rqp.recvQueue[1:]
-	rqp.mu.Unlock()
 
 	dst, err := recv.SGE.slice()
 	if err != nil || len(dst) < total {

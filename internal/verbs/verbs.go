@@ -284,6 +284,7 @@ type Device struct {
 
 	mu      sync.Mutex
 	mrs     map[uint32]*MemoryRegion
+	mws     map[uint32]*MemoryWindow
 	nextKey uint32
 	nextVA  uint64
 	qps     map[uint32]*QueuePair
@@ -374,18 +375,34 @@ func (mr *MemoryRegion) Len() int { return len(mr.buf) }
 func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
 
 // resolve maps (rkey, va, length) to a subslice, enforcing protection.
-// Caller must hold the device mutex.
+// The rkey may name a full region or a bound memory window; windows
+// additionally enforce their own bounds and liveness (an invalidated
+// window faults even though the parent slab stays registered). Caller
+// must hold the device mutex.
 func (d *Device) resolve(rkey uint32, va uint64, length int) ([]byte, bool) {
-	mr, ok := d.mrs[rkey]
-	if !ok || mr.dead {
+	if length < 0 {
 		return nil, false
 	}
-	if va < mr.va || length < 0 {
-		return nil, false
+	if mr, ok := d.mrs[rkey]; ok && !mr.dead {
+		if va < mr.va {
+			return nil, false
+		}
+		off := va - mr.va
+		if off+uint64(length) > uint64(len(mr.buf)) {
+			return nil, false
+		}
+		return mr.buf[off : off+uint64(length)], true
 	}
-	off := va - mr.va
-	if off+uint64(length) > uint64(len(mr.buf)) {
-		return nil, false
+	if mw, ok := d.mws[rkey]; ok && !mw.dead && !mw.mr.dead {
+		if va < mw.va {
+			return nil, false
+		}
+		off := va - mw.va
+		if off+uint64(length) > uint64(mw.length) {
+			return nil, false
+		}
+		base := uint64(mw.off) + off
+		return mw.mr.buf[base : base+uint64(length)], true
 	}
-	return mr.buf[off : off+uint64(length)], true
+	return nil, false
 }

@@ -1,0 +1,82 @@
+package verbs
+
+import "fmt"
+
+// MemoryWindow is an emulated type-2 memory window: a sub-range of a
+// registered region exposed under its own rkey and virtual address,
+// revocable independently of the parent region. Slab allocators need
+// this — many logically distinct remote buffers carved from one big
+// registration, where freeing a carve must make the peer's stale
+// (rkey, addr) fault instead of silently reading whatever the slab
+// range was reused for. Invalidate is the cheap bind/unbind operation
+// RDMAbox-style region allocators lean on: the parent slab stays
+// registered (no pinning churn); only the window's key dies.
+type MemoryWindow struct {
+	mr     *MemoryRegion
+	rkey   uint32
+	va     uint64
+	off    int
+	length int
+	dead   bool
+}
+
+// BindWindow binds a window over buf[off:off+length] of the region,
+// allocating a fresh rkey and a fresh virtual-address range (never
+// reused, so stale addresses fault rather than corrupt — same guard
+// discipline as RegisterMemory).
+func (mr *MemoryRegion) BindWindow(off, length int) (*MemoryWindow, error) {
+	mr.devMu.Lock()
+	defer mr.devMu.Unlock()
+	if mr.dead {
+		return nil, ErrDeregistered
+	}
+	if off < 0 || length < 0 || off+length > len(mr.buf) {
+		return nil, fmt.Errorf("%w: window off=%d len=%d region=%d", ErrBadSGE, off, length, len(mr.buf))
+	}
+	d := mr.dev
+	d.nextKey++
+	va := d.nextVA + 4096
+	d.nextVA = va + uint64(length) + 4096
+	mw := &MemoryWindow{
+		mr:     mr,
+		rkey:   d.nextKey | 0x80000000,
+		va:     va,
+		off:    off,
+		length: length,
+	}
+	if d.mws == nil {
+		d.mws = make(map[uint32]*MemoryWindow)
+	}
+	d.mws[mw.rkey] = mw
+	return mw, nil
+}
+
+// Invalidate revokes the window; subsequent RDMA against its rkey fails
+// with a remote access error. The parent region is untouched.
+func (mw *MemoryWindow) Invalidate() error {
+	mw.mr.devMu.Lock()
+	defer mw.mr.devMu.Unlock()
+	if mw.dead {
+		return ErrDeregistered
+	}
+	mw.dead = true
+	delete(mw.mr.dev.mws, mw.rkey)
+	return nil
+}
+
+// Dead reports whether the window has been invalidated (or its parent
+// region deregistered).
+func (mw *MemoryWindow) Dead() bool {
+	mw.mr.devMu.Lock()
+	defer mw.mr.devMu.Unlock()
+	return mw.dead || mw.mr.dead
+}
+
+// RKey returns the window's remote protection key.
+func (mw *MemoryWindow) RKey() uint32 { return mw.rkey }
+
+// Addr returns the window's emulated virtual base address.
+func (mw *MemoryWindow) Addr() uint64 { return mw.va }
+
+// Len returns the window length.
+func (mw *MemoryWindow) Len() int { return mw.length }

@@ -1,0 +1,126 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// rdmaPair returns two connected QPs on devices "a" (initiator) and "b"
+// (target) for one-sided traffic.
+func rdmaPair(t *testing.T) (*QueuePair, *Device) {
+	t.Helper()
+	net := NewNetwork()
+	a, _ := net.NewDevice("a")
+	b, _ := net.NewDevice("b")
+	aqp, _ := a.CreateQP(a.CreateCQ(16), a.CreateCQ(16))
+	bqp, _ := b.CreateQP(b.CreateCQ(16), b.CreateCQ(16))
+	if err := aqp.Connect("b", bqp.QPN()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bqp.Connect("a", aqp.QPN()); err != nil {
+		t.Fatal(err)
+	}
+	return aqp, b
+}
+
+func readVia(t *testing.T, qp *QueuePair, raddr uint64, rkey uint32, n int) (WC, []byte) {
+	t.Helper()
+	local, _ := qp.dev.RegisterMemory(make([]byte, n))
+	if err := qp.PostRead(ReadWR{WRID: 1, SGL: []SGE{{MR: local, Length: n}}, RemoteAddr: raddr, RKey: rkey}); err != nil {
+		t.Fatal(err)
+	}
+	wc, err := qp.sendCQ.Wait(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wc, local.Bytes()
+}
+
+// TestWindowReadAndInvalidate: a bound window serves RDMA under its own
+// (rkey, addr); after Invalidate the same descriptor faults even though
+// the parent slab region stays registered.
+func TestWindowReadAndInvalidate(t *testing.T) {
+	aqp, b := rdmaPair(t)
+	slab, _ := b.RegisterMemory(bytes.Repeat([]byte("abcd"), 64))
+	win, err := slab.BindWindow(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.RKey() == slab.RKey() || win.Addr() == slab.Addr() {
+		t.Fatal("window shares the parent's rkey/addr — revocation would be impossible")
+	}
+	wc, got := readVia(t, aqp, win.Addr(), win.RKey(), 16)
+	if wc.Status != WCSuccess {
+		t.Fatalf("read via window = %v", wc.Status)
+	}
+	if want := slab.Bytes()[8:24]; !bytes.Equal(got, want) {
+		t.Fatalf("window read = %q, want %q", got, want)
+	}
+	if err := win.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if !win.Dead() {
+		t.Fatal("window alive after Invalidate")
+	}
+	wc, _ = readVia(t, aqp, win.Addr(), win.RKey(), 16)
+	if wc.Status != WCRemoteAccessErr {
+		t.Fatalf("read via invalidated window = %v, want REMOTE_ACCESS_ERR", wc.Status)
+	}
+	// The parent slab is untouched.
+	wc, _ = readVia(t, aqp, slab.Addr(), slab.RKey(), 32)
+	if wc.Status != WCSuccess {
+		t.Fatalf("slab read after window invalidate = %v", wc.Status)
+	}
+	if slab.Dead() {
+		t.Fatal("parent region died with its window")
+	}
+}
+
+// TestWindowBoundsEnforced: a window clamps remote access to its carve,
+// not the whole slab, and out-of-window addresses fault.
+func TestWindowBoundsEnforced(t *testing.T) {
+	aqp, b := rdmaPair(t)
+	slab, _ := b.RegisterMemory(make([]byte, 256))
+	win, _ := slab.BindWindow(64, 32)
+	if wc, _ := readVia(t, aqp, win.Addr(), win.RKey(), 33); wc.Status != WCRemoteAccessErr {
+		t.Fatalf("read past window end = %v, want REMOTE_ACCESS_ERR", wc.Status)
+	}
+	if wc, _ := readVia(t, aqp, win.Addr()-1, win.RKey(), 8); wc.Status != WCRemoteAccessErr {
+		t.Fatalf("read before window start = %v, want REMOTE_ACCESS_ERR", wc.Status)
+	}
+}
+
+// TestWindowDiesWithParent: deregistering the parent region kills its
+// windows without explicit invalidation.
+func TestWindowDiesWithParent(t *testing.T) {
+	aqp, b := rdmaPair(t)
+	slab, _ := b.RegisterMemory(make([]byte, 128))
+	win, _ := slab.BindWindow(0, 64)
+	if err := slab.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	if !win.Dead() {
+		t.Fatal("window outlived its deregistered parent")
+	}
+	if wc, _ := readVia(t, aqp, win.Addr(), win.RKey(), 8); wc.Status != WCRemoteAccessErr {
+		t.Fatalf("read via orphaned window = %v, want REMOTE_ACCESS_ERR", wc.Status)
+	}
+}
+
+// TestWindowBindValidation: binds outside the region or on a dead
+// region fail at bind time.
+func TestWindowBindValidation(t *testing.T) {
+	net := NewNetwork()
+	d, _ := net.NewDevice("d")
+	mr, _ := d.RegisterMemory(make([]byte, 64))
+	if _, err := mr.BindWindow(32, 64); err == nil {
+		t.Fatal("out-of-bounds bind succeeded")
+	}
+	if _, err := mr.BindWindow(-1, 8); err == nil {
+		t.Fatal("negative-offset bind succeeded")
+	}
+	_ = mr.Deregister()
+	if _, err := mr.BindWindow(0, 8); err == nil {
+		t.Fatal("bind on deregistered region succeeded")
+	}
+}
