@@ -214,14 +214,16 @@ func (p *connPlane) enforceCap() {
 		if oldest == nil {
 			break
 		}
+		if !oldest.claimEvict() {
+			// A lease attached (or the conn died) between the scan and the
+			// claim: no longer a victim. Rescan — refs>0 skips it now.
+			continue
+		}
 		delete(p.conns, oldest.host)
 		victims = append(victims, oldest)
 	}
 	p.mu.Unlock()
-	for _, sc := range victims {
-		sc.teardown(errConnEvicted)
-		p.count("shuffle.rdma.conn.evicted", 1)
-	}
+	p.finishEvict(victims)
 }
 
 // sweepIdle retires connections nobody has leased for the idle timeout.
@@ -243,6 +245,12 @@ func (p *connPlane) sweepIdle() {
 		}
 		sc.mu.Lock()
 		expired := !sc.dead && sc.refs == 0 && now.Sub(sc.lastUse) >= idle
+		if expired {
+			// Claim under the same sc.mu hold as the refs check: an
+			// acquirer that attaches after this sees dead and redials.
+			sc.dead = true
+			sc.err = errConnEvicted
+		}
 		sc.mu.Unlock()
 		if expired {
 			delete(p.conns, host)
@@ -250,8 +258,37 @@ func (p *connPlane) sweepIdle() {
 		}
 	}
 	p.mu.Unlock()
+	p.finishEvict(victims)
+}
+
+// claimEvict atomically re-validates idleness and marks the connection
+// dead for eviction. The refs re-check under sc.mu closes the window
+// between victim selection and teardown in which acquire() — which
+// attaches leases under sc.mu only — could slip a lease onto a conn
+// already chosen for eviction: either the lease attaches first and the
+// claim fails, or the claim wins and the acquirer observes dead and
+// dials a fresh incarnation. Either way no lease ever sees
+// errConnEvicted. Caller holds p.mu (lock order: p.mu then sc.mu).
+func (sc *sharedConn) claimEvict() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.dead || sc.refs != 0 {
+		return false
+	}
+	sc.dead = true
+	sc.err = errConnEvicted
+	return true
+}
+
+// finishEvict closes the endpoints of claimed victims. Claiming
+// guaranteed refs==0, so there are no leases to wake — only the
+// endpoint to release (which parks its pump; the pump's subsequent
+// kill() finds the conn already dead and out of the map, a no-op).
+func (p *connPlane) finishEvict(victims []*sharedConn) {
 	for _, sc := range victims {
-		sc.teardown(errConnEvicted)
+		if sc.ep != nil {
+			sc.ep.Close()
+		}
 		p.count("shuffle.rdma.conn.evicted", 1)
 	}
 }

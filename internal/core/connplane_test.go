@@ -438,3 +438,45 @@ func TestConnLeaseDrainsBufferedOnDeath(t *testing.T) {
 		t.Fatal("killed connection still cached")
 	}
 }
+
+// TestConnPlaneEvictionNeverFailsAttachedLease: the documented invariant
+// — only refs==0 connections are evicted, so a lease never observes
+// errConnEvicted. Regression for the TOCTOU where enforceCap/sweepIdle
+// read refs==0, dropped the locks, and tore the connection down while a
+// concurrent acquire (which attaches under sc.mu only) slipped a lease
+// on; the eviction claim now re-checks refs under sc.mu. An aggressive
+// sweep (1ns idle, cap 1, two hosts) against hammering acquirers drives
+// exactly that interleaving.
+func TestConnPlaneEvictionNeverFailsAttachedLease(t *testing.T) {
+	h := newPlaneHarness(t)
+	h.serve("evict-a")
+	h.serve("evict-b")
+	h.plane.configure(1, time.Nanosecond, h.c)
+	hosts := []string{"evict-a", "evict-b"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				host := hosts[(g+i)%len(hosts)]
+				l, _, err := h.plane.acquire(h.ctx, host, 8, h.dial(host))
+				if err != nil {
+					t.Errorf("acquire %s: %v", host, err)
+					return
+				}
+				// No transport failures happen in this test, so a closed
+				// done channel means the plane evicted a conn with a lease
+				// attached.
+				select {
+				case <-l.done:
+					t.Errorf("lease evicted while attached: %v", l.sc.connErr())
+					return
+				default:
+				}
+				l.Close(false, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

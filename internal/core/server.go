@@ -62,6 +62,13 @@ type trackerServer struct {
 	// zero-copy responses.
 	descPool sync.Pool // of *descScratch
 
+	// hdrBlocks recycles header-sized slab blocks across responses:
+	// every mrpool Free re-coalesces the slab free list under the pool
+	// mutex, too heavy (and too contended with stage/cache allocs) for
+	// the per-response hot path. Sized to the responder pool; drained
+	// back to the slab on Close.
+	hdrBlocks chan *mrpool.Block
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -137,11 +144,39 @@ func startTrackerServer(tt *mapred.TaskTracker) (*trackerServer, error) {
 	// RDMAResponder pool: "a pool of threads that wait on
 	// DataRequestQueue for incoming requests".
 	responders := int(conf.Int(config.KeyResponderThreads))
+	// At most one header block is live per responder at a time, so a
+	// free list that deep never blocks a put.
+	s.hdrBlocks = make(chan *mrpool.Block, responders+1)
 	for i := 0; i < responders; i++ {
 		s.wg.Add(1)
 		go s.responder()
 	}
 	return s, nil
+}
+
+// headerBlockBytes sizes the slab carve used to encode response headers
+// and manifests; encodes that overflow it fall back to the heap path.
+const headerBlockBytes = 4096
+
+// getHeaderBlock returns a recycled header block, carving a fresh one
+// only when the free list is empty.
+func (s *trackerServer) getHeaderBlock() (*mrpool.Block, error) {
+	select {
+	case blk := <-s.hdrBlocks:
+		return blk, nil
+	default:
+		return s.mrp.Alloc(headerBlockBytes, "header")
+	}
+}
+
+// putHeaderBlock recycles a header block, freeing it to the slab only
+// when the free list is full.
+func (s *trackerServer) putHeaderBlock(blk *mrpool.Block) {
+	select {
+	case s.hdrBlocks <- blk:
+	default:
+		blk.Free()
+	}
 }
 
 func (s *trackerServer) acceptLoop() {
@@ -296,14 +331,14 @@ func (s *trackerServer) serve(p *pendingRequest) {
 // staged send.
 func (s *trackerServer) sendHeader(ep *ucr.EndPoint, h *wire.DataResponse) {
 	if s.zeroCopy {
-		if blk, err := s.mrp.Alloc(4096, "header"); err == nil {
+		if blk, err := s.getHeaderBlock(); err == nil {
 			buf := h.EncodeAppend(blk.Bytes()[:0])
 			if len(buf) <= blk.Len() {
 				_ = ep.SendSG(s.ctx, []verbs.SGE{{MR: blk.MR(), Offset: blk.Offset(), Length: len(buf)}})
-				blk.Free()
+				s.putHeaderBlock(blk)
 				return
 			}
-			blk.Free()
+			s.putHeaderBlock(blk)
 		}
 	}
 	_ = ep.Send(s.ctx, h.Encode())
@@ -598,14 +633,14 @@ func (s *trackerServer) serveManifest(p *pendingRequest) bool {
 // sendManifest delivers a descriptor manifest, gather-sent from a
 // slab-carved header block when the budget allows one.
 func (s *trackerServer) sendManifest(ep *ucr.EndPoint, m *wire.ReadManifest) error {
-	if blk, err := s.mrp.Alloc(4096, "header"); err == nil {
+	if blk, err := s.getHeaderBlock(); err == nil {
 		buf := m.EncodeAppend(blk.Bytes()[:0])
 		if len(buf) <= blk.Len() {
 			err := ep.SendSG(s.ctx, []verbs.SGE{{MR: blk.MR(), Offset: blk.Offset(), Length: len(buf)}})
-			blk.Free()
+			s.putHeaderBlock(blk)
 			return err
 		}
-		blk.Free()
+		s.putHeaderBlock(blk)
 	}
 	return ep.Send(s.ctx, m.Encode())
 }
@@ -704,6 +739,12 @@ func (s *trackerServer) Close() error {
 	}
 	s.prefetcher.Close()
 	s.wg.Wait()
+	// Responders are stopped: return the recycled header blocks to the
+	// slab so the MR accountant's leak assertion sees a drained server.
+	close(s.hdrBlocks)
+	for blk := range s.hdrBlocks {
+		blk.Free()
+	}
 	// With receivers and the janitor stopped, no new leases can appear;
 	// drop whatever pins remain so cache regions deregister.
 	s.leases.drain()

@@ -96,12 +96,14 @@ func TestConnCacheChurnChaos(t *testing.T) {
 
 	// The leak gate: once per-job cache entries are dropped (JobComplete)
 	// and fetcher rings are freed, every per-job slab class must be back
-	// to zero bytes on every device. What's allowed to remain is
-	// connection infrastructure — the device-lifetime SRQ receive region
-	// (ucr.recv) and the send block of each still-cached endpoint
-	// (ucr.send), both bounded by the LRU cap, not by job count.
+	// to zero bytes on every device. What's allowed to remain is server
+	// infrastructure — the device-lifetime SRQ receive region (ucr.recv),
+	// the send block of each still-cached endpoint (ucr.send, bounded by
+	// the LRU cap), and recycled response-header blocks (header, bounded
+	// by the responder pool and freed at tracker Close, not per job).
 	// Responder-side releases trail the job result slightly, so poll.
-	jobClasses := []string{"ring", "cache", "stage", "header"}
+	jobClasses := []string{"ring", "cache", "stage"}
+	hdrBound := conf.Int(config.KeyResponderThreads) * 4096
 	deadline := time.Now().Add(10 * time.Second)
 	for _, tt := range c.Trackers() {
 		pool := mrpool.For(tt.Device())
@@ -110,6 +112,10 @@ func TestConnCacheChurnChaos(t *testing.T) {
 			attr := pool.Attribution()
 			for _, class := range jobClasses {
 				leaked += attr[class]
+			}
+			if hdr := attr["header"]; hdr > hdrBound {
+				t.Fatalf("device %s holds %d header bytes, more than the responder pool (%d) can recycle: %v",
+					tt.Host(), hdr, hdrBound, attr)
 			}
 			if leaked == 0 {
 				break

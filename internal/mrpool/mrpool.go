@@ -203,18 +203,29 @@ func (p *Pool) count(name string, delta int64) {
 func (p *Pool) release(b *Block) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	b.slab.free = append(b.slab.free, span{off: b.off, n: b.rounded})
-	sort.Slice(b.slab.free, func(i, j int) bool { return b.slab.free[i].off < b.slab.free[j].off })
-	// Coalesce neighbours so churn does not fragment the slab.
-	out := b.slab.free[:1]
-	for _, sp := range b.slab.free[1:] {
-		if last := &out[len(out)-1]; last.off+last.n == sp.off {
-			last.n += sp.n
-		} else {
-			out = append(out, sp)
-		}
+	// The free list stays sorted and coalesced, so a release only needs
+	// a binary search for the insertion point and a merge with at most
+	// the two adjacent spans — not a full re-sort (release runs under
+	// the pool mutex on responder hot paths).
+	free := b.slab.free
+	i := sort.Search(len(free), func(i int) bool { return free[i].off > b.off })
+	prevAdj := i > 0 && free[i-1].off+free[i-1].n == b.off
+	nextAdj := i < len(free) && b.off+b.rounded == free[i].off
+	switch {
+	case prevAdj && nextAdj:
+		free[i-1].n += b.rounded + free[i].n
+		free = append(free[:i], free[i+1:]...)
+	case prevAdj:
+		free[i-1].n += b.rounded
+	case nextAdj:
+		free[i].off = b.off
+		free[i].n += b.rounded
+	default:
+		free = append(free, span{})
+		copy(free[i+1:], free[i:])
+		free[i] = span{off: b.off, n: b.rounded}
 	}
-	b.slab.free = out
+	b.slab.free = free
 	p.inUse -= int64(b.rounded)
 	p.blocks--
 	p.byClass[b.class] -= int64(b.rounded)
@@ -269,8 +280,11 @@ type Block struct {
 	freed bool
 }
 
-// Bytes returns the block's memory.
-func (b *Block) Bytes() []byte { return b.slab.mr.Bytes()[b.off : b.off+b.n] }
+// Bytes returns the block's memory. Capacity is clamped to the block
+// length: an append past Len() must reallocate to the heap, never grow
+// in place over the neighbouring carve (which belongs to another owner
+// and may be posted to the fabric right now).
+func (b *Block) Bytes() []byte { return b.slab.mr.Bytes()[b.off : b.off+b.n : b.off+b.n] }
 
 // MR returns the backing slab region for local SGEs; pair with Offset.
 func (b *Block) MR() *verbs.MemoryRegion { return b.slab.mr }

@@ -200,3 +200,68 @@ func TestCountersReplayPinnedBytes(t *testing.T) {
 	}
 	blk.Free()
 }
+
+// TestBlockBytesCapacityClamped: Bytes() must clamp capacity to the
+// block length, so an append past Len() reallocates to the heap instead
+// of growing in place over the neighbouring carve (which belongs to
+// another owner — a header encode overflowing its block must never
+// scribble on an adjacent stage or receive buffer).
+func TestBlockBytesCapacityClamped(t *testing.T) {
+	p := testPool(t, 1<<16)
+	a, err := p.Alloc(64, "hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Alloc(64, "stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MR() != b.MR() {
+		t.Fatal("test needs both blocks in one slab")
+	}
+	if got := cap(a.Bytes()); got != a.Len() {
+		t.Fatalf("cap(Bytes()) = %d, want %d: append can cross into the next carve", got, a.Len())
+	}
+	for i := range b.Bytes() {
+		b.Bytes()[i] = 0xEE
+	}
+	buf := a.Bytes()[:0]
+	for i := 0; i < 4*a.Len(); i++ {
+		buf = append(buf, 0x11) // overflows a: must reallocate, not spill
+	}
+	for i, c := range b.Bytes() {
+		if c != 0xEE {
+			t.Fatalf("neighbouring block corrupted at byte %d", i)
+		}
+	}
+	a.Free()
+	b.Free()
+}
+
+// TestFreeCoalescesOutOfOrder: release's in-place sorted insert must
+// merge correctly whatever order carves come back in.
+func TestFreeCoalescesOutOfOrder(t *testing.T) {
+	p := testPool(t, 1<<16)
+	var blks []*Block
+	for i := 0; i < 8; i++ {
+		blk, err := p.Alloc(1<<13, "x") // 8 × 8KB fills the slab
+		if err != nil {
+			t.Fatal(err)
+		}
+		blks = append(blks, blk)
+	}
+	for _, i := range []int{5, 1, 7, 3, 0, 6, 2, 4} {
+		blks[i].Free()
+	}
+	big, err := p.Alloc(1<<16, "x")
+	if err != nil {
+		t.Fatalf("out-of-order frees did not coalesce: %v", err)
+	}
+	if p.PinnedBytes() != 1<<16 {
+		t.Fatalf("pinned = %d, want one slab (no growth)", p.PinnedBytes())
+	}
+	big.Free()
+	if p.InUseBytes() != 0 || p.OutstandingBlocks() != 0 {
+		t.Fatalf("leak: inUse=%d blocks=%d", p.InUseBytes(), p.OutstandingBlocks())
+	}
+}

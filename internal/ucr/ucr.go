@@ -371,11 +371,15 @@ func (dr *devRecv) lookup(qpn uint32) *EndPoint {
 // are dropped (their buffer is still recycled). Error completions carry
 // the failing QP's number too — including the synthetic last-WQE flush
 // a severed SRQ-attached QP delivers — and fail only that end-point.
+// When the plane itself dies (CQ torn down, SRQ refusing reposts) every
+// registered end-point is failed so Recv callers unwind immediately
+// instead of blocking until their contexts expire.
 func (dr *devRecv) pump() {
 	ctx := context.Background()
 	for {
 		wc, err := dr.recvCQ.Wait(ctx)
 		if err != nil {
+			dr.failAll(err)
 			return
 		}
 		ep := dr.lookup(wc.QPN)
@@ -398,6 +402,7 @@ func (dr *devRecv) pump() {
 		payload := make([]byte, wc.ByteLen)
 		copy(payload, dr.buf.MR().Bytes()[off:off+wc.ByteLen])
 		if err := dr.srq.PostRecv(dr.recvWR(wc.WRID)); err != nil {
+			dr.failAll(err)
 			return
 		}
 		if ep == nil {
@@ -411,6 +416,23 @@ func (dr *devRecv) pump() {
 		case ep.msgs <- payload:
 		case <-ep.closed:
 		}
+	}
+}
+
+// failAll fails every end-point registered on the device-wide receive
+// plane: once the pump exits nothing will ever deliver to them again.
+// Classification is per end-point, so a locally-closed one still reports
+// ErrClosed while live ones report ErrTransport.
+func (dr *devRecv) failAll(cause error) {
+	dr.mu.Lock()
+	eps := make([]*EndPoint, 0, len(dr.eps))
+	for _, ep := range dr.eps {
+		eps = append(eps, ep)
+	}
+	dr.eps = make(map[uint32]*EndPoint)
+	dr.mu.Unlock()
+	for _, ep := range eps {
+		ep.failRecv(ep.classify(fmt.Errorf("device receive plane died: %v", cause)))
 	}
 }
 

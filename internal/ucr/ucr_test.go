@@ -426,3 +426,37 @@ func TestFabricRegistryInstrumentation(t *testing.T) {
 		t.Fatalf("detached dial counted: ucr.dials = %d", got)
 	}
 }
+
+// TestDevRecvPlaneDeathFailsEndpoints: when the device-wide receive
+// plane dies (the pump's CQ wait or SRQ repost errors), every end-point
+// registered on the device must fail promptly — Recv callers unwind
+// with a transport-classified error instead of blocking until their own
+// contexts expire while peers pile into RNR retries.
+func TestDevRecvPlaneDeathFailsEndpoints(t *testing.T) {
+	cep, sep := connected(t)
+	cdr := cep.dr
+	recvErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := cep.Recv(ctx)
+		recvErr <- err
+	}()
+	cause := fmt.Errorf("simulated CQ teardown")
+	cdr.failAll(cause)
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrTransport) {
+			t.Fatalf("Recv after plane death = %v, want ErrTransport", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after the receive plane died")
+	}
+	// The server side's plane is untouched; its endpoint still works for
+	// sends from this side (one-directional check that failAll scoped to
+	// one device only).
+	ctx := ctxT(t)
+	if err := sep.Send(ctx, []byte("late")); err != nil {
+		t.Fatalf("server send after client plane death: %v", err)
+	}
+}
